@@ -1,0 +1,67 @@
+// Mesh-size scaling study (extension): how the paper's metrics and the
+// decomposition costs grow with mesh resolution at fixed k. Surface metrics
+// should scale like n^(2/3) (boundaries are surfaces), M2MComm like the
+// contact-node count, and the multilevel partitioner roughly linearly.
+//
+//   ./bench_scaling [--k 25] [--factors 0.5,1,2,4]
+#include <iostream>
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace cpart;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("k", "25", "number of partitions");
+  flags.define("factors", "0.35,1,2.5", "resolution scale factors (volume)");
+  flags.define("snapshots", "12", "snapshots per run");
+  flags.define("stride", "4", "snapshot stride");
+  try {
+    flags.parse(argc, argv);
+    std::vector<double> factors;
+    {
+      std::stringstream ss(flags.get_string("factors"));
+      std::string tok;
+      while (std::getline(ss, tok, ',')) factors.push_back(std::stod(tok));
+      require(!factors.empty(), "empty --factors");
+    }
+
+    std::cout << "Scaling study (k=" << flags.get_int("k") << ")\n\n";
+    Table table({"factor", "nodes", "contact", "dt_FEComm", "dt_NRemote",
+                 "dt_NTNodes", "rcb_FEComm", "rcb_M2M", "seconds"});
+    for (double f : factors) {
+      ExperimentConfig config;
+      config.k = static_cast<idx_t>(flags.get_int("k"));
+      config.sim.num_snapshots = static_cast<idx_t>(flags.get_int("snapshots"));
+      config.snapshot_stride = static_cast<idx_t>(flags.get_int("stride"));
+      config.sim.scale_resolution(f);
+      const ImpactSim probe(config.sim);
+      const auto snap = probe.snapshot(0);
+      Timer timer;
+      const ExperimentResult r = run_contact_experiment(config);
+      table.begin_row();
+      table.add_cell(f, 2);
+      table.add_cell(static_cast<long long>(snap.mesh.num_nodes()));
+      table.add_cell(static_cast<long long>(snap.surface.num_contact_nodes()));
+      table.add_cell(r.mcml_dt.fe_comm, 0);
+      table.add_cell(r.mcml_dt.remote, 0);
+      table.add_cell(r.mcml_dt.tree_nodes, 0);
+      table.add_cell(r.ml_rcb.fe_comm, 0);
+      table.add_cell(r.ml_rcb.m2m, 0);
+      table.add_cell(timer.seconds(), 2);
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shapes: FEComm and NRemote grow ~n^(2/3) "
+                 "(surface-dominated), M2MComm tracks the contact-node "
+                 "count, NTNodes grows sub-linearly; total runtime roughly "
+                 "linear in n.\n";
+    return 0;
+  } catch (const InputError& e) {
+    std::cerr << "error: " << e.what() << "\n" << flags.usage("bench_scaling");
+    return 1;
+  }
+}

@@ -1,0 +1,77 @@
+// Crash-style scenario for the *known-contacts* problem class (paper
+// Section 3): a box (crumple zone) about to hit a rigid wall. The surfaces
+// that will touch are predictable, so the a-priori method applies: add
+// artificial edges between predicted contact pairs and run a two-constraint
+// partitioning that co-locates contacting surfaces while balancing both the
+// volume and the surface work.
+//
+//   ./crash_box [--k 8] [--gap 0.3] [--pair-weight 10]
+#include <iostream>
+
+#include "core/apriori.hpp"
+#include "graph/graph_metrics.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/mesh_graphs.hpp"
+#include "mesh/surface.hpp"
+#include "util/flags.hpp"
+
+using namespace cpart;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("k", "8", "number of partitions");
+  flags.define("gap", "0.3", "initial gap between box and wall");
+  flags.define("pair-weight", "10", "weight of predicted contact-pair edges");
+  try {
+    flags.parse(argc, argv);
+    const idx_t k = static_cast<idx_t>(flags.get_int("k"));
+    const real_t gap = static_cast<real_t>(flags.get_double("gap"));
+
+    // Scene: a deformable box approaching a wall plate on its +x side.
+    Mesh scene = make_hex_box(10, 8, 8, Vec3{-2.5, -1, -1}, Vec3{2.0, 2, 2});
+    std::vector<int> body(static_cast<std::size_t>(scene.num_nodes()), 0);
+    const Mesh wall = make_hex_box(2, 12, 12, Vec3{-0.5 + gap, -1.5, -1.5},
+                                   Vec3{0.4, 3, 3});
+    scene.append(wall);
+    body.resize(static_cast<std::size_t>(scene.num_nodes()), 1);
+
+    const Surface surface = extract_surface(scene);
+    std::cout << "scene: " << scene.num_nodes() << " nodes, "
+              << scene.num_elements() << " elements, "
+              << surface.num_contact_nodes() << " surface nodes\n";
+
+    // Predict which surface nodes will come into contact: cross-body nodes
+    // within (gap + a deformation allowance).
+    const ContactPairs pairs =
+        predict_contact_pairs(scene, surface, body, gap + 0.25);
+    std::cout << "predicted contact pairs: " << pairs.size() << "\n";
+
+    AprioriConfig config;
+    config.k = k;
+    config.contact_pair_weight = flags.get_int("pair-weight");
+    const auto part = apriori_contact_partition(scene, surface, pairs, config);
+
+    // Compare against a partition of the same graph without pair edges.
+    const auto baseline =
+        apriori_contact_partition(scene, surface, {}, config);
+
+    const CsrGraph g = nodal_graph(scene);
+    auto report = [&](const char* name, const std::vector<idx_t>& p) {
+      std::cout << "  " << name << ": colocated-pairs="
+                << 100.0 * colocated_pair_fraction(pairs, p)
+                << "%  edge-cut=" << edge_cut(g, p)
+                << "  comm-volume=" << total_comm_volume(g, p)
+                << "  imbalance=" << load_imbalance(g, p, k) << "\n";
+    };
+    std::cout << "k=" << k << ":\n";
+    report("a-priori (pair edges)", part);
+    report("plain two-constraint ", baseline);
+    std::cout << "\nCo-locating predicted pairs means the contact forces "
+                 "between box and wall resolve locally instead of across "
+                 "processors.\n";
+    return 0;
+  } catch (const InputError& e) {
+    std::cerr << "error: " << e.what() << "\n" << flags.usage("crash_box");
+    return 1;
+  }
+}

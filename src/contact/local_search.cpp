@@ -1,0 +1,355 @@
+#include "contact/local_search.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "parallel/thread_pool.hpp"
+
+namespace cpart {
+
+Vec3 closest_point_on_triangle(Vec3 p, Vec3 a, Vec3 b, Vec3 c) {
+  // Ericson, "Real-Time Collision Detection", 5.1.5.
+  const Vec3 ab = b - a;
+  const Vec3 ac = c - a;
+  const Vec3 ap = p - a;
+  const real_t d1 = dot(ab, ap);
+  const real_t d2 = dot(ac, ap);
+  if (d1 <= 0 && d2 <= 0) return a;
+
+  const Vec3 bp = p - b;
+  const real_t d3 = dot(ab, bp);
+  const real_t d4 = dot(ac, bp);
+  if (d3 >= 0 && d4 <= d3) return b;
+
+  const real_t vc = d1 * d4 - d3 * d2;
+  if (vc <= 0 && d1 >= 0 && d3 <= 0) {
+    const real_t v = d1 / (d1 - d3);
+    return a + v * ab;
+  }
+
+  const Vec3 cp = p - c;
+  const real_t d5 = dot(ab, cp);
+  const real_t d6 = dot(ac, cp);
+  if (d6 >= 0 && d5 <= d6) return c;
+
+  const real_t vb = d5 * d2 - d1 * d6;
+  if (vb <= 0 && d2 >= 0 && d6 <= 0) {
+    const real_t w = d2 / (d2 - d6);
+    return a + w * ac;
+  }
+
+  const real_t va = d3 * d6 - d5 * d4;
+  if (va <= 0 && (d4 - d3) >= 0 && (d5 - d6) >= 0) {
+    const real_t w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+    return b + w * (c - b);
+  }
+
+  const real_t denom = 1.0 / (va + vb + vc);
+  const real_t v = vb * denom;
+  const real_t w = vc * denom;
+  return a + v * ab + w * ac;
+}
+
+namespace {
+
+Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+/// Triangulation of a face: (0,1,2) plus (0,2,3) for quads; edges in 2D are
+/// treated as degenerate triangles (a, b, b).
+void face_triangles(const Mesh& mesh, const SurfaceFace& face,
+                    std::vector<std::array<Vec3, 3>>* tris) {
+  tris->clear();
+  const auto& ids = face.nodes;
+  if (ids.size() == 2) {
+    tris->push_back({mesh.node(ids[0]), mesh.node(ids[1]), mesh.node(ids[1])});
+  } else if (ids.size() == 3) {
+    tris->push_back(
+        {mesh.node(ids[0]), mesh.node(ids[1]), mesh.node(ids[2])});
+  } else {
+    tris->push_back(
+        {mesh.node(ids[0]), mesh.node(ids[1]), mesh.node(ids[2])});
+    tris->push_back(
+        {mesh.node(ids[0]), mesh.node(ids[2]), mesh.node(ids[3])});
+  }
+}
+
+/// Closest point on a (possibly degenerate) triangle, robust to b == c.
+Vec3 closest_on_tri_robust(Vec3 p, const std::array<Vec3, 3>& t) {
+  if (t[1] == t[2]) {
+    // Segment case.
+    const Vec3 ab = t[1] - t[0];
+    const real_t len2 = dot(ab, ab);
+    if (len2 <= 0) return t[0];
+    const real_t s = std::clamp<real_t>(dot(p - t[0], ab) / len2, 0, 1);
+    return t[0] + s * ab;
+  }
+  return closest_point_on_triangle(p, t[0], t[1], t[2]);
+}
+
+struct FaceTest {
+  real_t distance;
+  real_t signed_distance;
+  Vec3 closest;
+};
+
+FaceTest test_face(const Mesh& mesh, const SurfaceFace& face, Vec3 p,
+                   std::vector<std::array<Vec3, 3>>* scratch) {
+  face_triangles(mesh, face, scratch);
+  FaceTest best{std::numeric_limits<real_t>::max(), 0, {}};
+  for (const auto& tri : *scratch) {
+    const Vec3 c = closest_on_tri_robust(p, tri);
+    const real_t d = norm(p - c);
+    if (d < best.distance) {
+      best.distance = d;
+      best.closest = c;
+    }
+  }
+  const Vec3 n = face_normal(mesh, face);
+  const real_t nn = norm(n);
+  best.signed_distance =
+      nn > 0 ? dot(p - best.closest, (1.0 / nn) * n) : best.distance;
+  return best;
+}
+
+}  // namespace
+
+Vec3 face_normal(const Mesh& mesh, const SurfaceFace& face) {
+  const auto& ids = face.nodes;
+  if (ids.size() < 3) {
+    // 2D edge: rotate the edge direction by 90 degrees in the plane.
+    const Vec3 d = mesh.node(ids[1]) - mesh.node(ids[0]);
+    return {-d.y, d.x, 0};
+  }
+  Vec3 n{};
+  const Vec3 a = mesh.node(ids[0]);
+  for (std::size_t i = 1; i + 1 < ids.size(); ++i) {
+    n = n + cross(mesh.node(ids[i]) - a, mesh.node(ids[i + 1]) - a);
+  }
+  return n;
+}
+
+std::vector<ContactEvent> local_contact_search(
+    const Mesh& mesh, const Surface& surface, const LocalSearchOptions& opts) {
+  require(opts.tolerance > 0, "local_contact_search: tolerance must be > 0");
+  require(opts.body_of_node.empty() ||
+              opts.body_of_node.size() ==
+                  static_cast<std::size_t>(mesh.num_nodes()),
+          "local_contact_search: body array size mismatch");
+
+  // kd-tree over face centroids; candidate faces for a node are those whose
+  // centroid lies within (tolerance + face radius bound).
+  std::vector<Vec3> centroids(surface.faces.size());
+  real_t max_radius = 0;
+  for (std::size_t f = 0; f < surface.faces.size(); ++f) {
+    Vec3 c{};
+    for (idx_t id : surface.faces[f].nodes) c = c + mesh.node(id);
+    c = (1.0 / static_cast<real_t>(surface.faces[f].nodes.size())) * c;
+    centroids[f] = c;
+    for (idx_t id : surface.faces[f].nodes) {
+      max_radius = std::max(max_radius, norm(mesh.node(id) - c));
+    }
+  }
+  const KdTree tree(centroids, mesh.dim());
+  const real_t reach = opts.tolerance + max_radius;
+
+  const idx_t num_contact = surface.num_contact_nodes();
+  std::vector<std::vector<ContactEvent>> per_chunk(
+      std::max<unsigned>(1, ThreadPool::global().num_threads()));
+  ThreadPool::global().parallel_for_chunks(
+      num_contact, [&](unsigned chunk, idx_t begin, idx_t end) {
+        std::vector<idx_t> candidates;
+        std::vector<std::array<Vec3, 3>> scratch;
+        auto& events = per_chunk[chunk];
+        for (idx_t i = begin; i < end; ++i) {
+          const idx_t node = surface.contact_nodes[static_cast<std::size_t>(i)];
+          const Vec3 p = mesh.node(node);
+          BBox box;
+          box.expand(p);
+          box.inflate(reach);
+          candidates.clear();
+          tree.query_box(box, candidates);
+          ContactEvent best;
+          bool have_best = false;
+          for (idx_t f : candidates) {
+            const SurfaceFace& face =
+                surface.faces[static_cast<std::size_t>(f)];
+            // Exclusions: a node never contacts a face it belongs to, and
+            // (with body info) never a face of its own body.
+            if (std::find(face.nodes.begin(), face.nodes.end(), node) !=
+                face.nodes.end()) {
+              continue;
+            }
+            if (!opts.body_of_node.empty() &&
+                opts.body_of_node[static_cast<std::size_t>(node)] ==
+                    opts.body_of_node[static_cast<std::size_t>(
+                        face.nodes.front())]) {
+              continue;
+            }
+            const FaceTest t = test_face(mesh, face, p, &scratch);
+            if (t.distance > opts.tolerance) continue;
+            ContactEvent e;
+            e.node = node;
+            e.face = f;
+            e.distance = t.distance;
+            e.signed_distance = t.signed_distance;
+            e.closest_point = t.closest;
+            if (opts.closest_only) {
+              if (!have_best || e.distance < best.distance) {
+                best = e;
+                have_best = true;
+              }
+            } else {
+              events.push_back(e);
+            }
+          }
+          if (opts.closest_only && have_best) events.push_back(best);
+        }
+      });
+
+  std::vector<ContactEvent> all;
+  for (auto& chunk : per_chunk) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  std::sort(all.begin(), all.end(), [](const ContactEvent& a,
+                                       const ContactEvent& b) {
+    if (a.node != b.node) return a.node < b.node;
+    return a.distance < b.distance;
+  });
+  return all;
+}
+
+std::vector<ContactEvent> local_contact_search_subset(
+    const Mesh& mesh, const Surface& surface,
+    std::span<const idx_t> node_ids, std::span<const idx_t> face_ids,
+    const LocalSearchOptions& opts) {
+  require(opts.tolerance > 0,
+          "local_contact_search_subset: tolerance must be > 0");
+  // kd-tree over the face subset's centroids.
+  std::vector<Vec3> centroids(face_ids.size());
+  real_t max_radius = 0;
+  for (std::size_t i = 0; i < face_ids.size(); ++i) {
+    const idx_t f = face_ids[i];
+    require(f >= 0 && f < surface.num_faces(),
+            "local_contact_search_subset: face index out of range");
+    const SurfaceFace& face = surface.faces[static_cast<std::size_t>(f)];
+    Vec3 c{};
+    for (idx_t id : face.nodes) c = c + mesh.node(id);
+    c = (1.0 / static_cast<real_t>(face.nodes.size())) * c;
+    centroids[i] = c;
+    for (idx_t id : face.nodes) {
+      max_radius = std::max(max_radius, norm(mesh.node(id) - c));
+    }
+  }
+  const KdTree tree(centroids, mesh.dim());
+  const real_t reach = opts.tolerance + max_radius;
+
+  std::vector<ContactEvent> events;
+  std::vector<idx_t> candidates;
+  std::vector<std::array<Vec3, 3>> scratch;
+  for (idx_t node : node_ids) {
+    const Vec3 p = mesh.node(node);
+    BBox box;
+    box.expand(p);
+    box.inflate(reach);
+    candidates.clear();
+    tree.query_box(box, candidates);
+    ContactEvent best;
+    bool have_best = false;
+    for (idx_t local : candidates) {
+      const idx_t f = face_ids[static_cast<std::size_t>(local)];
+      const SurfaceFace& face = surface.faces[static_cast<std::size_t>(f)];
+      if (std::find(face.nodes.begin(), face.nodes.end(), node) !=
+          face.nodes.end()) {
+        continue;
+      }
+      if (!opts.body_of_node.empty() &&
+          opts.body_of_node[static_cast<std::size_t>(node)] ==
+              opts.body_of_node[static_cast<std::size_t>(face.nodes.front())]) {
+        continue;
+      }
+      const FaceTest t = test_face(mesh, face, p, &scratch);
+      if (t.distance > opts.tolerance) continue;
+      ContactEvent e;
+      e.node = node;
+      e.face = f;
+      e.distance = t.distance;
+      e.signed_distance = t.signed_distance;
+      e.closest_point = t.closest;
+      if (opts.closest_only) {
+        if (!have_best || e.distance < best.distance) {
+          best = e;
+          have_best = true;
+        }
+      } else {
+        events.push_back(e);
+      }
+    }
+    if (opts.closest_only && have_best) events.push_back(best);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ContactEvent& a, const ContactEvent& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.distance < b.distance;
+            });
+  return events;
+}
+
+std::vector<ContactEvent> local_contact_search_candidates(
+    const Mesh& mesh, const Surface& surface,
+    std::span<const std::vector<idx_t>> candidate_faces,
+    const LocalSearchOptions& opts) {
+  require(candidate_faces.size() == surface.contact_nodes.size(),
+          "local_contact_search_candidates: candidate list size mismatch");
+  std::vector<ContactEvent> events;
+  std::vector<std::array<Vec3, 3>> scratch;
+  for (std::size_t i = 0; i < candidate_faces.size(); ++i) {
+    const idx_t node = surface.contact_nodes[i];
+    const Vec3 p = mesh.node(node);
+    ContactEvent best;
+    bool have_best = false;
+    for (idx_t f : candidate_faces[i]) {
+      require(f >= 0 && f < surface.num_faces(),
+              "local_contact_search_candidates: face index out of range");
+      const SurfaceFace& face = surface.faces[static_cast<std::size_t>(f)];
+      if (std::find(face.nodes.begin(), face.nodes.end(), node) !=
+          face.nodes.end()) {
+        continue;
+      }
+      if (!opts.body_of_node.empty() &&
+          opts.body_of_node[static_cast<std::size_t>(node)] ==
+              opts.body_of_node[static_cast<std::size_t>(face.nodes.front())]) {
+        continue;
+      }
+      const FaceTest t = test_face(mesh, face, p, &scratch);
+      if (t.distance > opts.tolerance) continue;
+      ContactEvent e;
+      e.node = node;
+      e.face = f;
+      e.distance = t.distance;
+      e.signed_distance = t.signed_distance;
+      e.closest_point = t.closest;
+      if (opts.closest_only) {
+        if (!have_best || e.distance < best.distance) {
+          best = e;
+          have_best = true;
+        }
+      } else {
+        events.push_back(e);
+      }
+    }
+    if (opts.closest_only && have_best) events.push_back(best);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ContactEvent& a, const ContactEvent& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.distance < b.distance;
+            });
+  return events;
+}
+
+}  // namespace cpart

@@ -1,0 +1,75 @@
+// Local contact search (paper Section 2, second step of contact detection).
+//
+// The global search narrows the candidates; local search finds the actual
+// node-to-surface proximities/penetrations. The paper leaves the local
+// algorithm to the production code ("the exact details of the local search
+// phase do not affect the approach used to perform the global search") —
+// this module provides a standard node-to-face scheme so the library's
+// contact pipeline runs end-to-end:
+//   * every contact node is tested against nearby surface faces of *other*
+//     bodies (or other elements, when body info is absent);
+//   * faces are triangulated, the closest point on each triangle gives the
+//     gap; a node within `tolerance` of a face is a contact event, and a
+//     negative signed distance (behind the face's outward normal) marks
+//     penetration.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/kdtree.hpp"
+#include "mesh/surface.hpp"
+
+namespace cpart {
+
+struct ContactEvent {
+  idx_t node = kInvalidIndex;   // the impacting contact node
+  idx_t face = kInvalidIndex;   // index into Surface::faces
+  real_t distance = 0;          // unsigned gap (0 when on the face)
+  real_t signed_distance = 0;   // negative: behind the face normal
+  Vec3 closest_point{};         // closest point on the face
+};
+
+struct LocalSearchOptions {
+  /// Proximity threshold: nodes within this distance of a face produce an
+  /// event.
+  real_t tolerance = 0.1;
+  /// When non-empty (size num_nodes), contacts between a node and a face
+  /// of the same body are ignored (standard self-contact exclusion).
+  std::span<const int> body_of_node{};
+  /// Keep only the closest face per node (default) or all faces in range.
+  bool closest_only = true;
+};
+
+/// Closest point on triangle (a, b, c) to p (Ericson's algorithm).
+Vec3 closest_point_on_triangle(Vec3 p, Vec3 a, Vec3 b, Vec3 c);
+
+/// Outward-ish normal of a (possibly non-planar quad) face, averaged over
+/// its triangulation. Not normalized when the face is degenerate.
+Vec3 face_normal(const Mesh& mesh, const SurfaceFace& face);
+
+/// Runs local search over all contact nodes vs all surface faces, using a
+/// kd-tree over face centroids to localize. Events are sorted by (node,
+/// distance).
+std::vector<ContactEvent> local_contact_search(
+    const Mesh& mesh, const Surface& surface, const LocalSearchOptions& opts);
+
+/// Local search restricted to a candidate face subset per node — the shape
+/// the parallel pipeline produces (global search ships candidate elements
+/// to the owning processor of the nodes). `candidate_faces[i]` lists face
+/// indices to test against node `surface.contact_nodes[i]`.
+std::vector<ContactEvent> local_contact_search_candidates(
+    const Mesh& mesh, const Surface& surface,
+    std::span<const std::vector<idx_t>> candidate_faces,
+    const LocalSearchOptions& opts);
+
+/// Local search of a node subset against a face subset — what one
+/// processor executes after global search delivered its elements:
+/// `node_ids` are global node ids (the processor's own contact nodes),
+/// `face_ids` index into surface.faces (local + received elements).
+std::vector<ContactEvent> local_contact_search_subset(
+    const Mesh& mesh, const Surface& surface,
+    std::span<const idx_t> node_ids, std::span<const idx_t> face_ids,
+    const LocalSearchOptions& opts);
+
+}  // namespace cpart

@@ -1,0 +1,62 @@
+#include "contact/search_metrics.hpp"
+
+#include "match/hungarian.hpp"
+
+namespace cpart {
+
+M2MResult m2m_comm(std::span<const idx_t> fe_labels,
+                   std::span<const idx_t> contact_labels, idx_t k) {
+  require(fe_labels.size() == contact_labels.size(),
+          "m2m_comm: label array size mismatch");
+  require(k >= 1, "m2m_comm: k must be >= 1");
+  // Coincidence matrix C[i*k + j]: points with FE label i and contact label j.
+  std::vector<wgt_t> coincidence(static_cast<std::size_t>(k) *
+                                     static_cast<std::size_t>(k),
+                                 0);
+  for (std::size_t p = 0; p < fe_labels.size(); ++p) {
+    const idx_t i = fe_labels[p];
+    const idx_t j = contact_labels[p];
+    require(i >= 0 && i < k && j >= 0 && j < k, "m2m_comm: label out of range");
+    ++coincidence[static_cast<std::size_t>(i) * k + static_cast<std::size_t>(j)];
+  }
+  // Maximal-weight matching of contact partitions onto FE partitions; the
+  // matched mass stays local, everything else must be communicated.
+  // Transpose so rows are contact partitions.
+  std::vector<wgt_t> transposed(coincidence.size());
+  for (idx_t i = 0; i < k; ++i) {
+    for (idx_t j = 0; j < k; ++j) {
+      transposed[static_cast<std::size_t>(j) * k + static_cast<std::size_t>(i)] =
+          coincidence[static_cast<std::size_t>(i) * k +
+                      static_cast<std::size_t>(j)];
+    }
+  }
+  M2MResult result;
+  result.relabel = max_weight_assignment(transposed, k);
+  const wgt_t matched = assignment_weight(transposed, k, result.relabel);
+  result.mismatched = static_cast<wgt_t>(fe_labels.size()) - matched;
+  return result;
+}
+
+wgt_t upd_comm(std::span<const idx_t> ids_a, std::span<const idx_t> labels_a,
+               std::span<const idx_t> ids_b, std::span<const idx_t> labels_b,
+               idx_t universe) {
+  require(ids_a.size() == labels_a.size() && ids_b.size() == labels_b.size(),
+          "upd_comm: parallel array size mismatch");
+  std::vector<idx_t> label_of(static_cast<std::size_t>(universe),
+                              kInvalidIndex);
+  for (std::size_t i = 0; i < ids_a.size(); ++i) {
+    const idx_t id = ids_a[i];
+    require(id >= 0 && id < universe, "upd_comm: id out of range");
+    label_of[static_cast<std::size_t>(id)] = labels_a[i];
+  }
+  wgt_t moved = 0;
+  for (std::size_t i = 0; i < ids_b.size(); ++i) {
+    const idx_t id = ids_b[i];
+    require(id >= 0 && id < universe, "upd_comm: id out of range");
+    const idx_t old_label = label_of[static_cast<std::size_t>(id)];
+    if (old_label != kInvalidIndex && old_label != labels_b[i]) ++moved;
+  }
+  return moved;
+}
+
+}  // namespace cpart

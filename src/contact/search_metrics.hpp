@@ -1,0 +1,41 @@
+// Communication metrics connecting the two decompositions (paper Section 5.1).
+//
+//   M2MComm — contact points whose FE-phase partition differs from their
+//     contact-phase partition, after the contact partition has been
+//     relabelled by an exact maximal-weight matching to maximize agreement.
+//     Paid by ML+RCB twice per time step (to the contact decomposition and
+//     back); structurally zero for MCML+DT.
+//   UpdComm — contact points whose contact-phase label changed between
+//     consecutive snapshots (redistribution cost of incremental RCB).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+struct M2MResult {
+  /// Contact points whose (relabelled) contact partition differs from the
+  /// FE partition.
+  wgt_t mismatched = 0;
+  /// The optimal relabelling: contact partition j plays FE partition
+  /// relabel[j].
+  std::vector<idx_t> relabel;
+};
+
+/// Computes M2MComm between per-point FE labels and contact labels (both in
+/// [0, k)).
+M2MResult m2m_comm(std::span<const idx_t> fe_labels,
+                   std::span<const idx_t> contact_labels, idx_t k);
+
+/// UpdComm between two consecutive labelings of (subsets of) a persistent
+/// point set: `ids_a`/`labels_a` and `ids_b`/`labels_b` are parallel arrays
+/// keyed by stable point ids; counts ids present in both with different
+/// labels. `universe` is the stable id space size.
+wgt_t upd_comm(std::span<const idx_t> ids_a, std::span<const idx_t> labels_a,
+               std::span<const idx_t> ids_b, std::span<const idx_t> labels_b,
+               idx_t universe);
+
+}  // namespace cpart

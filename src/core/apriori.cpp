@@ -1,0 +1,114 @@
+#include "core/apriori.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/mcml_dt.hpp"
+#include "graph/graph_builder.hpp"
+#include "mesh/mesh_graphs.hpp"
+
+namespace cpart {
+
+ContactPairs predict_contact_pairs(const Mesh& mesh, const Surface& surface,
+                                   std::span<const int> body_of_node,
+                                   real_t radius) {
+  require(body_of_node.size() == static_cast<std::size_t>(mesh.num_nodes()),
+          "predict_contact_pairs: body array size mismatch");
+  require(radius > 0, "predict_contact_pairs: radius must be positive");
+  // Uniform-grid spatial hash over the contact nodes; pairs are contact
+  // nodes of different bodies within `radius`.
+  struct CellKey {
+    long long x, y, z;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct CellHash {
+    std::size_t operator()(const CellKey& k) const {
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (long long v : {k.x, k.y, k.z}) {
+        h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+             (h >> 2);
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<CellKey, std::vector<idx_t>, CellHash> grid;
+  auto cell_of = [radius](Vec3 p) {
+    return CellKey{static_cast<long long>(std::floor(p.x / radius)),
+                   static_cast<long long>(std::floor(p.y / radius)),
+                   static_cast<long long>(std::floor(p.z / radius))};
+  };
+  for (idx_t id : surface.contact_nodes) {
+    grid[cell_of(mesh.node(id))].push_back(id);
+  }
+  ContactPairs pairs;
+  const real_t r2 = radius * radius;
+  for (idx_t a : surface.contact_nodes) {
+    const Vec3 pa = mesh.node(a);
+    const CellKey base = cell_of(pa);
+    for (long long dx = -1; dx <= 1; ++dx) {
+      for (long long dy = -1; dy <= 1; ++dy) {
+        for (long long dz = -1; dz <= 1; ++dz) {
+          const auto it =
+              grid.find(CellKey{base.x + dx, base.y + dy, base.z + dz});
+          if (it == grid.end()) continue;
+          for (idx_t b : it->second) {
+            if (b <= a) continue;  // each unordered pair once
+            if (body_of_node[static_cast<std::size_t>(a)] ==
+                body_of_node[static_cast<std::size_t>(b)]) {
+              continue;
+            }
+            const Vec3 d = mesh.node(b) - pa;
+            if (dot(d, d) <= r2) pairs.emplace_back(a, b);
+          }
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+std::vector<idx_t> apriori_contact_partition(const Mesh& mesh,
+                                             const Surface& surface,
+                                             const ContactPairs& pairs,
+                                             const AprioriConfig& config) {
+  GraphBuilder builder(mesh.num_nodes());
+  const auto edges = element_edges(mesh.element_type());
+  for (idx_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto elem = mesh.element(e);
+    for (const auto& [a, b] : edges) {
+      builder.add_edge(elem[static_cast<std::size_t>(a)],
+                       elem[static_cast<std::size_t>(b)]);
+    }
+  }
+  for (const auto& [a, b] : pairs) {
+    builder.add_edge(a, b, config.contact_pair_weight);
+  }
+  std::vector<wgt_t> vwgt(static_cast<std::size_t>(mesh.num_nodes()) * 2);
+  for (idx_t v = 0; v < mesh.num_nodes(); ++v) {
+    vwgt[static_cast<std::size_t>(v) * 2] = 1;
+    vwgt[static_cast<std::size_t>(v) * 2 + 1] =
+        surface.is_contact_node[static_cast<std::size_t>(v)] ? 1 : 0;
+  }
+  builder.set_vertex_weights(std::move(vwgt), 2);
+  const CsrGraph g = builder.build();
+
+  PartitionOptions popts = config.partitioner;
+  popts.k = config.k;
+  popts.epsilon = config.epsilon;
+  return partition_graph(g, popts);
+}
+
+double colocated_pair_fraction(const ContactPairs& pairs,
+                               std::span<const idx_t> part) {
+  if (pairs.empty()) return 1.0;
+  std::size_t colocated = 0;
+  for (const auto& [a, b] : pairs) {
+    if (part[static_cast<std::size_t>(a)] == part[static_cast<std::size_t>(b)]) {
+      ++colocated;
+    }
+  }
+  return static_cast<double>(colocated) / static_cast<double>(pairs.size());
+}
+
+}  // namespace cpart

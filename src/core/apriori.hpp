@@ -1,0 +1,52 @@
+// A-priori contact partitioning (paper Section 3, first class of methods).
+//
+// When the surfaces that will come in contact are known in advance, extra
+// edges between potentially-contacting surface nodes steer a two-constraint
+// partitioner toward placing contacting pairs on the same processor
+// (Hoover et al., ParaDyn). Provided as an extension for the known-contact
+// problem class; the paper's own evaluation targets the unknown-contact
+// class handled by MCML+DT.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/surface.hpp"
+#include "partition/partition.hpp"
+
+namespace cpart {
+
+struct AprioriConfig {
+  idx_t k = 8;
+  double epsilon = 0.10;
+  /// Weight of the artificial contact-pair edges.
+  wgt_t contact_pair_weight = 10;
+  PartitionOptions partitioner{};
+};
+
+/// Predicted contact pairs: node ids expected to come into contact.
+using ContactPairs = std::vector<std::pair<idx_t, idx_t>>;
+
+/// Predicts contact pairs geometrically: contact nodes of *different*
+/// bodies within `radius` of each other (a simple stand-in for an
+/// application-supplied prediction). `body_of_node` distinguishes bodies.
+ContactPairs predict_contact_pairs(const Mesh& mesh, const Surface& surface,
+                                   std::span<const int> body_of_node,
+                                   real_t radius);
+
+/// Builds the augmented two-constraint graph (mesh edges + contact-pair
+/// edges) and partitions it. Returns the node partition.
+std::vector<idx_t> apriori_contact_partition(const Mesh& mesh,
+                                             const Surface& surface,
+                                             const ContactPairs& pairs,
+                                             const AprioriConfig& config);
+
+/// Fraction of predicted pairs whose endpoints landed in the same
+/// partition (the quantity this method maximizes).
+double colocated_pair_fraction(const ContactPairs& pairs,
+                               std::span<const idx_t> part);
+
+}  // namespace cpart

@@ -1,0 +1,50 @@
+#include "core/ml_rcb.hpp"
+
+#include "contact/search_metrics.hpp"
+#include "mesh/mesh_graphs.hpp"
+
+namespace cpart {
+
+MlRcbPartitioner::MlRcbPartitioner(const Mesh& mesh, const Surface& surface,
+                                   const MlRcbConfig& config)
+    : config_(config) {
+  require(config_.k >= 1, "MlRcbPartitioner: k must be >= 1");
+  // FE decomposition: plain single-constraint multilevel partitioning of the
+  // (unweighted) nodal graph — the role METIS plays for ML+RCB's first phase.
+  const CsrGraph g = nodal_graph(mesh);
+  PartitionOptions popts = config_.partitioner;
+  popts.k = config_.k;
+  popts.epsilon = config_.epsilon;
+  fe_partition_ = partition_graph(g, popts);
+
+  // Contact decomposition: RCB over the contact points.
+  std::vector<Vec3> points;
+  points.reserve(surface.contact_nodes.size());
+  for (idx_t id : surface.contact_nodes) points.push_back(mesh.node(id));
+  rcb_ = RcbTree::build(points, {}, config_.k, mesh.dim());
+  contact_ids_ = surface.contact_nodes;
+  contact_labels_ = rcb_.labels();
+}
+
+wgt_t MlRcbPartitioner::update_contact_partition(const Mesh& mesh,
+                                                 const Surface& surface) {
+  std::vector<Vec3> points;
+  points.reserve(surface.contact_nodes.size());
+  for (idx_t id : surface.contact_nodes) points.push_back(mesh.node(id));
+  const std::vector<idx_t> old_ids = std::move(contact_ids_);
+  const std::vector<idx_t> old_labels = std::move(contact_labels_);
+  rcb_.update(points, {});
+  contact_ids_ = surface.contact_nodes;
+  contact_labels_ = rcb_.labels();
+  return upd_comm(old_ids, old_labels, contact_ids_, contact_labels_,
+                  mesh.num_nodes());
+}
+
+BBoxFilter MlRcbPartitioner::make_bbox_filter(const Mesh& mesh) const {
+  std::vector<Vec3> points;
+  points.reserve(contact_ids_.size());
+  for (idx_t id : contact_ids_) points.push_back(mesh.node(id));
+  return BBoxFilter::from_points(points, contact_labels_, config_.k);
+}
+
+}  // namespace cpart

@@ -1,0 +1,60 @@
+// ML+RCB — the baseline (paper Section 3; Plimpton/Attaway/Hendrickson).
+//
+// Two decoupled decompositions: a single-constraint multilevel partition of
+// the whole mesh for the FE phase, and an RCB decomposition of the contact
+// points for contact search. Balanced and geometric — but every time step
+// pays M2MComm twice to ship surface-node data between the decompositions,
+// and the incremental RCB update pays UpdComm in moved contact points.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "contact/global_search.hpp"
+#include "geom/rcb.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/surface.hpp"
+#include "partition/partition.hpp"
+
+namespace cpart {
+
+struct MlRcbConfig {
+  idx_t k = 25;
+  double epsilon = 0.10;
+  PartitionOptions partitioner{};
+};
+
+class MlRcbPartitioner {
+ public:
+  /// Partitions the snapshot-0 mesh (FE decomposition) and builds the
+  /// initial RCB decomposition of its contact points.
+  MlRcbPartitioner(const Mesh& mesh, const Surface& surface,
+                   const MlRcbConfig& config);
+
+  idx_t k() const { return config_.k; }
+
+  /// FE-phase node partition (single-constraint multilevel).
+  const std::vector<idx_t>& node_partition() const { return fe_partition_; }
+
+  /// Incremental-RCB update for a new snapshot: the cut structure is kept,
+  /// cut coordinates re-balance against the moved contact points. Returns
+  /// UpdComm — contact points (stable node ids) whose label changed.
+  wgt_t update_contact_partition(const Mesh& mesh, const Surface& surface);
+
+  /// RCB label per entry of the *current* surface's contact_nodes array.
+  const std::vector<idx_t>& contact_labels() const { return contact_labels_; }
+  /// Stable node ids the labels refer to (the current contact node set).
+  const std::vector<idx_t>& contact_ids() const { return contact_ids_; }
+
+  /// Bounding-box filter over the current RCB subdomains.
+  BBoxFilter make_bbox_filter(const Mesh& mesh) const;
+
+ private:
+  MlRcbConfig config_;
+  std::vector<idx_t> fe_partition_;
+  RcbTree rcb_;
+  std::vector<idx_t> contact_ids_;
+  std::vector<idx_t> contact_labels_;
+};
+
+}  // namespace cpart

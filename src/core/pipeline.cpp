@@ -1,0 +1,210 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "contact/global_search.hpp"
+#include "contact/search_metrics.hpp"
+#include "mesh/mesh_graphs.hpp"
+#include "tree/tree_io.hpp"
+
+namespace cpart {
+
+ContactPipeline::ContactPipeline(const Mesh& mesh0, const Surface& surface0,
+                                 const PipelineConfig& config)
+    : config_(config), partitioner_(mesh0, surface0, config.decomposition) {
+  require(config_.search_margin >= config_.contact_tolerance,
+          "ContactPipeline: search_margin must cover contact_tolerance, or "
+          "remote contacts could be missed");
+}
+
+PipelineStepReport ContactPipeline::run_step(
+    const Mesh& mesh, const Surface& surface,
+    std::span<const int> body_of_node) const {
+  const idx_t num_parts = k();
+  PipelineStepReport report;
+
+  // --- Phase 1: descriptor update + broadcast. -----------------------------
+  const SubdomainDescriptors descriptors =
+      partitioner_.build_descriptors(mesh, surface);
+  report.descriptor_tree_nodes = descriptors.num_tree_nodes();
+  report.descriptor_broadcast_bytes =
+      static_cast<wgt_t>(tree_to_string(descriptors.tree()).size()) *
+      std::max<wgt_t>(0, num_parts - 1);
+
+  // --- Phase 2: FE halo exchange. ------------------------------------------
+  const CsrGraph graph = nodal_graph(mesh);
+  report.fe_exchange =
+      fe_halo_traffic(graph, partitioner_.node_partition(), num_parts);
+
+  // --- Phase 3: global search & element shipping. --------------------------
+  const std::vector<idx_t> owners =
+      face_owners(surface, partitioner_.node_partition(), num_parts);
+  VirtualCluster cluster(num_parts);
+  // faces_on[q]: the elements processor q holds after the exchange (its own
+  // plus every element shipped to it).
+  std::vector<std::vector<idx_t>> faces_on(static_cast<std::size_t>(num_parts));
+  {
+    std::vector<idx_t> parts;
+    for (idx_t f = 0; f < surface.num_faces(); ++f) {
+      const idx_t home = owners[static_cast<std::size_t>(f)];
+      faces_on[static_cast<std::size_t>(home)].push_back(f);
+      parts.clear();
+      const BBox box = face_bbox(mesh, surface.faces[static_cast<std::size_t>(f)],
+                                 config_.search_margin);
+      descriptors.query_box(box, parts);
+      for (idx_t q : parts) {
+        if (q == home) continue;
+        cluster.send(home, q, 1);
+        faces_on[static_cast<std::size_t>(q)].push_back(f);
+      }
+    }
+  }
+  report.search_exchange = cluster.finish();
+
+  // --- Phase 4: per-processor local search. --------------------------------
+  // nodes_on[q]: processor q's own contact nodes.
+  std::vector<std::vector<idx_t>> nodes_on(static_cast<std::size_t>(num_parts));
+  for (idx_t id : surface.contact_nodes) {
+    nodes_on[static_cast<std::size_t>(
+                 partitioner_.node_partition()[static_cast<std::size_t>(id)])]
+        .push_back(id);
+  }
+  LocalSearchOptions local;
+  local.tolerance = config_.contact_tolerance;
+  local.body_of_node = body_of_node;
+  local.closest_only = config_.closest_only;
+  report.events_per_processor.assign(static_cast<std::size_t>(num_parts), 0);
+  for (idx_t q = 0; q < num_parts; ++q) {
+    if (nodes_on[static_cast<std::size_t>(q)].empty() ||
+        faces_on[static_cast<std::size_t>(q)].empty()) {
+      continue;
+    }
+    std::vector<ContactEvent> local_events = local_contact_search_subset(
+        mesh, surface, nodes_on[static_cast<std::size_t>(q)],
+        faces_on[static_cast<std::size_t>(q)], local);
+    report.events_per_processor[static_cast<std::size_t>(q)] =
+        to_idx(local_events.size());
+    report.events.insert(report.events.end(), local_events.begin(),
+                         local_events.end());
+  }
+  std::sort(report.events.begin(), report.events.end(),
+            [](const ContactEvent& a, const ContactEvent& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.distance < b.distance;
+            });
+  report.contact_events = to_idx(report.events.size());
+  for (const ContactEvent& e : report.events) {
+    if (e.signed_distance < 0) ++report.penetrating_events;
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// ML+RCB baseline pipeline
+// ---------------------------------------------------------------------------
+
+MlRcbPipeline::MlRcbPipeline(const Mesh& mesh0, const Surface& surface0,
+                             const MlRcbPipelineConfig& config)
+    : config_(config), partitioner_(mesh0, surface0, config.decomposition) {
+  require(config_.search_margin >= config_.contact_tolerance,
+          "MlRcbPipeline: search_margin must cover contact_tolerance");
+}
+
+MlRcbStepReport MlRcbPipeline::run_step(const Mesh& mesh,
+                                        const Surface& surface,
+                                        std::span<const int> body_of_node) {
+  const idx_t num_parts = k();
+  MlRcbStepReport report;
+
+  // Advance the incremental RCB (UpdComm). Updating on the very first step
+  // re-balances against the snapshot the caller actually passed (which may
+  // not be the snapshot the pipeline was built on); its movement is not
+  // charged as UpdComm.
+  const wgt_t moved = partitioner_.update_contact_partition(mesh, surface);
+  if (first_step_) {
+    first_step_ = false;
+  } else {
+    report.upd_comm = moved;
+  }
+
+  // FE halo exchange in the graph decomposition.
+  const CsrGraph graph = nodal_graph(mesh);
+  report.fe_exchange =
+      fe_halo_traffic(graph, partitioner_.node_partition(), num_parts);
+
+  // Coupling: surface-node data to the contact decomposition and back.
+  std::vector<idx_t> fe_labels;
+  fe_labels.reserve(surface.contact_nodes.size());
+  for (idx_t id : surface.contact_nodes) {
+    fe_labels.push_back(
+        partitioner_.node_partition()[static_cast<std::size_t>(id)]);
+  }
+  const M2MResult m2m =
+      m2m_comm(fe_labels, partitioner_.contact_labels(), num_parts);
+  report.coupling_exchange = m2m_traffic(
+      fe_labels, partitioner_.contact_labels(), m2m.relabel, num_parts);
+
+  // Global search in the RCB decomposition: subdomain bounding boxes.
+  std::vector<idx_t> rcb_node_labels(
+      static_cast<std::size_t>(mesh.num_nodes()), 0);
+  for (std::size_t i = 0; i < partitioner_.contact_ids().size(); ++i) {
+    rcb_node_labels[static_cast<std::size_t>(partitioner_.contact_ids()[i])] =
+        partitioner_.contact_labels()[i];
+  }
+  const std::vector<idx_t> owners =
+      face_owners(surface, rcb_node_labels, num_parts);
+  const BBoxFilter filter = partitioner_.make_bbox_filter(mesh);
+  VirtualCluster cluster(num_parts);
+  std::vector<std::vector<idx_t>> faces_on(static_cast<std::size_t>(num_parts));
+  {
+    std::vector<idx_t> parts;
+    for (idx_t f = 0; f < surface.num_faces(); ++f) {
+      const idx_t home = owners[static_cast<std::size_t>(f)];
+      faces_on[static_cast<std::size_t>(home)].push_back(f);
+      parts.clear();
+      const BBox box = face_bbox(mesh, surface.faces[static_cast<std::size_t>(f)],
+                                 config_.search_margin);
+      filter.query_box(box, parts);
+      for (idx_t q : parts) {
+        if (q == home) continue;
+        cluster.send(home, q, 1);
+        faces_on[static_cast<std::size_t>(q)].push_back(f);
+      }
+    }
+  }
+  report.search_exchange = cluster.finish();
+
+  // Local search in the RCB decomposition.
+  std::vector<std::vector<idx_t>> nodes_on(static_cast<std::size_t>(num_parts));
+  for (std::size_t i = 0; i < partitioner_.contact_ids().size(); ++i) {
+    nodes_on[static_cast<std::size_t>(partitioner_.contact_labels()[i])]
+        .push_back(partitioner_.contact_ids()[i]);
+  }
+  LocalSearchOptions local;
+  local.tolerance = config_.contact_tolerance;
+  local.body_of_node = body_of_node;
+  local.closest_only = config_.closest_only;
+  for (idx_t q = 0; q < num_parts; ++q) {
+    if (nodes_on[static_cast<std::size_t>(q)].empty() ||
+        faces_on[static_cast<std::size_t>(q)].empty()) {
+      continue;
+    }
+    const auto local_events = local_contact_search_subset(
+        mesh, surface, nodes_on[static_cast<std::size_t>(q)],
+        faces_on[static_cast<std::size_t>(q)], local);
+    report.events.insert(report.events.end(), local_events.begin(),
+                         local_events.end());
+  }
+  std::sort(report.events.begin(), report.events.end(),
+            [](const ContactEvent& a, const ContactEvent& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.distance < b.distance;
+            });
+  report.contact_events = to_idx(report.events.size());
+  for (const ContactEvent& e : report.events) {
+    if (e.signed_distance < 0) ++report.penetrating_events;
+  }
+  return report;
+}
+
+}  // namespace cpart

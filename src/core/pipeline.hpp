@@ -1,0 +1,117 @@
+// End-to-end parallel contact pipeline on the virtual cluster.
+//
+// Orchestrates one full time step the way a production MPI integration of
+// MCML+DT would (paper Sections 2 and 4):
+//   1. descriptor update — induce this snapshot's descriptor tree from the
+//      moved contact points and broadcast it to all k processors
+//      (serialized size x (k-1) = the NTNodes setup cost, in bytes);
+//   2. FE halo exchange — boundary-node data to adjacent partitions;
+//   3. global search — every surface element shipped to the partitions
+//      whose descriptor regions its (inflated) bounding box intersects;
+//   4. local search — each processor tests its own contact nodes against
+//      its local + received elements.
+// The union of the per-processor local searches must equal a serial local
+// search over the whole surface whenever the search margin covers the
+// contact tolerance — the integration tests assert exactly that, which
+// validates the conservativeness of the descriptor filter end-to-end.
+#pragma once
+
+#include <span>
+
+#include "contact/local_search.hpp"
+#include "core/mcml_dt.hpp"
+#include "core/ml_rcb.hpp"
+#include "runtime/virtual_cluster.hpp"
+
+namespace cpart {
+
+struct PipelineConfig {
+  McmlDtConfig decomposition{};
+  /// Global-search inflation of surface-element boxes. Must be at least the
+  /// local tolerance for the pipeline to be exact (checked).
+  real_t search_margin = 0.1;
+  /// Local-search proximity tolerance.
+  real_t contact_tolerance = 0.1;
+  /// Report every face within tolerance (false) or only the closest per
+  /// node (true).
+  bool closest_only = true;
+};
+
+struct PipelineStepReport {
+  StepTraffic fe_exchange;       // phase 2
+  StepTraffic search_exchange;   // phase 3
+  wgt_t descriptor_tree_nodes = 0;
+  wgt_t descriptor_broadcast_bytes = 0;  // phase 1 cost
+  idx_t contact_events = 0;
+  idx_t penetrating_events = 0;
+  std::vector<ContactEvent> events;  // merged, sorted by (node, distance)
+  /// Contact events found by each processor (sums to contact_events).
+  std::vector<idx_t> events_per_processor;
+};
+
+class ContactPipeline {
+ public:
+  /// Decomposes the snapshot-0 mesh; the partition is reused across steps
+  /// (the paper's fixed-partition update policy).
+  ContactPipeline(const Mesh& mesh0, const Surface& surface0,
+                  const PipelineConfig& config);
+
+  idx_t k() const { return config_.decomposition.k; }
+  const McmlDtPartitioner& partitioner() const { return partitioner_; }
+
+  /// Executes one full step on the given snapshot. `body_of_node` (size
+  /// num_nodes) enables the standard same-body contact exclusion.
+  PipelineStepReport run_step(const Mesh& mesh, const Surface& surface,
+                              std::span<const int> body_of_node = {}) const;
+
+ private:
+  PipelineConfig config_;
+  McmlDtPartitioner partitioner_;
+};
+
+// ---------------------------------------------------------------------------
+// The same end-to-end step for the ML+RCB baseline.
+// ---------------------------------------------------------------------------
+
+struct MlRcbPipelineConfig {
+  MlRcbConfig decomposition{};
+  real_t search_margin = 0.1;
+  real_t contact_tolerance = 0.1;
+  bool closest_only = true;
+};
+
+struct MlRcbStepReport {
+  StepTraffic fe_exchange;
+  StepTraffic coupling_exchange;  // mesh-to-mesh, both directions
+  StepTraffic search_exchange;
+  wgt_t upd_comm = 0;  // incremental-RCB redistribution this step
+  idx_t contact_events = 0;
+  idx_t penetrating_events = 0;
+  std::vector<ContactEvent> events;
+};
+
+/// ML+RCB's step: FE halo on the graph decomposition, transfer of contact
+/// data to the RCB decomposition and back (2x M2MComm), element shipping
+/// under the bounding-box filter, local search in the RCB decomposition.
+/// Equally exact: the per-processor searches reproduce the serial result
+/// (the subdomain boxes are conservative).
+class MlRcbPipeline {
+ public:
+  MlRcbPipeline(const Mesh& mesh0, const Surface& surface0,
+                const MlRcbPipelineConfig& config);
+
+  idx_t k() const { return config_.decomposition.k; }
+  const MlRcbPartitioner& partitioner() const { return partitioner_; }
+
+  /// Advances the incremental RCB and executes the step. Must be called in
+  /// snapshot order (the RCB update is stateful).
+  MlRcbStepReport run_step(const Mesh& mesh, const Surface& surface,
+                           std::span<const int> body_of_node = {});
+
+ private:
+  MlRcbPipelineConfig config_;
+  MlRcbPartitioner partitioner_;
+  bool first_step_ = true;
+};
+
+}  // namespace cpart

@@ -1,0 +1,32 @@
+#include "geom/bbox.hpp"
+
+#include <cmath>
+
+namespace cpart {
+
+real_t norm(Vec3 a) { return std::sqrt(dot(a, a)); }
+
+real_t dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+int BBox::longest_axis(int dim) const {
+  assert(dim >= 1 && dim <= 3);
+  int best = 0;
+  for (int a = 1; a < dim; ++a) {
+    if (extent(a) > extent(best)) best = a;
+  }
+  return best;
+}
+
+BBox bbox_of(std::span<const Vec3> points) {
+  BBox b;
+  for (const Vec3& p : points) b.expand(p);
+  return b;
+}
+
+BBox bbox_of(std::span<const Vec3> points, std::span<const idx_t> subset) {
+  BBox b;
+  for (idx_t i : subset) b.expand(points[static_cast<std::size_t>(i)]);
+  return b;
+}
+
+}  // namespace cpart

@@ -1,0 +1,93 @@
+// Geometric primitives: 3-component points and axis-aligned bounding boxes.
+//
+// The library treats 2D problems as 3D with z == 0 and algorithms take an
+// explicit `dim` (2 or 3) so split-axis searches only scan meaningful axes.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+struct Vec3 {
+  real_t x = 0, y = 0, z = 0;
+
+  real_t operator[](int axis) const {
+    assert(axis >= 0 && axis < 3);
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+  real_t& operator[](int axis) {
+    assert(axis >= 0 && axis < 3);
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+
+  friend Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Vec3 operator*(real_t s, Vec3 a) { return {s * a.x, s * a.y, s * a.z}; }
+  friend bool operator==(Vec3 a, Vec3 b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+real_t norm(Vec3 a);
+real_t dot(Vec3 a, Vec3 b);
+
+/// Axis-aligned bounding box; empty() until the first expand().
+struct BBox {
+  Vec3 lo{+1e300, +1e300, +1e300};
+  Vec3 hi{-1e300, -1e300, -1e300};
+
+  bool empty() const { return lo.x > hi.x; }
+
+  void expand(Vec3 p) {
+    for (int a = 0; a < 3; ++a) {
+      lo[a] = std::min(lo[a], p[a]);
+      hi[a] = std::max(hi[a], p[a]);
+    }
+  }
+  void expand(const BBox& b) {
+    if (b.empty()) return;
+    expand(b.lo);
+    expand(b.hi);
+  }
+
+  /// Enlarges by `margin` on every side (used for contact tolerances).
+  void inflate(real_t margin) {
+    for (int a = 0; a < 3; ++a) {
+      lo[a] -= margin;
+      hi[a] += margin;
+    }
+  }
+
+  bool contains(Vec3 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  /// Closed-interval overlap test (touching boxes intersect).
+  bool intersects(const BBox& b) const {
+    if (empty() || b.empty()) return false;
+    return lo.x <= b.hi.x && b.lo.x <= hi.x && lo.y <= b.hi.y &&
+           b.lo.y <= hi.y && lo.z <= b.hi.z && b.lo.z <= hi.z;
+  }
+
+  Vec3 center() const { return 0.5 * (lo + hi); }
+  real_t extent(int axis) const { return hi[axis] - lo[axis]; }
+
+  /// Axis with the largest extent among the first `dim` axes.
+  int longest_axis(int dim = 3) const;
+};
+
+/// Bounding box of a point set (optionally restricted to an index subset).
+BBox bbox_of(std::span<const Vec3> points);
+BBox bbox_of(std::span<const Vec3> points, std::span<const idx_t> subset);
+
+}  // namespace cpart

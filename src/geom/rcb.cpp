@@ -1,0 +1,155 @@
+#include "geom/rcb.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cpart {
+
+namespace {
+
+wgt_t weight_of(std::span<const wgt_t> weights, idx_t i) {
+  return weights.empty() ? 1 : weights[static_cast<std::size_t>(i)];
+}
+
+}  // namespace
+
+idx_t RcbTree::weighted_split(std::span<const Vec3> points,
+                              std::span<const wgt_t> weights,
+                              std::span<idx_t> ids, int axis,
+                              double target_fraction, real_t* cut) {
+  assert(ids.size() >= 2);
+  std::sort(ids.begin(), ids.end(), [&](idx_t a, idx_t b) {
+    const real_t ca = points[static_cast<std::size_t>(a)][axis];
+    const real_t cb = points[static_cast<std::size_t>(b)][axis];
+    if (ca != cb) return ca < cb;
+    return a < b;  // deterministic tie-break
+  });
+  wgt_t total = 0;
+  for (idx_t i : ids) total += weight_of(weights, i);
+  const double target = target_fraction * static_cast<double>(total);
+  // Walk the sorted order accumulating weight; split where the prefix weight
+  // first reaches the target (clamped so neither side is empty).
+  wgt_t prefix = 0;
+  idx_t split = 1;
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    prefix += weight_of(weights, ids[i]);
+    split = to_idx(i + 1);
+    if (static_cast<double>(prefix) >= target) break;
+  }
+  const real_t lo = points[static_cast<std::size_t>(
+      ids[static_cast<std::size_t>(split - 1)])][axis];
+  const real_t hi =
+      points[static_cast<std::size_t>(ids[static_cast<std::size_t>(split)])]
+            [axis];
+  *cut = 0.5 * (lo + hi);
+  return split;
+}
+
+idx_t RcbTree::build_node(std::span<const Vec3> points,
+                          std::span<const wgt_t> weights, std::span<idx_t> ids,
+                          idx_t k, idx_t first_part) {
+  const idx_t node_id = to_idx(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_id)].k_total = k;
+  if (k == 1 || ids.size() <= 1) {
+    nodes_[static_cast<std::size_t>(node_id)].part = first_part;
+    for (idx_t i : ids) labels_[static_cast<std::size_t>(i)] = first_part;
+    return node_id;
+  }
+  const idx_t k_left = (k + 1) / 2;
+  const BBox box = bbox_of(points, ids);
+  const int axis = box.longest_axis(dim_);
+  real_t cut = 0;
+  const idx_t split =
+      weighted_split(points, weights, ids, axis,
+                     static_cast<double>(k_left) / static_cast<double>(k),
+                     &cut);
+  // Fill the node fields before recursing; note nodes_ may reallocate, so
+  // never hold a reference across build_node calls.
+  nodes_[static_cast<std::size_t>(node_id)].axis = axis;
+  nodes_[static_cast<std::size_t>(node_id)].cut = cut;
+  nodes_[static_cast<std::size_t>(node_id)].k_left = k_left;
+  const idx_t left = build_node(points, weights,
+                                ids.subspan(0, static_cast<std::size_t>(split)),
+                                k_left, first_part);
+  const idx_t right =
+      build_node(points, weights, ids.subspan(static_cast<std::size_t>(split)),
+                 k - k_left, first_part + k_left);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+RcbTree RcbTree::build(std::span<const Vec3> points,
+                       std::span<const wgt_t> weights, idx_t k, int dim) {
+  require(k >= 1, "RcbTree::build: k must be >= 1");
+  require(dim == 2 || dim == 3, "RcbTree::build: dim must be 2 or 3");
+  require(weights.empty() || weights.size() == points.size(),
+          "RcbTree::build: weights size mismatch");
+  RcbTree t;
+  t.k_ = k;
+  t.dim_ = dim;
+  t.labels_.assign(points.size(), 0);
+  std::vector<idx_t> ids(points.size());
+  std::iota(ids.begin(), ids.end(), idx_t{0});
+  if (!ids.empty()) {
+    t.root_ = t.build_node(points, weights, ids, k, 0);
+  }
+  return t;
+}
+
+void RcbTree::update_node(idx_t node_id, std::span<const Vec3> points,
+                          std::span<const wgt_t> weights,
+                          std::span<idx_t> ids) {
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (node.axis < 0) {  // leaf
+    for (idx_t i : ids) labels_[static_cast<std::size_t>(i)] = node.part;
+    return;
+  }
+  if (ids.size() <= 1) {
+    // Degenerate: too few points for this subtree; dump them on the left
+    // branch so they land in a valid part id.
+    for (idx_t i : ids) {
+      idx_t cur = node_id;
+      while (nodes_[static_cast<std::size_t>(cur)].axis >= 0) {
+        cur = nodes_[static_cast<std::size_t>(cur)].left;
+      }
+      labels_[static_cast<std::size_t>(i)] =
+          nodes_[static_cast<std::size_t>(cur)].part;
+    }
+    return;
+  }
+  real_t cut = 0;
+  const idx_t split = weighted_split(
+      points, weights, ids, node.axis,
+      static_cast<double>(node.k_left) / static_cast<double>(node.k_total),
+      &cut);
+  node.cut = cut;
+  update_node(node.left, points, weights,
+              ids.subspan(0, static_cast<std::size_t>(split)));
+  update_node(node.right, points, weights,
+              ids.subspan(static_cast<std::size_t>(split)));
+}
+
+void RcbTree::update(std::span<const Vec3> points,
+                     std::span<const wgt_t> weights) {
+  require(root_ != kInvalidIndex, "RcbTree::update: tree is empty");
+  require(weights.empty() || weights.size() == points.size(),
+          "RcbTree::update: weights size mismatch");
+  labels_.assign(points.size(), 0);
+  std::vector<idx_t> ids(points.size());
+  std::iota(ids.begin(), ids.end(), idx_t{0});
+  if (!ids.empty()) update_node(root_, points, weights, ids);
+}
+
+idx_t RcbTree::locate(Vec3 p) const {
+  require(root_ != kInvalidIndex, "RcbTree::locate: tree is empty");
+  idx_t cur = root_;
+  while (nodes_[static_cast<std::size_t>(cur)].axis >= 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    cur = (p[node.axis] < node.cut) ? node.left : node.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].part;
+}
+
+}  // namespace cpart

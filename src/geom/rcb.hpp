@@ -1,0 +1,82 @@
+// Recursive coordinate bisection (RCB) with incremental update.
+//
+// RCB is the geometric partitioner the ML+RCB baseline uses to decompose the
+// contact points (Plimpton et al.). Each recursion splits the current point
+// set with an axis-parallel cut at the weighted median of the longest axis,
+// assigning ceil(k/2) of the k parts to the low side. The sequence of cuts
+// forms a binary tree.
+//
+// Incremental update (paper Section 3): as contact points move between
+// time steps, the *structure* of the tree (axes, part counts) is kept and
+// only the cut coordinates are recomputed from the new positions. Because
+// the structure is stable, most points keep their labels, which is exactly
+// the "modify the previous RCB partitioning" behaviour whose residual
+// movement the paper measures as UpdComm.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "util/common.hpp"
+
+namespace cpart {
+
+class RcbTree {
+ public:
+  /// Builds a k-way RCB decomposition of `points` (optionally weighted;
+  /// empty weights mean unit). `dim` selects 2D or 3D cuts.
+  static RcbTree build(std::span<const Vec3> points,
+                       std::span<const wgt_t> weights, idx_t k, int dim = 3);
+
+  /// Re-balances the existing cut structure against new positions of the
+  /// *same* logical point set (sizes may differ — points may appear or
+  /// disappear as the surface erodes). Labels are recomputed; compare with
+  /// the previous labels() to measure redistribution (UpdComm).
+  void update(std::span<const Vec3> points, std::span<const wgt_t> weights);
+
+  idx_t num_parts() const { return k_; }
+  int dim() const { return dim_; }
+
+  /// Label of each input point from the last build/update.
+  const std::vector<idx_t>& labels() const { return labels_; }
+
+  /// Locates an arbitrary point by descending the cut planes.
+  idx_t locate(Vec3 p) const;
+
+  /// Total number of tree nodes (interior + leaves).
+  idx_t num_nodes() const { return to_idx(nodes_.size()); }
+
+ private:
+  struct Node {
+    int axis = -1;        // -1 for leaves
+    real_t cut = 0;       // cut coordinate (points with coord < cut go left)
+    idx_t left = kInvalidIndex;
+    idx_t right = kInvalidIndex;
+    idx_t k_left = 0;     // parts assigned to the low side
+    idx_t k_total = 1;    // parts covered by this subtree
+    idx_t part = kInvalidIndex;  // leaf: final part id
+  };
+
+  idx_t build_node(std::span<const Vec3> points, std::span<const wgt_t> weights,
+                   std::span<idx_t> ids, idx_t k, idx_t first_part);
+  void update_node(idx_t node_id, std::span<const Vec3> points,
+                   std::span<const wgt_t> weights, std::span<idx_t> ids);
+
+  /// Sorts `ids` by coordinate along `axis` and returns the split position
+  /// s such that the weight of ids[0..s) best matches `target_fraction` of
+  /// the total, with s in [1, |ids|-1] whenever |ids| >= 2. Sets *cut to a
+  /// coordinate separating the two sides.
+  static idx_t weighted_split(std::span<const Vec3> points,
+                              std::span<const wgt_t> weights,
+                              std::span<idx_t> ids, int axis,
+                              double target_fraction, real_t* cut);
+
+  std::vector<Node> nodes_;
+  idx_t root_ = kInvalidIndex;
+  idx_t k_ = 0;
+  int dim_ = 3;
+  std::vector<idx_t> labels_;
+};
+
+}  // namespace cpart

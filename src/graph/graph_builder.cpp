@@ -1,0 +1,124 @@
+#include "graph/graph_builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+namespace cpart {
+
+GraphBuilder::GraphBuilder(idx_t num_vertices) : n_(num_vertices) {
+  require(num_vertices >= 0, "GraphBuilder: negative vertex count");
+}
+
+void GraphBuilder::add_edge(idx_t u, idx_t v, wgt_t w) {
+  require(u >= 0 && u < n_ && v >= 0 && v < n_,
+          "GraphBuilder::add_edge: vertex out of range");
+  require(u != v, "GraphBuilder::add_edge: self loops not allowed");
+  require(w > 0, "GraphBuilder::add_edge: weights must be positive");
+  if (u > v) std::swap(u, v);
+  src_.push_back(u);
+  dst_.push_back(v);
+  wgt_.push_back(w);
+}
+
+void GraphBuilder::set_vertex_weights(std::vector<wgt_t> vwgt, idx_t ncon) {
+  require(ncon >= 1, "GraphBuilder: ncon must be >= 1");
+  require(vwgt.size() == static_cast<std::size_t>(n_) *
+                             static_cast<std::size_t>(ncon),
+          "GraphBuilder: vwgt size must be n*ncon");
+  vwgt_ = std::move(vwgt);
+  ncon_ = ncon;
+}
+
+CsrGraph GraphBuilder::build(DupPolicy duplicates) {
+  // Sort (u, v) pairs and merge duplicates keeping max weight.
+  const std::size_t m = src_.size();
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::tie(src_[a], dst_[a]) < std::tie(src_[b], dst_[b]);
+  });
+  std::vector<idx_t> us, vs;
+  std::vector<wgt_t> ws;
+  us.reserve(m);
+  vs.reserve(m);
+  ws.reserve(m);
+  for (std::size_t oi = 0; oi < m; ++oi) {
+    const std::size_t e = order[oi];
+    if (!us.empty() && us.back() == src_[e] && vs.back() == dst_[e]) {
+      if (duplicates == DupPolicy::kSum) {
+        ws.back() += wgt_[e];
+      } else {
+        ws.back() = std::max(ws.back(), wgt_[e]);
+      }
+    } else {
+      us.push_back(src_[e]);
+      vs.push_back(dst_[e]);
+      ws.push_back(wgt_[e]);
+    }
+  }
+  src_.clear();
+  dst_.clear();
+  wgt_.clear();
+
+  // Count degrees for both directions, then fill.
+  std::vector<idx_t> xadj(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::size_t e = 0; e < us.size(); ++e) {
+    ++xadj[static_cast<std::size_t>(us[e]) + 1];
+    ++xadj[static_cast<std::size_t>(vs[e]) + 1];
+  }
+  for (std::size_t i = 1; i < xadj.size(); ++i) xadj[i] += xadj[i - 1];
+  std::vector<idx_t> adjncy(static_cast<std::size_t>(xadj.back()));
+  std::vector<wgt_t> adjwgt(adjncy.size());
+  std::vector<idx_t> cursor(xadj.begin(), xadj.end() - 1);
+  for (std::size_t e = 0; e < us.size(); ++e) {
+    const idx_t u = us[e], v = vs[e];
+    const wgt_t w = ws[e];
+    adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)])] = v;
+    adjwgt[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = w;
+    adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)])] = u;
+    adjwgt[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = w;
+  }
+  CsrGraph g(std::move(xadj), std::move(adjncy), std::move(vwgt_),
+             std::move(adjwgt), ncon_);
+  vwgt_.clear();
+  ncon_ = 1;
+  return g;
+}
+
+CsrGraph make_path_graph(idx_t n) {
+  GraphBuilder b(n);
+  for (idx_t i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+CsrGraph make_grid_graph(idx_t nx, idx_t ny) {
+  GraphBuilder b(nx * ny);
+  auto id = [ny](idx_t i, idx_t j) { return i * ny + j; };
+  for (idx_t i = 0; i < nx; ++i) {
+    for (idx_t j = 0; j < ny; ++j) {
+      if (i + 1 < nx) b.add_edge(id(i, j), id(i + 1, j));
+      if (j + 1 < ny) b.add_edge(id(i, j), id(i, j + 1));
+    }
+  }
+  return b.build();
+}
+
+CsrGraph make_grid_graph_3d(idx_t nx, idx_t ny, idx_t nz) {
+  GraphBuilder b(nx * ny * nz);
+  auto id = [ny, nz](idx_t i, idx_t j, idx_t k) {
+    return (i * ny + j) * nz + k;
+  };
+  for (idx_t i = 0; i < nx; ++i) {
+    for (idx_t j = 0; j < ny; ++j) {
+      for (idx_t k = 0; k < nz; ++k) {
+        if (i + 1 < nx) b.add_edge(id(i, j, k), id(i + 1, j, k));
+        if (j + 1 < ny) b.add_edge(id(i, j, k), id(i, j + 1, k));
+        if (k + 1 < nz) b.add_edge(id(i, j, k), id(i, j, k + 1));
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace cpart

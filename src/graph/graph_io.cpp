@@ -1,0 +1,161 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.hpp"
+
+namespace cpart {
+
+void write_metis_graph(std::ostream& os, const CsrGraph& g) {
+  const bool vw = g.has_vertex_weights();
+  const bool ew = g.has_edge_weights();
+  os << g.num_vertices() << ' ' << g.num_edges();
+  if (vw || ew) {
+    os << " 0" << (vw ? '1' : '0') << (ew ? '1' : '0');
+    if (vw && g.ncon() != 1) os << ' ' << g.ncon();
+  }
+  os << '\n';
+  for (idx_t v = 0; v < g.num_vertices(); ++v) {
+    bool first = true;
+    auto emit = [&](wgt_t x) {
+      if (!first) os << ' ';
+      os << x;
+      first = false;
+    };
+    if (vw) {
+      for (idx_t c = 0; c < g.ncon(); ++c) emit(g.vertex_weight(v, c));
+    }
+    auto nbrs = g.neighbors(v);
+    for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
+      emit(nbrs[static_cast<std::size_t>(j)] + 1);  // 1-indexed
+      if (ew) emit(g.edge_weight(v, j));
+    }
+    os << '\n';
+  }
+}
+
+void write_metis_graph_file(const std::string& path, const CsrGraph& g) {
+  std::ofstream os(path);
+  require(os.good(), "write_metis_graph_file: cannot open " + path);
+  write_metis_graph(os, g);
+  require(os.good(), "write_metis_graph_file: write failed for " + path);
+}
+
+namespace {
+
+/// Next non-comment line; false at EOF.
+bool next_data_line(std::istream& is, std::string* line) {
+  while (std::getline(is, *line)) {
+    if (!line->empty() && (*line)[0] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CsrGraph read_metis_graph(std::istream& is) {
+  std::string line;
+  require(next_data_line(is, &line), "read_metis_graph: empty stream");
+  std::istringstream header(line);
+  long long n = 0, m = 0;
+  std::string fmt = "000";
+  idx_t ncon = 1;
+  header >> n >> m;
+  require(!header.fail() && n >= 0 && m >= 0,
+          "read_metis_graph: malformed header");
+  if (header >> fmt) {
+    require(fmt.size() <= 3, "read_metis_graph: bad fmt field");
+    while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
+    require(fmt[0] == '0', "read_metis_graph: vertex sizes unsupported");
+    long long nc;
+    if (header >> nc) {
+      require(nc >= 1, "read_metis_graph: bad ncon");
+      ncon = static_cast<idx_t>(nc);
+    }
+  }
+  const bool vw = fmt[1] == '1';
+  const bool ew = fmt[2] == '1';
+  if (!vw) ncon = 1;
+
+  GraphBuilder builder(static_cast<idx_t>(n));
+  std::vector<wgt_t> vwgt;
+  if (vw) {
+    vwgt.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(ncon));
+  }
+  for (long long v = 0; v < n; ++v) {
+    require(next_data_line(is, &line),
+            "read_metis_graph: missing vertex line " + std::to_string(v + 1));
+    std::istringstream ls(line);
+    if (vw) {
+      for (idx_t c = 0; c < ncon; ++c) {
+        wgt_t w;
+        ls >> w;
+        require(!ls.fail(), "read_metis_graph: missing vertex weight on line " +
+                                std::to_string(v + 1));
+        vwgt.push_back(w);
+      }
+    }
+    long long u;
+    while (ls >> u) {
+      require(u >= 1 && u <= n, "read_metis_graph: neighbour out of range");
+      wgt_t w = 1;
+      if (ew) {
+        ls >> w;
+        require(!ls.fail(), "read_metis_graph: missing edge weight");
+      }
+      // Each undirected edge appears on both endpoint lines; GraphBuilder
+      // deduplicates (kMax keeps the weight, which must agree).
+      if (u - 1 != v) {
+        builder.add_edge(static_cast<idx_t>(v), static_cast<idx_t>(u - 1), w);
+      }
+    }
+  }
+  if (vw) builder.set_vertex_weights(std::move(vwgt), ncon);
+  CsrGraph g = builder.build();
+  require(g.num_edges() == static_cast<idx_t>(m),
+          "read_metis_graph: header edge count " + std::to_string(m) +
+              " does not match data (" + std::to_string(g.num_edges()) + ")");
+  return g;
+}
+
+CsrGraph read_metis_graph_file(const std::string& path) {
+  std::ifstream is(path);
+  require(is.good(), "read_metis_graph_file: cannot open " + path);
+  return read_metis_graph(is);
+}
+
+void write_partition(std::ostream& os, std::span<const idx_t> part) {
+  for (idx_t p : part) os << p << '\n';
+}
+
+void write_partition_file(const std::string& path,
+                          std::span<const idx_t> part) {
+  std::ofstream os(path);
+  require(os.good(), "write_partition_file: cannot open " + path);
+  write_partition(os, part);
+  require(os.good(), "write_partition_file: write failed for " + path);
+}
+
+std::vector<idx_t> read_partition(std::istream& is, idx_t expected_size) {
+  std::vector<idx_t> part;
+  long long p;
+  while (is >> p) {
+    require(p >= 0, "read_partition: negative partition id");
+    part.push_back(static_cast<idx_t>(p));
+  }
+  require(expected_size == 0 || to_idx(part.size()) == expected_size,
+          "read_partition: expected " + std::to_string(expected_size) +
+              " entries, got " + std::to_string(part.size()));
+  return part;
+}
+
+std::vector<idx_t> read_partition_file(const std::string& path,
+                                       idx_t expected_size) {
+  std::ifstream is(path);
+  require(is.good(), "read_partition_file: cannot open " + path);
+  return read_partition(is, expected_size);
+}
+
+}  // namespace cpart

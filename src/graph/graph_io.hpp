@@ -1,0 +1,37 @@
+// Graph and partition file I/O in the METIS formats, so graphs and
+// partitions interoperate with the wider partitioning ecosystem.
+//
+// Graph file (METIS manual, section 4.5):
+//   % comment lines
+//   <n> <m> [<fmt> [<ncon>]]
+//   then one line per vertex: [w_1 ... w_ncon] v1 [e1] v2 [e2] ...
+// with 1-indexed neighbour ids; fmt is a 3-digit flag string whose last
+// digit enables edge weights and middle digit vertex weights (vertex sizes,
+// the first digit, are not supported). Partition files hold one partition
+// id per line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace cpart {
+
+void write_metis_graph(std::ostream& os, const CsrGraph& g);
+void write_metis_graph_file(const std::string& path, const CsrGraph& g);
+
+/// Parses a METIS graph stream; throws InputError on malformed input
+/// (including asymmetric adjacency).
+CsrGraph read_metis_graph(std::istream& is);
+CsrGraph read_metis_graph_file(const std::string& path);
+
+void write_partition(std::ostream& os, std::span<const idx_t> part);
+void write_partition_file(const std::string& path, std::span<const idx_t> part);
+
+/// Reads a partition file; `expected_size` 0 skips the size check.
+std::vector<idx_t> read_partition(std::istream& is, idx_t expected_size = 0);
+std::vector<idx_t> read_partition_file(const std::string& path,
+                                       idx_t expected_size = 0);
+
+}  // namespace cpart

@@ -1,0 +1,130 @@
+#include "graph/graph_metrics.hpp"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.hpp"
+
+namespace cpart {
+
+wgt_t edge_cut(const CsrGraph& g, std::span<const idx_t> part) {
+  require(part.size() == static_cast<std::size_t>(g.num_vertices()),
+          "edge_cut: partition size mismatch");
+  auto& pool = ThreadPool::global();
+  // Each undirected edge appears twice in CSR; sum both directions, halve.
+  const wgt_t twice = pool.parallel_reduce<wgt_t>(
+      g.num_vertices(), 0, [&](idx_t v) {
+        wgt_t local = 0;
+        auto nbrs = g.neighbors(v);
+        for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
+          const idx_t u = nbrs[static_cast<std::size_t>(j)];
+          if (part[static_cast<std::size_t>(u)] !=
+              part[static_cast<std::size_t>(v)]) {
+            local += g.edge_weight(v, j);
+          }
+        }
+        return local;
+      });
+  return twice / 2;
+}
+
+wgt_t total_comm_volume(const CsrGraph& g, std::span<const idx_t> part) {
+  require(part.size() == static_cast<std::size_t>(g.num_vertices()),
+          "total_comm_volume: partition size mismatch");
+  auto& pool = ThreadPool::global();
+  return pool.parallel_reduce<wgt_t>(g.num_vertices(), 0, [&](idx_t v) {
+    const idx_t pv = part[static_cast<std::size_t>(v)];
+    // Collect distinct external partitions adjacent to v. Degrees are small
+    // (mesh graphs), so a local vector beats a hash set.
+    idx_t ext[64];
+    idx_t n_ext = 0;
+    std::vector<idx_t> overflow;
+    for (idx_t u : g.neighbors(v)) {
+      const idx_t pu = part[static_cast<std::size_t>(u)];
+      if (pu == pv) continue;
+      bool seen = false;
+      for (idx_t i = 0; i < std::min<idx_t>(n_ext, 64); ++i) {
+        if (ext[static_cast<std::size_t>(i)] == pu) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        for (idx_t p : overflow) {
+          if (p == pu) {
+            seen = true;
+            break;
+          }
+        }
+      }
+      if (!seen) {
+        if (n_ext < 64) {
+          ext[static_cast<std::size_t>(n_ext)] = pu;
+        } else {
+          overflow.push_back(pu);
+        }
+        ++n_ext;
+      }
+    }
+    return static_cast<wgt_t>(n_ext);
+  });
+}
+
+std::vector<wgt_t> partition_weights(const CsrGraph& g,
+                                     std::span<const idx_t> part, idx_t k,
+                                     idx_t c) {
+  require(part.size() == static_cast<std::size_t>(g.num_vertices()),
+          "partition_weights: partition size mismatch");
+  require(k > 0, "partition_weights: k must be positive");
+  std::vector<wgt_t> w(static_cast<std::size_t>(k), 0);
+  for (idx_t v = 0; v < g.num_vertices(); ++v) {
+    const idx_t p = part[static_cast<std::size_t>(v)];
+    require(p >= 0 && p < k, "partition_weights: partition id out of range");
+    w[static_cast<std::size_t>(p)] += g.vertex_weight(v, c);
+  }
+  return w;
+}
+
+double load_imbalance(const CsrGraph& g, std::span<const idx_t> part, idx_t k,
+                      idx_t c) {
+  const std::vector<wgt_t> w = partition_weights(g, part, k, c);
+  wgt_t total = 0, maxw = 0;
+  for (wgt_t x : w) {
+    total += x;
+    maxw = std::max(maxw, x);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(maxw) * static_cast<double>(k) /
+         static_cast<double>(total);
+}
+
+double max_load_imbalance(const CsrGraph& g, std::span<const idx_t> part,
+                          idx_t k) {
+  double worst = 0.0;
+  for (idx_t c = 0; c < g.ncon(); ++c) {
+    worst = std::max(worst, load_imbalance(g, part, k, c));
+  }
+  return worst;
+}
+
+idx_t boundary_vertex_count(const CsrGraph& g, std::span<const idx_t> part) {
+  require(part.size() == static_cast<std::size_t>(g.num_vertices()),
+          "boundary_vertex_count: partition size mismatch");
+  auto& pool = ThreadPool::global();
+  return static_cast<idx_t>(
+      pool.parallel_reduce<wgt_t>(g.num_vertices(), 0, [&](idx_t v) {
+        for (idx_t u : g.neighbors(v)) {
+          if (part[static_cast<std::size_t>(u)] !=
+              part[static_cast<std::size_t>(v)]) {
+            return wgt_t{1};
+          }
+        }
+        return wgt_t{0};
+      }));
+}
+
+bool is_valid_partition(std::span<const idx_t> part, idx_t k) {
+  return std::all_of(part.begin(), part.end(),
+                     [k](idx_t p) { return p >= 0 && p < k; });
+}
+
+}  // namespace cpart

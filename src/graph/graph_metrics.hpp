@@ -1,0 +1,46 @@
+// Partition-quality metrics: edge-cut, total communication volume,
+// per-constraint partition weights and load imbalance.
+//
+// Definitions follow Section 2 of the paper:
+//   EdgeCut(P)        = sum of weights of edges cut by P
+//   w_j(V_i)          = sum of the j-th weight component over partition i
+//   LoadImbalance(P,j)= max_i w_j(V_i) / (w_j(V)/k)
+// Total communication volume is Hendrickson's objective: each boundary
+// vertex contributes one unit per *distinct* external partition adjacent to
+// it (the number of copies of its data that must be shipped).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace cpart {
+
+/// Sum of the weights of edges whose endpoints lie in different partitions.
+wgt_t edge_cut(const CsrGraph& g, std::span<const idx_t> part);
+
+/// Total communication volume (see header comment).
+wgt_t total_comm_volume(const CsrGraph& g, std::span<const idx_t> part);
+
+/// Per-partition weight sums for constraint `c`: result[i] = w_c(V_i).
+std::vector<wgt_t> partition_weights(const CsrGraph& g,
+                                     std::span<const idx_t> part, idx_t k,
+                                     idx_t c = 0);
+
+/// max_i w_c(V_i) / (w_c(V)/k). Returns 1.0 when the total weight of the
+/// constraint is zero (vacuously balanced).
+double load_imbalance(const CsrGraph& g, std::span<const idx_t> part, idx_t k,
+                      idx_t c = 0);
+
+/// Load imbalance across all constraints: max over c of load_imbalance(c).
+double max_load_imbalance(const CsrGraph& g, std::span<const idx_t> part,
+                          idx_t k);
+
+/// Number of vertices with at least one neighbour in another partition.
+idx_t boundary_vertex_count(const CsrGraph& g, std::span<const idx_t> part);
+
+/// True when every entry of `part` lies in [0, k).
+bool is_valid_partition(std::span<const idx_t> part, idx_t k);
+
+}  // namespace cpart

@@ -1,0 +1,89 @@
+#include "match/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cpart {
+
+std::vector<idx_t> max_weight_assignment(const std::vector<wgt_t>& weights,
+                                         idx_t n) {
+  require(n >= 0, "max_weight_assignment: negative size");
+  require(weights.size() == static_cast<std::size_t>(n) *
+                                static_cast<std::size_t>(n),
+          "max_weight_assignment: matrix size must be n*n");
+  if (n == 0) return {};
+
+  // Classic potentials formulation on the minimization problem; maximize by
+  // negating the weights. 1-based internal arrays, sentinel column 0.
+  const wgt_t kInf = std::numeric_limits<wgt_t>::max() / 4;
+  auto cost = [&](idx_t r, idx_t c) {
+    return -weights[static_cast<std::size_t>(r) * n + static_cast<std::size_t>(c)];
+  };
+
+  std::vector<wgt_t> u(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<wgt_t> v(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<idx_t> match(static_cast<std::size_t>(n) + 1, 0);  // col -> row
+  std::vector<idx_t> way(static_cast<std::size_t>(n) + 1, 0);
+
+  for (idx_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    idx_t j0 = 0;
+    std::vector<wgt_t> minv(static_cast<std::size_t>(n) + 1, kInf);
+    std::vector<char> used(static_cast<std::size_t>(n) + 1, 0);
+    do {
+      used[static_cast<std::size_t>(j0)] = 1;
+      const idx_t i0 = match[static_cast<std::size_t>(j0)];
+      wgt_t delta = kInf;
+      idx_t j1 = 0;
+      for (idx_t j = 1; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const wgt_t cur = cost(i0 - 1, j - 1) - u[static_cast<std::size_t>(i0)] -
+                          v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (idx_t j = 0; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(match[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<std::size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    do {
+      const idx_t j1 = way[static_cast<std::size_t>(j0)];
+      match[static_cast<std::size_t>(j0)] = match[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<idx_t> row_to_col(static_cast<std::size_t>(n), kInvalidIndex);
+  for (idx_t j = 1; j <= n; ++j) {
+    row_to_col[static_cast<std::size_t>(match[static_cast<std::size_t>(j)] - 1)] =
+        j - 1;
+  }
+  return row_to_col;
+}
+
+wgt_t assignment_weight(const std::vector<wgt_t>& weights, idx_t n,
+                        const std::vector<idx_t>& row_to_col) {
+  require(row_to_col.size() == static_cast<std::size_t>(n),
+          "assignment_weight: assignment size mismatch");
+  wgt_t total = 0;
+  for (idx_t r = 0; r < n; ++r) {
+    total += weights[static_cast<std::size_t>(r) * n +
+                     static_cast<std::size_t>(row_to_col[static_cast<std::size_t>(r)])];
+  }
+  return total;
+}
+
+}  // namespace cpart

@@ -1,0 +1,24 @@
+// Exact maximum-weight bipartite assignment (Hungarian algorithm, O(k^3)).
+//
+// The paper minimizes the ML+RCB mapping cost (M2MComm) by relabelling the
+// RCB partitions with "a maximal weight matching algorithm" on the k x k
+// coincidence matrix between the FE partition and the contact partition.
+// k is at most a few hundred, so the exact cubic algorithm is instant.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+/// Given a square weight matrix w (row-major, n x n), returns the column
+/// assigned to each row so that the total weight is maximized.
+std::vector<idx_t> max_weight_assignment(const std::vector<wgt_t>& weights,
+                                         idx_t n);
+
+/// Total weight of an assignment under the same matrix layout.
+wgt_t assignment_weight(const std::vector<wgt_t>& weights, idx_t n,
+                        const std::vector<idx_t>& row_to_col);
+
+}  // namespace cpart

@@ -1,0 +1,152 @@
+#include "mesh/generators.hpp"
+
+namespace cpart {
+
+namespace {
+
+std::vector<Vec3> grid_nodes(idx_t nx, idx_t ny, idx_t nz, Vec3 origin,
+                             Vec3 size) {
+  std::vector<Vec3> nodes;
+  nodes.reserve(static_cast<std::size_t>((nx + 1) * (ny + 1) * (nz + 1)));
+  for (idx_t i = 0; i <= nx; ++i) {
+    for (idx_t j = 0; j <= ny; ++j) {
+      for (idx_t k = 0; k <= nz; ++k) {
+        nodes.push_back(Vec3{
+            origin.x + size.x * static_cast<real_t>(i) / static_cast<real_t>(nx),
+            origin.y + size.y * static_cast<real_t>(j) / static_cast<real_t>(ny),
+            nz == 0 ? origin.z
+                    : origin.z + size.z * static_cast<real_t>(k) /
+                                     static_cast<real_t>(nz)});
+      }
+    }
+  }
+  return nodes;
+}
+
+idx_t grid_id(idx_t i, idx_t j, idx_t k, idx_t ny, idx_t nz) {
+  return (i * (ny + 1) + j) * (nz + 1) + k;
+}
+
+/// The 8 corner node ids of structured cell (i, j, k), in hex8 order
+/// (bottom ring CCW, then top ring CCW).
+std::array<idx_t, 8> hex_corners(idx_t i, idx_t j, idx_t k, idx_t ny,
+                                 idx_t nz) {
+  return {grid_id(i, j, k, ny, nz),         grid_id(i + 1, j, k, ny, nz),
+          grid_id(i + 1, j + 1, k, ny, nz), grid_id(i, j + 1, k, ny, nz),
+          grid_id(i, j, k + 1, ny, nz),     grid_id(i + 1, j, k + 1, ny, nz),
+          grid_id(i + 1, j + 1, k + 1, ny, nz),
+          grid_id(i, j + 1, k + 1, ny, nz)};
+}
+
+}  // namespace
+
+Mesh make_hex_box(idx_t nx, idx_t ny, idx_t nz, Vec3 origin, Vec3 size) {
+  require(nx >= 1 && ny >= 1 && nz >= 1, "make_hex_box: bad cell counts");
+  std::vector<Vec3> nodes = grid_nodes(nx, ny, nz, origin, size);
+  std::vector<idx_t> elems;
+  elems.reserve(static_cast<std::size_t>(nx * ny * nz) * 8);
+  for (idx_t i = 0; i < nx; ++i) {
+    for (idx_t j = 0; j < ny; ++j) {
+      for (idx_t k = 0; k < nz; ++k) {
+        for (idx_t c : hex_corners(i, j, k, ny, nz)) elems.push_back(c);
+      }
+    }
+  }
+  return Mesh(ElementType::kHex8, std::move(nodes), std::move(elems));
+}
+
+Mesh make_tet_box(idx_t nx, idx_t ny, idx_t nz, Vec3 origin, Vec3 size) {
+  require(nx >= 1 && ny >= 1 && nz >= 1, "make_tet_box: bad cell counts");
+  std::vector<Vec3> nodes = grid_nodes(nx, ny, nz, origin, size);
+  std::vector<idx_t> elems;
+  elems.reserve(static_cast<std::size_t>(nx * ny * nz) * 6 * 4);
+  // Six-tet (Kuhn) subdivision along the main diagonal 0-6 of each cell;
+  // identical orientation in every cell keeps shared faces conforming.
+  static const int kTets[6][4] = {{0, 1, 2, 6}, {0, 2, 3, 6}, {0, 3, 7, 6},
+                                  {0, 7, 4, 6}, {0, 4, 5, 6}, {0, 5, 1, 6}};
+  for (idx_t i = 0; i < nx; ++i) {
+    for (idx_t j = 0; j < ny; ++j) {
+      for (idx_t k = 0; k < nz; ++k) {
+        const auto c = hex_corners(i, j, k, ny, nz);
+        for (const auto& tet : kTets) {
+          for (int v : tet) elems.push_back(c[static_cast<std::size_t>(v)]);
+        }
+      }
+    }
+  }
+  return Mesh(ElementType::kTet4, std::move(nodes), std::move(elems));
+}
+
+Mesh make_quad_rect(idx_t nx, idx_t ny, Vec3 origin, Vec3 size) {
+  require(nx >= 1 && ny >= 1, "make_quad_rect: bad cell counts");
+  std::vector<Vec3> nodes = grid_nodes(nx, ny, 0, origin, size);
+  std::vector<idx_t> elems;
+  elems.reserve(static_cast<std::size_t>(nx * ny) * 4);
+  for (idx_t i = 0; i < nx; ++i) {
+    for (idx_t j = 0; j < ny; ++j) {
+      elems.push_back(grid_id(i, j, 0, ny, 0));
+      elems.push_back(grid_id(i + 1, j, 0, ny, 0));
+      elems.push_back(grid_id(i + 1, j + 1, 0, ny, 0));
+      elems.push_back(grid_id(i, j + 1, 0, ny, 0));
+    }
+  }
+  return Mesh(ElementType::kQuad4, std::move(nodes), std::move(elems));
+}
+
+Mesh make_tri_rect(idx_t nx, idx_t ny, Vec3 origin, Vec3 size) {
+  require(nx >= 1 && ny >= 1, "make_tri_rect: bad cell counts");
+  std::vector<Vec3> nodes = grid_nodes(nx, ny, 0, origin, size);
+  std::vector<idx_t> elems;
+  elems.reserve(static_cast<std::size_t>(nx * ny) * 6);
+  for (idx_t i = 0; i < nx; ++i) {
+    for (idx_t j = 0; j < ny; ++j) {
+      const idx_t a = grid_id(i, j, 0, ny, 0);
+      const idx_t b = grid_id(i + 1, j, 0, ny, 0);
+      const idx_t c = grid_id(i + 1, j + 1, 0, ny, 0);
+      const idx_t d = grid_id(i, j + 1, 0, ny, 0);
+      elems.insert(elems.end(), {a, b, c});
+      elems.insert(elems.end(), {a, c, d});
+    }
+  }
+  return Mesh(ElementType::kTri3, std::move(nodes), std::move(elems));
+}
+
+Mesh make_hex_cylinder(real_t radius, real_t length, Vec3 base_center,
+                       idx_t cells_per_diameter, idx_t nz) {
+  require(radius > 0 && length > 0, "make_hex_cylinder: bad dimensions");
+  require(cells_per_diameter >= 2 && nz >= 1,
+          "make_hex_cylinder: bad resolution");
+  const Vec3 origin{base_center.x - radius, base_center.y - radius,
+                    base_center.z};
+  const Vec3 size{2 * radius, 2 * radius, length};
+  Mesh box = make_hex_box(cells_per_diameter, cells_per_diameter, nz, origin,
+                          size);
+  // Trim cells whose centre lies outside the cylinder. Node array keeps the
+  // full grid; unused nodes are dropped by compacting below.
+  std::vector<char> keep(static_cast<std::size_t>(box.num_elements()), 0);
+  for (idx_t e = 0; e < box.num_elements(); ++e) {
+    const Vec3 c = box.element_center(e);
+    const real_t dx = c.x - base_center.x;
+    const real_t dy = c.y - base_center.y;
+    keep[static_cast<std::size_t>(e)] = (dx * dx + dy * dy <= radius * radius);
+  }
+  box.remove_elements(keep);
+  // Compact nodes: renumber only those still referenced.
+  std::vector<idx_t> remap(static_cast<std::size_t>(box.num_nodes()),
+                           kInvalidIndex);
+  std::vector<Vec3> nodes;
+  std::vector<idx_t> elems;
+  elems.reserve(static_cast<std::size_t>(box.num_elements()) * 8);
+  for (idx_t e = 0; e < box.num_elements(); ++e) {
+    for (idx_t id : box.element(e)) {
+      if (remap[static_cast<std::size_t>(id)] == kInvalidIndex) {
+        remap[static_cast<std::size_t>(id)] = to_idx(nodes.size());
+        nodes.push_back(box.node(id));
+      }
+      elems.push_back(remap[static_cast<std::size_t>(id)]);
+    }
+  }
+  return Mesh(ElementType::kHex8, std::move(nodes), std::move(elems));
+}
+
+}  // namespace cpart

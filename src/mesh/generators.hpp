@@ -1,0 +1,29 @@
+// Structured mesh generators: boxes, plates, and cylinder-like bodies in
+// hex8/tet4 (3D) and quad4/tri3 (2D). Used by the examples, the tests, and
+// the synthetic impact simulation (the EPIC-dataset substitute).
+#pragma once
+
+#include "mesh/mesh.hpp"
+
+namespace cpart {
+
+/// Structured hex8 box: cells nx x ny x nz over [origin, origin + size].
+Mesh make_hex_box(idx_t nx, idx_t ny, idx_t nz, Vec3 origin, Vec3 size);
+
+/// Structured tet4 box: each hex cell of the structured grid is split into
+/// six tetrahedra (consistent diagonal orientation, conforming faces).
+Mesh make_tet_box(idx_t nx, idx_t ny, idx_t nz, Vec3 origin, Vec3 size);
+
+/// Structured quad4 rectangle in the z = 0 plane.
+Mesh make_quad_rect(idx_t nx, idx_t ny, Vec3 origin, Vec3 size);
+
+/// Structured tri3 rectangle (each quad cell split into two triangles).
+Mesh make_tri_rect(idx_t nx, idx_t ny, Vec3 origin, Vec3 size);
+
+/// Cylinder-like hex8 body along +z: a structured box trimmed to radius
+/// `radius` around the axis through `center` (jagged lateral boundary, as
+/// in voxel-style impact meshes). `cells_per_diameter` controls resolution.
+Mesh make_hex_cylinder(real_t radius, real_t length, Vec3 base_center,
+                       idx_t cells_per_diameter, idx_t nz);
+
+}  // namespace cpart

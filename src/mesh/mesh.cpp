@@ -1,0 +1,124 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace cpart {
+
+int nodes_per_element(ElementType type) {
+  switch (type) {
+    case ElementType::kTri3: return 3;
+    case ElementType::kQuad4: return 4;
+    case ElementType::kTet4: return 4;
+    case ElementType::kHex8: return 8;
+  }
+  return 0;
+}
+
+int element_dim(ElementType type) {
+  switch (type) {
+    case ElementType::kTri3:
+    case ElementType::kQuad4: return 2;
+    case ElementType::kTet4:
+    case ElementType::kHex8: return 3;
+  }
+  return 0;
+}
+
+std::string element_type_name(ElementType type) {
+  switch (type) {
+    case ElementType::kTri3: return "tri3";
+    case ElementType::kQuad4: return "quad4";
+    case ElementType::kTet4: return "tet4";
+    case ElementType::kHex8: return "hex8";
+  }
+  return "unknown";
+}
+
+ElementType element_type_from_name(const std::string& name) {
+  if (name == "tri3") return ElementType::kTri3;
+  if (name == "quad4") return ElementType::kQuad4;
+  if (name == "tet4") return ElementType::kTet4;
+  if (name == "hex8") return ElementType::kHex8;
+  throw InputError("unknown element type: " + name);
+}
+
+std::span<const std::vector<int>> element_faces(ElementType type) {
+  // Reference-element faces. 2D elements expose their edges; hex8 uses the
+  // standard vertex numbering (0-3 bottom CCW, 4-7 top CCW).
+  static const std::vector<std::vector<int>> tri{{0, 1}, {1, 2}, {2, 0}};
+  static const std::vector<std::vector<int>> quad{
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  static const std::vector<std::vector<int>> tet{
+      {0, 1, 2}, {0, 1, 3}, {1, 2, 3}, {0, 2, 3}};
+  static const std::vector<std::vector<int>> hex{
+      {0, 1, 2, 3}, {4, 5, 6, 7}, {0, 1, 5, 4},
+      {1, 2, 6, 5}, {2, 3, 7, 6}, {3, 0, 4, 7}};
+  switch (type) {
+    case ElementType::kTri3: return tri;
+    case ElementType::kQuad4: return quad;
+    case ElementType::kTet4: return tet;
+    case ElementType::kHex8: return hex;
+  }
+  return {};
+}
+
+Mesh::Mesh(ElementType type, std::vector<Vec3> nodes,
+           std::vector<idx_t> elem_nodes)
+    : type_(type), nodes_(std::move(nodes)), elem_nodes_(std::move(elem_nodes)) {
+  const auto npe = static_cast<std::size_t>(nodes_per_element(type_));
+  require(elem_nodes_.size() % npe == 0,
+          "Mesh: element array size not a multiple of nodes-per-element");
+  const idx_t n = num_nodes();
+  for (idx_t id : elem_nodes_) {
+    require(id >= 0 && id < n, "Mesh: element node id out of range");
+  }
+}
+
+Vec3 Mesh::element_center(idx_t e) const {
+  Vec3 c;
+  auto nodes = element(e);
+  for (idx_t id : nodes) c = c + node(id);
+  return (1.0 / static_cast<real_t>(nodes.size())) * c;
+}
+
+BBox Mesh::element_bbox(idx_t e) const {
+  BBox box;
+  for (idx_t id : element(e)) box.expand(node(id));
+  return box;
+}
+
+BBox Mesh::bounds() const { return bbox_of(nodes_); }
+
+idx_t Mesh::remove_elements(std::span<const char> keep) {
+  require(keep.size() == static_cast<std::size_t>(num_elements()),
+          "Mesh::remove_elements: mask size mismatch");
+  const auto npe = static_cast<std::size_t>(nodes_per_element(type_));
+  std::size_t out = 0;
+  idx_t removed = 0;
+  for (idx_t e = 0; e < num_elements(); ++e) {
+    if (!keep[static_cast<std::size_t>(e)]) {
+      ++removed;
+      continue;
+    }
+    if (out != static_cast<std::size_t>(e) * npe) {
+      std::copy_n(elem_nodes_.begin() + static_cast<std::ptrdiff_t>(
+                                             static_cast<std::size_t>(e) * npe),
+                  npe, elem_nodes_.begin() + static_cast<std::ptrdiff_t>(out));
+    }
+    out += npe;
+  }
+  elem_nodes_.resize(out);
+  return removed;
+}
+
+idx_t Mesh::append(const Mesh& other) {
+  require(other.type_ == type_, "Mesh::append: element type mismatch");
+  const idx_t offset = num_nodes();
+  nodes_.insert(nodes_.end(), other.nodes_.begin(), other.nodes_.end());
+  elem_nodes_.reserve(elem_nodes_.size() + other.elem_nodes_.size());
+  for (idx_t id : other.elem_nodes_) elem_nodes_.push_back(id + offset);
+  return offset;
+}
+
+}  // namespace cpart

@@ -1,0 +1,86 @@
+#include "mesh/mesh_graphs.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/graph_builder.hpp"
+
+namespace cpart {
+
+std::span<const std::pair<int, int>> element_edges(ElementType type) {
+  static const std::vector<std::pair<int, int>> tri{{0, 1}, {1, 2}, {2, 0}};
+  static const std::vector<std::pair<int, int>> quad{
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  static const std::vector<std::pair<int, int>> tet{
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  static const std::vector<std::pair<int, int>> hex{
+      {0, 1}, {1, 2}, {2, 3}, {3, 0},   // bottom ring
+      {4, 5}, {5, 6}, {6, 7}, {7, 4},   // top ring
+      {0, 4}, {1, 5}, {2, 6}, {3, 7}};  // verticals
+  switch (type) {
+    case ElementType::kTri3: return tri;
+    case ElementType::kQuad4: return quad;
+    case ElementType::kTet4: return tet;
+    case ElementType::kHex8: return hex;
+  }
+  return {};
+}
+
+CsrGraph nodal_graph(const Mesh& mesh) {
+  GraphBuilder builder(mesh.num_nodes());
+  const auto edges = element_edges(mesh.element_type());
+  for (idx_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto elem = mesh.element(e);
+    for (const auto& [a, b] : edges) {
+      builder.add_edge(elem[static_cast<std::size_t>(a)],
+                       elem[static_cast<std::size_t>(b)]);
+    }
+  }
+  return builder.build();
+}
+
+namespace {
+
+struct FaceKey {
+  std::array<idx_t, 4> ids{-1, -1, -1, -1};
+  bool operator==(const FaceKey&) const = default;
+};
+
+struct FaceKeyHash {
+  std::size_t operator()(const FaceKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (idx_t id : k.ids) {
+      h ^= static_cast<std::uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+CsrGraph dual_graph(const Mesh& mesh) {
+  GraphBuilder builder(mesh.num_elements());
+  const auto faces = element_faces(mesh.element_type());
+  std::unordered_map<FaceKey, idx_t, FaceKeyHash> first_owner;
+  first_owner.reserve(static_cast<std::size_t>(mesh.num_elements()) *
+                      faces.size());
+  for (idx_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto elem = mesh.element(e);
+    for (const auto& face : faces) {
+      FaceKey key;
+      for (std::size_t i = 0; i < face.size(); ++i) {
+        key.ids[i] = elem[static_cast<std::size_t>(face[i])];
+      }
+      std::sort(key.ids.begin(),
+                key.ids.begin() + static_cast<std::ptrdiff_t>(face.size()));
+      auto [it, inserted] = first_owner.try_emplace(key, e);
+      if (!inserted && it->second != e) {
+        builder.add_edge(it->second, e);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace cpart

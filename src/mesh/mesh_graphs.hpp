@@ -1,0 +1,23 @@
+// Mesh-to-graph conversions (paper Section 2):
+//   nodal graph — one vertex per mesh node, edges along element edges;
+//   dual graph  — one vertex per element, edges between elements sharing an
+//                 edge (2D) or a face (3D).
+// The paper's partitioning algorithm operates on the nodal graph.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "mesh/mesh.hpp"
+
+namespace cpart {
+
+/// Builds the (unweighted) nodal graph of the mesh. Isolated nodes (all
+/// incident elements eroded) become degree-0 vertices.
+CsrGraph nodal_graph(const Mesh& mesh);
+
+/// Builds the dual graph of the mesh.
+CsrGraph dual_graph(const Mesh& mesh);
+
+/// Node index pairs of each edge of the reference element.
+std::span<const std::pair<int, int>> element_edges(ElementType type);
+
+}  // namespace cpart

@@ -1,0 +1,76 @@
+#include "mesh/mesh_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace cpart {
+
+void write_mesh(std::ostream& os, const Mesh& mesh) {
+  os << "cpartmesh 1\n";
+  os << "etype " << element_type_name(mesh.element_type()) << '\n';
+  os << "nodes " << mesh.num_nodes() << '\n';
+  for (idx_t i = 0; i < mesh.num_nodes(); ++i) {
+    const Vec3 p = mesh.node(i);
+    os << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  os << "elements " << mesh.num_elements() << '\n';
+  for (idx_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto elem = mesh.element(e);
+    for (std::size_t i = 0; i < elem.size(); ++i) {
+      if (i) os << ' ';
+      os << elem[i];
+    }
+    os << '\n';
+  }
+}
+
+void write_mesh_file(const std::string& path, const Mesh& mesh) {
+  std::ofstream os(path);
+  require(os.good(), "write_mesh_file: cannot open " + path);
+  write_mesh(os, mesh);
+  require(os.good(), "write_mesh_file: write failed for " + path);
+}
+
+Mesh read_mesh(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  require(is.good() && magic == "cpartmesh" && version == 1,
+          "read_mesh: not a cpartmesh v1 stream");
+  std::string keyword, type_name;
+  is >> keyword >> type_name;
+  require(is.good() && keyword == "etype", "read_mesh: expected 'etype'");
+  const ElementType type = element_type_from_name(type_name);
+
+  idx_t n = 0;
+  is >> keyword >> n;
+  require(is.good() && keyword == "nodes" && n >= 0,
+          "read_mesh: expected 'nodes <count>'");
+  std::vector<Vec3> nodes(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) {
+    Vec3& p = nodes[static_cast<std::size_t>(i)];
+    is >> p.x >> p.y >> p.z;
+    require(is.good(), "read_mesh: bad node line " + std::to_string(i));
+  }
+
+  idx_t m = 0;
+  is >> keyword >> m;
+  require(!is.fail() && keyword == "elements" && m >= 0,
+          "read_mesh: expected 'elements <count>'");
+  const int npe = nodes_per_element(type);
+  std::vector<idx_t> elems(static_cast<std::size_t>(m) *
+                           static_cast<std::size_t>(npe));
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    is >> elems[i];
+    require(!is.fail(), "read_mesh: bad element data");
+  }
+  return Mesh(type, std::move(nodes), std::move(elems));
+}
+
+Mesh read_mesh_file(const std::string& path) {
+  std::ifstream is(path);
+  require(is.good(), "read_mesh_file: cannot open " + path);
+  return read_mesh(is);
+}
+
+}  // namespace cpart

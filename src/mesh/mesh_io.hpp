@@ -1,0 +1,27 @@
+// Text mesh I/O in a simple self-describing format, plus partition dumps.
+//
+// Format:
+//   cpartmesh 1
+//   etype <tri3|quad4|tet4|hex8>
+//   nodes <N>
+//   <x> <y> <z>          (N lines)
+//   elements <M>
+//   <n0> ... <n_{npe-1}>  (M lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/mesh.hpp"
+
+namespace cpart {
+
+void write_mesh(std::ostream& os, const Mesh& mesh);
+void write_mesh_file(const std::string& path, const Mesh& mesh);
+
+/// Parses the format above; throws InputError with a line-aware message on
+/// malformed input.
+Mesh read_mesh(std::istream& is);
+Mesh read_mesh_file(const std::string& path);
+
+}  // namespace cpart

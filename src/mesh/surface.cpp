@@ -1,0 +1,108 @@
+#include "mesh/surface.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cpart {
+
+namespace {
+
+/// Order-independent face key: sorted node ids packed into a 64-bit-ish
+/// string key. Faces have at most 4 nodes.
+struct FaceKey {
+  std::array<idx_t, 4> ids{-1, -1, -1, -1};
+  bool operator==(const FaceKey&) const = default;
+};
+
+struct FaceKeyHash {
+  std::size_t operator()(const FaceKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (idx_t id : k.ids) {
+      h ^= static_cast<std::uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+FaceKey make_key(std::span<const idx_t> nodes) {
+  FaceKey k;
+  for (std::size_t i = 0; i < nodes.size(); ++i) k.ids[i] = nodes[i];
+  std::sort(k.ids.begin(), k.ids.begin() + static_cast<std::ptrdiff_t>(nodes.size()));
+  return k;
+}
+
+}  // namespace
+
+Surface extract_surface(const Mesh& mesh) {
+  const auto faces = element_faces(mesh.element_type());
+  // First pass: count occurrences of each face key.
+  std::unordered_map<FaceKey, int, FaceKeyHash> count;
+  count.reserve(static_cast<std::size_t>(mesh.num_elements()) * faces.size());
+  std::vector<idx_t> buf;
+  for (idx_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto elem = mesh.element(e);
+    for (const auto& face : faces) {
+      buf.clear();
+      for (int local : face) buf.push_back(elem[static_cast<std::size_t>(local)]);
+      ++count[make_key(buf)];
+    }
+  }
+  // Second pass: collect faces seen exactly once.
+  Surface surface;
+  surface.is_contact_node.assign(static_cast<std::size_t>(mesh.num_nodes()), 0);
+  for (idx_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto elem = mesh.element(e);
+    for (std::size_t f = 0; f < faces.size(); ++f) {
+      buf.clear();
+      for (int local : faces[f]) {
+        buf.push_back(elem[static_cast<std::size_t>(local)]);
+      }
+      if (count.at(make_key(buf)) != 1) continue;
+      SurfaceFace sf;
+      sf.element = e;
+      sf.local_face = static_cast<int>(f);
+      sf.nodes = buf;
+      for (idx_t id : buf) {
+        surface.is_contact_node[static_cast<std::size_t>(id)] = 1;
+      }
+      surface.faces.push_back(std::move(sf));
+    }
+  }
+  for (idx_t i = 0; i < mesh.num_nodes(); ++i) {
+    if (surface.is_contact_node[static_cast<std::size_t>(i)]) {
+      surface.contact_nodes.push_back(i);
+    }
+  }
+  return surface;
+}
+
+Surface filter_surface(const Surface& surface, std::span<const char> keep,
+                       idx_t num_nodes) {
+  require(keep.size() == surface.faces.size(),
+          "filter_surface: mask size mismatch");
+  Surface out;
+  out.is_contact_node.assign(static_cast<std::size_t>(num_nodes), 0);
+  for (std::size_t f = 0; f < surface.faces.size(); ++f) {
+    if (!keep[f]) continue;
+    out.faces.push_back(surface.faces[f]);
+    for (idx_t id : surface.faces[f].nodes) {
+      out.is_contact_node[static_cast<std::size_t>(id)] = 1;
+    }
+  }
+  for (idx_t i = 0; i < num_nodes; ++i) {
+    if (out.is_contact_node[static_cast<std::size_t>(i)]) {
+      out.contact_nodes.push_back(i);
+    }
+  }
+  return out;
+}
+
+BBox face_bbox(const Mesh& mesh, const SurfaceFace& face, real_t margin) {
+  BBox box;
+  for (idx_t id : face.nodes) box.expand(mesh.node(id));
+  if (margin > 0) box.inflate(margin);
+  return box;
+}
+
+}  // namespace cpart

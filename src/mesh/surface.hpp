@@ -1,0 +1,48 @@
+// Boundary-surface extraction and contact-node identification.
+//
+// A face that belongs to exactly one element is a boundary face; in
+// contact/impact simulations the boundary faces are the *surface elements*
+// searched for contact, and the nodes they touch are the *contact nodes*
+// (paper Section 2 terminology). Erosion exposes interior faces, so the
+// surface must be re-extracted per snapshot.
+#pragma once
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace cpart {
+
+struct SurfaceFace {
+  idx_t element = kInvalidIndex;  // owning element
+  int local_face = -1;            // face index within the element
+  std::vector<idx_t> nodes;       // global node ids of the face
+};
+
+struct Surface {
+  std::vector<SurfaceFace> faces;
+  /// Sorted unique node ids appearing on any boundary face.
+  std::vector<idx_t> contact_nodes;
+  /// Size num_nodes; 1 when the node is a contact node.
+  std::vector<char> is_contact_node;
+
+  idx_t num_faces() const { return to_idx(faces.size()); }
+  idx_t num_contact_nodes() const { return to_idx(contact_nodes.size()); }
+};
+
+/// Extracts all boundary faces of the mesh (faces referenced by exactly one
+/// element).
+Surface extract_surface(const Mesh& mesh);
+
+/// Restricts a surface to the faces with keep[f] != 0, rebuilding the
+/// contact-node arrays. Models the application designating which boundary
+/// faces are contact surfaces (paper Section 2: "we assume that these
+/// elements have been identified as such by the application").
+Surface filter_surface(const Surface& surface, std::span<const char> keep,
+                       idx_t num_nodes);
+
+/// Bounding box of one surface face, inflated by `margin` (contact
+/// tolerance).
+BBox face_bbox(const Mesh& mesh, const SurfaceFace& face, real_t margin = 0);
+
+}  // namespace cpart

@@ -1,0 +1,76 @@
+#include "mesh/vtk_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace cpart {
+
+namespace {
+
+/// VTK cell type ids for our element types.
+int vtk_cell_type(ElementType type) {
+  switch (type) {
+    case ElementType::kTri3: return 5;    // VTK_TRIANGLE
+    case ElementType::kQuad4: return 9;   // VTK_QUAD
+    case ElementType::kTet4: return 10;   // VTK_TETRA
+    case ElementType::kHex8: return 12;   // VTK_HEXAHEDRON
+  }
+  return 0;
+}
+
+void write_scalars(std::ostream& os, const VtkScalarField& field) {
+  os << "SCALARS " << field.name << " int 1\nLOOKUP_TABLE default\n";
+  for (idx_t v : field.values) os << v << '\n';
+}
+
+}  // namespace
+
+void write_vtk(std::ostream& os, const Mesh& mesh,
+               std::span<const VtkScalarField> node_fields,
+               std::span<const VtkScalarField> element_fields) {
+  for (const auto& f : node_fields) {
+    require(f.values.size() == static_cast<std::size_t>(mesh.num_nodes()),
+            "write_vtk: node field '" + f.name + "' size mismatch");
+  }
+  for (const auto& f : element_fields) {
+    require(f.values.size() == static_cast<std::size_t>(mesh.num_elements()),
+            "write_vtk: element field '" + f.name + "' size mismatch");
+  }
+  os << "# vtk DataFile Version 3.0\ncontactpart mesh\nASCII\n"
+     << "DATASET UNSTRUCTURED_GRID\n";
+  os << "POINTS " << mesh.num_nodes() << " double\n";
+  for (idx_t i = 0; i < mesh.num_nodes(); ++i) {
+    const Vec3 p = mesh.node(i);
+    os << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  const int npe = nodes_per_element(mesh.element_type());
+  os << "CELLS " << mesh.num_elements() << ' '
+     << static_cast<long long>(mesh.num_elements()) * (npe + 1) << '\n';
+  for (idx_t e = 0; e < mesh.num_elements(); ++e) {
+    os << npe;
+    for (idx_t id : mesh.element(e)) os << ' ' << id;
+    os << '\n';
+  }
+  os << "CELL_TYPES " << mesh.num_elements() << '\n';
+  const int cell_type = vtk_cell_type(mesh.element_type());
+  for (idx_t e = 0; e < mesh.num_elements(); ++e) os << cell_type << '\n';
+  if (!node_fields.empty()) {
+    os << "POINT_DATA " << mesh.num_nodes() << '\n';
+    for (const auto& f : node_fields) write_scalars(os, f);
+  }
+  if (!element_fields.empty()) {
+    os << "CELL_DATA " << mesh.num_elements() << '\n';
+    for (const auto& f : element_fields) write_scalars(os, f);
+  }
+}
+
+void write_vtk_file(const std::string& path, const Mesh& mesh,
+                    std::span<const VtkScalarField> node_fields,
+                    std::span<const VtkScalarField> element_fields) {
+  std::ofstream os(path);
+  require(os.good(), "write_vtk_file: cannot open " + path);
+  write_vtk(os, mesh, node_fields, element_fields);
+  require(os.good(), "write_vtk_file: write failed for " + path);
+}
+
+}  // namespace cpart

@@ -1,0 +1,30 @@
+// Legacy-VTK (ASCII) export of meshes with optional per-node and
+// per-element scalar fields — partition ids, body ids, contact flags —
+// viewable in ParaView/VisIt. Output only: the library's native format is
+// mesh_io.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "mesh/mesh.hpp"
+
+namespace cpart {
+
+struct VtkScalarField {
+  std::string name;
+  std::span<const idx_t> values;  // one per node or per element
+};
+
+/// Writes an unstructured-grid VTK file. `node_fields` sizes must equal
+/// num_nodes, `element_fields` sizes num_elements.
+void write_vtk(std::ostream& os, const Mesh& mesh,
+               std::span<const VtkScalarField> node_fields = {},
+               std::span<const VtkScalarField> element_fields = {});
+
+void write_vtk_file(const std::string& path, const Mesh& mesh,
+                    std::span<const VtkScalarField> node_fields = {},
+                    std::span<const VtkScalarField> element_fields = {});
+
+}  // namespace cpart

@@ -1,0 +1,122 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cpart {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_task(const Task& task, unsigned chunk) {
+  const idx_t begin = static_cast<idx_t>(chunk) * task.chunk_size;
+  const idx_t end = std::min<idx_t>(task.n, begin + task.chunk_size);
+  if (begin < end) task.fn(chunk, begin, end);
+}
+
+void ThreadPool::worker_loop(unsigned worker_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const Task* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return stop_ || (task_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    // Static stride assignment: supports more chunks than workers (used by
+    // parallel_tasks for coarse-grained task lists).
+    for (unsigned c = worker_id; c < task->num_chunks;
+         c += static_cast<unsigned>(workers_.size())) {
+      run_task(*task, c);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    idx_t n, const std::function<void(unsigned, idx_t, idx_t)>& fn) {
+  if (n <= 0) return;
+  const unsigned nt = num_threads();
+  // Small ranges or single-threaded pools run inline: cheaper and keeps the
+  // pool re-entrant from within tasks (no nested dispatch).
+  constexpr idx_t kInlineThreshold = 2048;
+  if (nt <= 1 || n <= kInlineThreshold) {
+    fn(0, 0, n);
+    return;
+  }
+  Task task;
+  task.fn = fn;
+  task.n = n;
+  task.num_chunks = std::min<unsigned>(nt, static_cast<unsigned>(
+      ceil_div<idx_t>(n, kInlineThreshold / 2)));
+  task.chunk_size = ceil_div<idx_t>(n, static_cast<idx_t>(task.num_chunks));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    pending_ = nt;  // every worker checks in once per generation
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+}
+
+void ThreadPool::parallel_tasks(idx_t n,
+                                const std::function<void(idx_t)>& task) {
+  if (n <= 0) return;
+  if (num_threads() <= 1 || n == 1) {
+    for (idx_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  Task t;
+  t.fn = [&task](unsigned, idx_t begin, idx_t end) {
+    for (idx_t i = begin; i < end; ++i) task(i);
+  };
+  t.n = n;
+  t.chunk_size = 1;
+  t.num_chunks = static_cast<unsigned>(n);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &t;
+    pending_ = num_threads();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace cpart

@@ -1,0 +1,93 @@
+// Shared-memory parallel substrate: a fixed-size thread pool with blocked
+// parallel_for and parallel reductions.
+//
+// The paper's algorithms were designed for distributed-memory machines; the
+// quantities its evaluation reports (communication volumes, tree sizes) are
+// analytic counts, so this library executes on shared memory and uses the
+// pool to parallelize the heavy loops (metric accounting, global search,
+// per-snapshot processing). The pool is deliberately simple: static blocked
+// scheduling, no nested parallelism, deterministic results for associative
+// reductions via ordered per-chunk combination.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(chunk_index, begin, end) on every chunk of [0, n), blocked into
+  /// one contiguous range per worker, and waits for completion. Runs inline
+  /// when n is small or the pool has one thread.
+  void parallel_for_chunks(
+      idx_t n, const std::function<void(unsigned, idx_t, idx_t)>& fn);
+
+  /// Element-wise parallel for: body(i) for i in [0, n).
+  template <typename Body>
+  void parallel_for(idx_t n, Body&& body) {
+    parallel_for_chunks(n, [&body](unsigned, idx_t begin, idx_t end) {
+      for (idx_t i = begin; i < end; ++i) body(i);
+    });
+  }
+
+  /// Runs task(i) for each i in [0, n) with one dispatch per index,
+  /// distributed across workers (static stride). For small counts of
+  /// coarse-grained tasks where parallel_for's inline threshold would
+  /// serialize them.
+  void parallel_tasks(idx_t n, const std::function<void(idx_t)>& task);
+
+  /// Parallel sum-reduction: combines per-chunk partial results in chunk
+  /// order, so the result is deterministic for a fixed thread count.
+  template <typename T, typename Body>
+  T parallel_reduce(idx_t n, T init, Body&& body) {
+    std::vector<T> partial(std::max<unsigned>(1u, num_threads()), T{});
+    parallel_for_chunks(n, [&](unsigned chunk, idx_t begin, idx_t end) {
+      T local{};
+      for (idx_t i = begin; i < end; ++i) local += body(i);
+      partial[chunk] = local;
+    });
+    T total = init;
+    for (const T& p : partial) total += p;
+    return total;
+  }
+
+  /// Process-wide default pool (lazily constructed, hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void(unsigned, idx_t, idx_t)> fn;
+    idx_t n = 0;
+    idx_t chunk_size = 0;
+    unsigned num_chunks = 0;
+  };
+
+  void worker_loop(unsigned worker_id);
+  void run_task(const Task& task, unsigned chunk);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const Task* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cpart

@@ -1,0 +1,116 @@
+#include "partition/coarsen.hpp"
+
+namespace cpart {
+
+Coarsening coarsen_once(const CsrGraph& g, Rng& rng) {
+  const idx_t n = g.num_vertices();
+  const idx_t ncon = g.ncon();
+  std::vector<idx_t> match(static_cast<std::size_t>(n), kInvalidIndex);
+  const std::vector<idx_t> order = random_permutation(n, rng);
+
+  // Heavy-edge matching.
+  for (idx_t oi = 0; oi < n; ++oi) {
+    const idx_t v = order[static_cast<std::size_t>(oi)];
+    if (match[static_cast<std::size_t>(v)] != kInvalidIndex) continue;
+    idx_t best = kInvalidIndex;
+    wgt_t best_w = -1;
+    auto nbrs = g.neighbors(v);
+    for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
+      const idx_t u = nbrs[static_cast<std::size_t>(j)];
+      if (match[static_cast<std::size_t>(u)] != kInvalidIndex) continue;
+      const wgt_t w = g.edge_weight(v, j);
+      if (w > best_w) {
+        best_w = w;
+        best = u;
+      }
+    }
+    if (best != kInvalidIndex) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // stays single
+    }
+  }
+
+  // Number coarse vertices: the lower-indexed endpoint of each pair (in the
+  // visiting order) claims the id.
+  Coarsening result;
+  result.coarse_of_fine.assign(static_cast<std::size_t>(n), kInvalidIndex);
+  idx_t nc = 0;
+  for (idx_t oi = 0; oi < n; ++oi) {
+    const idx_t v = order[static_cast<std::size_t>(oi)];
+    if (result.coarse_of_fine[static_cast<std::size_t>(v)] != kInvalidIndex) {
+      continue;
+    }
+    const idx_t u = match[static_cast<std::size_t>(v)];
+    result.coarse_of_fine[static_cast<std::size_t>(v)] = nc;
+    result.coarse_of_fine[static_cast<std::size_t>(u)] = nc;
+    ++nc;
+  }
+
+  // Group fine vertices by coarse id (pairs or singletons).
+  std::vector<idx_t> members(static_cast<std::size_t>(n));
+  std::vector<idx_t> member_off(static_cast<std::size_t>(nc) + 1, 0);
+  for (idx_t v = 0; v < n; ++v) {
+    ++member_off[static_cast<std::size_t>(
+                     result.coarse_of_fine[static_cast<std::size_t>(v)]) +
+                 1];
+  }
+  for (std::size_t i = 1; i < member_off.size(); ++i) {
+    member_off[i] += member_off[i - 1];
+  }
+  {
+    std::vector<idx_t> cursor(member_off.begin(), member_off.end() - 1);
+    for (idx_t v = 0; v < n; ++v) {
+      const idx_t c = result.coarse_of_fine[static_cast<std::size_t>(v)];
+      members[static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++)] =
+          v;
+    }
+  }
+
+  // Contract: aggregate vertex weights and neighbour edges. `slot[c]` marks
+  // where coarse neighbour c currently sits in the edge buffer.
+  std::vector<wgt_t> cvwgt(static_cast<std::size_t>(nc) *
+                               static_cast<std::size_t>(ncon),
+                           0);
+  std::vector<idx_t> cxadj{0};
+  cxadj.reserve(static_cast<std::size_t>(nc) + 1);
+  std::vector<idx_t> cadjncy;
+  std::vector<wgt_t> cadjwgt;
+  std::vector<idx_t> slot(static_cast<std::size_t>(nc), kInvalidIndex);
+
+  for (idx_t c = 0; c < nc; ++c) {
+    const idx_t edge_begin = to_idx(cadjncy.size());
+    for (idx_t mi = member_off[static_cast<std::size_t>(c)];
+         mi < member_off[static_cast<std::size_t>(c) + 1]; ++mi) {
+      const idx_t v = members[static_cast<std::size_t>(mi)];
+      for (idx_t cc = 0; cc < ncon; ++cc) {
+        cvwgt[static_cast<std::size_t>(c) * ncon + static_cast<std::size_t>(cc)] +=
+            g.vertex_weight(v, cc);
+      }
+      auto nbrs = g.neighbors(v);
+      for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
+        const idx_t cu = result.coarse_of_fine[static_cast<std::size_t>(
+            nbrs[static_cast<std::size_t>(j)])];
+        if (cu == c) continue;  // internal edge of the contracted pair
+        const wgt_t w = g.edge_weight(v, j);
+        idx_t& s = slot[static_cast<std::size_t>(cu)];
+        if (s >= edge_begin && s < to_idx(cadjncy.size()) &&
+            cadjncy[static_cast<std::size_t>(s)] == cu) {
+          cadjwgt[static_cast<std::size_t>(s)] += w;
+        } else {
+          s = to_idx(cadjncy.size());
+          cadjncy.push_back(cu);
+          cadjwgt.push_back(w);
+        }
+      }
+    }
+    cxadj.push_back(to_idx(cadjncy.size()));
+  }
+
+  result.coarse = CsrGraph(std::move(cxadj), std::move(cadjncy),
+                           std::move(cvwgt), std::move(cadjwgt), ncon);
+  return result;
+}
+
+}  // namespace cpart

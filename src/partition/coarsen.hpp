@@ -1,0 +1,24 @@
+// Graph coarsening via heavy-edge matching (HEM) and contraction — the first
+// phase of the multilevel paradigm (Karypis & Kumar).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+
+namespace cpart {
+
+struct Coarsening {
+  CsrGraph coarse;
+  /// coarse vertex id of each fine vertex.
+  std::vector<idx_t> coarse_of_fine;
+};
+
+/// One coarsening level: computes a heavy-edge matching (vertices visited in
+/// random order, each unmatched vertex matches its heaviest unmatched
+/// neighbour) and contracts matched pairs. Vertex-weight vectors add
+/// component-wise; parallel coarse edges merge with summed weights.
+Coarsening coarsen_once(const CsrGraph& g, Rng& rng);
+
+}  // namespace cpart

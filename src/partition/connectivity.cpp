@@ -1,0 +1,152 @@
+#include "partition/connectivity.hpp"
+
+#include <algorithm>
+
+namespace cpart {
+
+namespace {
+
+/// Labels same-partition connected components. Returns the component id per
+/// vertex plus, per component, its partition, size, and vertex list order.
+struct Components {
+  std::vector<idx_t> comp_of_vertex;
+  std::vector<idx_t> comp_partition;
+  std::vector<wgt_t> comp_size;  // vertex count
+};
+
+Components find_components(const CsrGraph& g, std::span<const idx_t> part) {
+  const idx_t n = g.num_vertices();
+  Components c;
+  c.comp_of_vertex.assign(static_cast<std::size_t>(n), kInvalidIndex);
+  std::vector<idx_t> queue;
+  for (idx_t v = 0; v < n; ++v) {
+    if (c.comp_of_vertex[static_cast<std::size_t>(v)] != kInvalidIndex) {
+      continue;
+    }
+    const idx_t comp = to_idx(c.comp_partition.size());
+    c.comp_partition.push_back(part[static_cast<std::size_t>(v)]);
+    c.comp_size.push_back(0);
+    queue.clear();
+    queue.push_back(v);
+    c.comp_of_vertex[static_cast<std::size_t>(v)] = comp;
+    while (!queue.empty()) {
+      const idx_t u = queue.back();
+      queue.pop_back();
+      ++c.comp_size[static_cast<std::size_t>(comp)];
+      for (idx_t w : g.neighbors(u)) {
+        if (c.comp_of_vertex[static_cast<std::size_t>(w)] == kInvalidIndex &&
+            part[static_cast<std::size_t>(w)] ==
+                part[static_cast<std::size_t>(u)]) {
+          c.comp_of_vertex[static_cast<std::size_t>(w)] = comp;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<idx_t> partition_components(const CsrGraph& g,
+                                        std::span<const idx_t> part, idx_t k) {
+  require(part.size() == static_cast<std::size_t>(g.num_vertices()),
+          "partition_components: partition size mismatch");
+  const Components c = find_components(g, part);
+  std::vector<idx_t> counts(static_cast<std::size_t>(k), 0);
+  for (idx_t p : c.comp_partition) {
+    require(p >= 0 && p < k, "partition_components: label out of range");
+    ++counts[static_cast<std::size_t>(p)];
+  }
+  return counts;
+}
+
+idx_t merge_partition_fragments(const CsrGraph& g, std::span<idx_t> part,
+                                idx_t k) {
+  require(part.size() == static_cast<std::size_t>(g.num_vertices()),
+          "merge_partition_fragments: partition size mismatch");
+  const idx_t n = g.num_vertices();
+  const Components c = find_components(g, part);
+  const idx_t num_comps = to_idx(c.comp_partition.size());
+
+  // Largest component of each partition keeps its identity.
+  std::vector<idx_t> main_comp(static_cast<std::size_t>(k), kInvalidIndex);
+  for (idx_t comp = 0; comp < num_comps; ++comp) {
+    const idx_t p = c.comp_partition[static_cast<std::size_t>(comp)];
+    require(p >= 0 && p < k, "merge_partition_fragments: label out of range");
+    idx_t& best = main_comp[static_cast<std::size_t>(p)];
+    if (best == kInvalidIndex ||
+        c.comp_size[static_cast<std::size_t>(comp)] >
+            c.comp_size[static_cast<std::size_t>(best)]) {
+      best = comp;
+    }
+  }
+
+  // Edge weight from each fragment to each adjacent partition; the heaviest
+  // connection wins. Accumulated in a flat (component -> partition) map via
+  // per-component scratch to stay O(m).
+  std::vector<wgt_t> link(static_cast<std::size_t>(k), 0);
+  std::vector<idx_t> touched;
+  std::vector<idx_t> target(static_cast<std::size_t>(num_comps), kInvalidIndex);
+
+  // Group vertices by component for a single pass per component.
+  std::vector<idx_t> comp_offset(static_cast<std::size_t>(num_comps) + 1, 0);
+  for (idx_t v = 0; v < n; ++v) {
+    ++comp_offset[static_cast<std::size_t>(
+                      c.comp_of_vertex[static_cast<std::size_t>(v)]) +
+                  1];
+  }
+  for (std::size_t i = 1; i < comp_offset.size(); ++i) {
+    comp_offset[i] += comp_offset[i - 1];
+  }
+  std::vector<idx_t> comp_vertices(static_cast<std::size_t>(n));
+  {
+    std::vector<idx_t> cursor(comp_offset.begin(), comp_offset.end() - 1);
+    for (idx_t v = 0; v < n; ++v) {
+      const idx_t comp = c.comp_of_vertex[static_cast<std::size_t>(v)];
+      comp_vertices[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(comp)]++)] = v;
+    }
+  }
+
+  for (idx_t comp = 0; comp < num_comps; ++comp) {
+    const idx_t p = c.comp_partition[static_cast<std::size_t>(comp)];
+    if (comp == main_comp[static_cast<std::size_t>(p)]) continue;
+    touched.clear();
+    for (idx_t vi = comp_offset[static_cast<std::size_t>(comp)];
+         vi < comp_offset[static_cast<std::size_t>(comp) + 1]; ++vi) {
+      const idx_t v = comp_vertices[static_cast<std::size_t>(vi)];
+      auto nbrs = g.neighbors(v);
+      for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
+        const idx_t u = nbrs[static_cast<std::size_t>(j)];
+        const idx_t pu = part[static_cast<std::size_t>(u)];
+        if (pu == p) continue;
+        if (link[static_cast<std::size_t>(pu)] == 0) touched.push_back(pu);
+        link[static_cast<std::size_t>(pu)] += g.edge_weight(v, j);
+      }
+    }
+    idx_t best = kInvalidIndex;
+    wgt_t best_w = 0;
+    for (idx_t q : touched) {
+      if (link[static_cast<std::size_t>(q)] > best_w) {
+        best_w = link[static_cast<std::size_t>(q)];
+        best = q;
+      }
+      link[static_cast<std::size_t>(q)] = 0;
+    }
+    target[static_cast<std::size_t>(comp)] = best;  // may stay kInvalidIndex
+  }
+
+  idx_t moved = 0;
+  for (idx_t v = 0; v < n; ++v) {
+    const idx_t comp = c.comp_of_vertex[static_cast<std::size_t>(v)];
+    const idx_t t = target[static_cast<std::size_t>(comp)];
+    if (t != kInvalidIndex) {
+      part[static_cast<std::size_t>(v)] = t;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+}  // namespace cpart

@@ -1,0 +1,31 @@
+// Partition connectivity cleanup.
+//
+// FM-style refinement under multiple balance constraints can leave
+// partitions as unions of disconnected fragments, which inflates the
+// communication volume and scatters the subdomain geometry (bad for the
+// decision-tree descriptors). Like METIS, we repair this with an explicit
+// pass: every component of a partition other than its largest is migrated
+// wholesale to the neighbouring partition it is most strongly connected to;
+// a k-way refinement afterwards restores balance.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/common.hpp"
+
+namespace cpart {
+
+/// Number of connected components of each partition. result[p] == 0 when
+/// partition p is empty.
+std::vector<idx_t> partition_components(const CsrGraph& g,
+                                        std::span<const idx_t> part, idx_t k);
+
+/// Moves every non-largest component of every partition into its most
+/// strongly connected neighbouring partition. Returns the number of
+/// vertices moved. Balance is NOT preserved — run kway_refine afterwards.
+idx_t merge_partition_fragments(const CsrGraph& g, std::span<idx_t> part,
+                                idx_t k);
+
+}  // namespace cpart

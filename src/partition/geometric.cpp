@@ -1,0 +1,123 @@
+#include "partition/geometric.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace cpart {
+
+namespace {
+
+class GeometricBisector {
+ public:
+  GeometricBisector(std::span<const Vec3> points, std::span<const wgt_t> vwgt,
+                    idx_t ncon, int dim)
+      : points_(points), vwgt_(vwgt), ncon_(ncon), dim_(dim) {}
+
+  void run(std::span<idx_t> ids, idx_t k, idx_t first_part,
+           std::vector<idx_t>* labels) {
+    if (k == 1 || ids.size() <= 1) {
+      for (idx_t i : ids) {
+        (*labels)[static_cast<std::size_t>(i)] = first_part;
+      }
+      return;
+    }
+    const idx_t k_left = (k + 1) / 2;
+    const double target =
+        static_cast<double>(k_left) / static_cast<double>(k);
+
+    // Totals of each constraint over this subset.
+    std::vector<double> totals(static_cast<std::size_t>(ncon_), 0);
+    for (idx_t i : ids) {
+      for (idx_t c = 0; c < ncon_; ++c) {
+        totals[static_cast<std::size_t>(c)] +=
+            static_cast<double>(weight(i, c));
+      }
+    }
+
+    // Try each axis: sort, prefix-scan, keep the axis/position whose worst
+    // per-constraint deviation from the target fraction is smallest.
+    int best_axis = -1;
+    idx_t best_split = 1;
+    double best_score = std::numeric_limits<double>::max();
+    std::vector<idx_t> order(ids.begin(), ids.end());
+    std::vector<double> prefix(static_cast<std::size_t>(ncon_));
+    for (int axis = 0; axis < dim_; ++axis) {
+      std::sort(order.begin(), order.end(), [&](idx_t a, idx_t b) {
+        const real_t ca = points_[static_cast<std::size_t>(a)][axis];
+        const real_t cb = points_[static_cast<std::size_t>(b)][axis];
+        if (ca != cb) return ca < cb;
+        return a < b;
+      });
+      std::fill(prefix.begin(), prefix.end(), 0.0);
+      for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        for (idx_t c = 0; c < ncon_; ++c) {
+          prefix[static_cast<std::size_t>(c)] +=
+              static_cast<double>(weight(order[i], c));
+        }
+        double score = 0;
+        for (idx_t c = 0; c < ncon_; ++c) {
+          const double total = totals[static_cast<std::size_t>(c)];
+          if (total <= 0) continue;
+          score = std::max(
+              score,
+              std::abs(prefix[static_cast<std::size_t>(c)] / total - target));
+        }
+        if (score < best_score) {
+          best_score = score;
+          best_axis = axis;
+          best_split = to_idx(i + 1);
+        }
+      }
+    }
+    // Re-sort along the winning axis (order currently holds the last axis).
+    std::sort(order.begin(), order.end(), [&](idx_t a, idx_t b) {
+      const real_t ca = points_[static_cast<std::size_t>(a)][best_axis];
+      const real_t cb = points_[static_cast<std::size_t>(b)][best_axis];
+      if (ca != cb) return ca < cb;
+      return a < b;
+    });
+    std::copy(order.begin(), order.end(), ids.begin());
+    run(ids.subspan(0, static_cast<std::size_t>(best_split)), k_left,
+        first_part, labels);
+    run(ids.subspan(static_cast<std::size_t>(best_split)), k - k_left,
+        first_part + k_left, labels);
+  }
+
+ private:
+  wgt_t weight(idx_t i, idx_t c) const {
+    return vwgt_.empty()
+               ? 1
+               : vwgt_[static_cast<std::size_t>(i) * ncon_ +
+                       static_cast<std::size_t>(c)];
+  }
+
+  std::span<const Vec3> points_;
+  std::span<const wgt_t> vwgt_;
+  idx_t ncon_;
+  int dim_;
+};
+
+}  // namespace
+
+std::vector<idx_t> geometric_multiconstraint_partition(
+    std::span<const Vec3> points, std::span<const wgt_t> vwgt,
+    const GeometricPartitionOptions& options) {
+  require(options.k >= 1, "geometric partition: k must be >= 1");
+  require(options.dim == 2 || options.dim == 3,
+          "geometric partition: dim must be 2 or 3");
+  const idx_t ncon = vwgt.empty() ? 1 : options.ncon;
+  require(ncon >= 1, "geometric partition: ncon must be >= 1");
+  require(vwgt.empty() ||
+              vwgt.size() == points.size() * static_cast<std::size_t>(ncon),
+          "geometric partition: vwgt size must be n*ncon");
+  std::vector<idx_t> labels(points.size(), 0);
+  if (options.k == 1 || points.empty()) return labels;
+  std::vector<idx_t> ids(points.size());
+  std::iota(ids.begin(), ids.end(), idx_t{0});
+  GeometricBisector bisector(points, vwgt, ncon, options.dim);
+  bisector.run(ids, options.k, 0, &labels);
+  return labels;
+}
+
+}  // namespace cpart

@@ -1,0 +1,23 @@
+// Direct multilevel k-way partitioning (the kmetis-style alternative to
+// recursive bisection).
+//
+// Coarsens the whole graph once to ~C*k vertices, computes the initial
+// k-way partition there via recursive bisection, then uncoarsens with
+// multi-constraint greedy k-way refinement (plus connectivity cleanup) at
+// every level. Compared to pure recursive bisection this sees the global
+// k-way objective during refinement, which typically wins on communication
+// volume for large k; `bench_ablation` compares the two.
+#pragma once
+
+#include "partition/partition.hpp"
+
+namespace cpart {
+
+/// Computes a k-way partitioning with the direct multilevel k-way scheme.
+/// Options are shared with partition_graph(); `coarsen_target` is
+/// interpreted per-partition (the coarsest graph has ~max(coarsen_target/4,
+/// 15) * k vertices).
+std::vector<idx_t> partition_graph_kway(const CsrGraph& g,
+                                        const PartitionOptions& options);
+
+}  // namespace cpart

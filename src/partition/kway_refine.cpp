@@ -1,0 +1,281 @@
+// Greedy multi-constraint k-way refinement (paper Sections 2 and 4.2).
+//
+// Works directly on a k-way partition: a balance pass drains overweight
+// partitions through their least-damaging boundary moves, then a refinement
+// pass makes positive-gain boundary moves that respect all balance limits.
+// The same routine refines the collapsed region graph G' (where vertices
+// are whole rectangular regions), which is what keeps the final partition's
+// boundaries piecewise axes-parallel.
+#include <algorithm>
+#include <cmath>
+
+#include "partition/partition.hpp"
+
+namespace cpart {
+
+namespace {
+
+/// Bookkeeping of per-partition weight vectors and the (1+eps) limits.
+class KwayBalance {
+ public:
+  KwayBalance(const CsrGraph& g, std::span<const idx_t> part, idx_t k,
+              double epsilon)
+      : g_(g), k_(k), ncon_(g.ncon()) {
+    totals_.resize(static_cast<std::size_t>(ncon_));
+    for (idx_t c = 0; c < ncon_; ++c) {
+      totals_[static_cast<std::size_t>(c)] = g.total_vertex_weight(c);
+    }
+    pw_.assign(static_cast<std::size_t>(k) * static_cast<std::size_t>(ncon_), 0);
+    for (idx_t v = 0; v < g.num_vertices(); ++v) {
+      add(part[static_cast<std::size_t>(v)], v, +1);
+    }
+    limit_.resize(static_cast<std::size_t>(ncon_));
+    for (idx_t c = 0; c < ncon_; ++c) {
+      limit_[static_cast<std::size_t>(c)] =
+          (1.0 + epsilon) * static_cast<double>(totals_[static_cast<std::size_t>(c)]) /
+          static_cast<double>(k);
+    }
+  }
+
+  void move(idx_t v, idx_t from, idx_t to) {
+    add(from, v, -1);
+    add(to, v, +1);
+  }
+
+  wgt_t weight(idx_t p, idx_t c) const {
+    return pw_[static_cast<std::size_t>(p) * ncon_ + static_cast<std::size_t>(c)];
+  }
+  double limit(idx_t c) const { return limit_[static_cast<std::size_t>(c)]; }
+
+  /// True when every constraint of partition p is within its limit.
+  bool within_limits(idx_t p) const {
+    for (idx_t c = 0; c < ncon_; ++c) {
+      if (static_cast<double>(weight(p, c)) > limit(c) + 1e-9) return false;
+    }
+    return true;
+  }
+
+  /// True when adding v to p keeps p within limits.
+  bool fits(idx_t v, idx_t p) const {
+    for (idx_t c = 0; c < ncon_; ++c) {
+      if (static_cast<double>(weight(p, c) + g_.vertex_weight(v, c)) >
+          limit(c) + 1e-9) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Total normalized overweight across all partitions and constraints.
+  double violation() const {
+    double viol = 0;
+    for (idx_t p = 0; p < k_; ++p) viol += violation_of(p);
+    return viol;
+  }
+
+  double violation_of(idx_t p) const {
+    double viol = 0;
+    for (idx_t c = 0; c < ncon_; ++c) {
+      const wgt_t total = totals_[static_cast<std::size_t>(c)];
+      if (total == 0) continue;
+      const double over = static_cast<double>(weight(p, c)) - limit(c);
+      if (over > 0) viol += over / static_cast<double>(total);
+    }
+    return viol;
+  }
+
+  /// Violation change if v moved from -> to (negative is good).
+  double violation_delta(idx_t v, idx_t from, idx_t to) {
+    const double before = violation_of(from) + violation_of(to);
+    auto* self = this;
+    self->move(v, from, to);
+    const double after = violation_of(from) + violation_of(to);
+    self->move(v, to, from);
+    return after - before;
+  }
+
+ private:
+  void add(idx_t p, idx_t v, int sign) {
+    for (idx_t c = 0; c < ncon_; ++c) {
+      pw_[static_cast<std::size_t>(p) * ncon_ + static_cast<std::size_t>(c)] +=
+          sign * g_.vertex_weight(v, c);
+    }
+  }
+
+  const CsrGraph& g_;
+  idx_t k_;
+  idx_t ncon_;
+  std::vector<wgt_t> totals_;
+  std::vector<wgt_t> pw_;
+  std::vector<double> limit_;
+};
+
+/// Edge weight from v to each adjacent partition. Mesh degrees are tiny,
+/// but collapsed region graphs can touch many partitions, so the lists are
+/// growable (reused across gathers — no steady-state allocation).
+struct Connectivity {
+  std::vector<idx_t> parts;    // adjacent partition ids
+  std::vector<wgt_t> weights;  // accumulated edge weight per entry
+  int count = 0;
+  wgt_t own = 0;
+
+  void gather(const CsrGraph& g, std::span<const idx_t> part, idx_t v) {
+    parts.clear();
+    weights.clear();
+    count = 0;
+    own = 0;
+    const idx_t pv = part[static_cast<std::size_t>(v)];
+    auto nbrs = g.neighbors(v);
+    for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
+      const idx_t pu =
+          part[static_cast<std::size_t>(nbrs[static_cast<std::size_t>(j)])];
+      const wgt_t w = g.edge_weight(v, j);
+      if (pu == pv) {
+        own += w;
+        continue;
+      }
+      bool found = false;
+      for (int i = 0; i < count; ++i) {
+        if (parts[static_cast<std::size_t>(i)] == pu) {
+          weights[static_cast<std::size_t>(i)] += w;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        parts.push_back(pu);
+        weights.push_back(w);
+        ++count;
+      }
+    }
+  }
+};
+
+wgt_t anchor_adjust(const KwayRefineOptions& o, idx_t v, idx_t from, idx_t to) {
+  if (o.anchor.empty() || o.anchor_gain == 0) return 0;
+  const idx_t a = o.anchor[static_cast<std::size_t>(v)];
+  wgt_t adj = 0;
+  if (to == a) adj += o.anchor_gain;
+  if (from == a) adj -= o.anchor_gain;
+  return adj;
+}
+
+}  // namespace
+
+idx_t kway_refine(const CsrGraph& g, std::span<idx_t> part,
+                  const KwayRefineOptions& options, Rng& rng) {
+  const idx_t n = g.num_vertices();
+  const idx_t k = options.k;
+  require(part.size() == static_cast<std::size_t>(n),
+          "kway_refine: partition size mismatch");
+  require(k >= 1, "kway_refine: k must be >= 1");
+  require(options.anchor.empty() ||
+              options.anchor.size() == static_cast<std::size_t>(n),
+          "kway_refine: anchor size mismatch");
+  for (idx_t p : part) {
+    require(p >= 0 && p < k, "kway_refine: partition id out of range");
+  }
+  if (k == 1 || n == 0) return 0;
+
+  KwayBalance bal(g, part, k, options.epsilon);
+  Connectivity conn;
+  idx_t total_moves = 0;
+
+  for (int pass = 0; pass < options.passes; ++pass) {
+    idx_t pass_moves = 0;
+    const std::vector<idx_t> order = random_permutation(n, rng);
+
+    // --- Balance phase: drain overweight partitions. -----------------------
+    // Boundary vertices first (their moves keep partitions connected);
+    // interior vertices may teleport only if the boundary sweep could not
+    // restore balance (rare: a partition overweight in a constraint whose
+    // carriers are all interior).
+    for (int sub = 0; sub < 2 && bal.violation() > 1e-12; ++sub) {
+      const bool boundary_only = (sub == 0);
+      for (idx_t oi = 0; oi < n; ++oi) {
+        const idx_t v = order[static_cast<std::size_t>(oi)];
+        const idx_t pv = part[static_cast<std::size_t>(v)];
+        if (bal.within_limits(pv)) continue;
+        conn.gather(g, part, v);
+        if (boundary_only && conn.count == 0) continue;
+        // Candidate targets: adjacent partitions first (cheap boundary),
+        // falling back to the globally least-loaded partition when the
+        // vertex has no external neighbours (possible on collapsed graphs).
+        idx_t best_to = kInvalidIndex;
+        double best_delta = 0;
+        wgt_t best_gain = 0;
+        auto consider = [&](idx_t q, wgt_t w_to_q) {
+          const double delta = bal.violation_delta(v, pv, q);
+          if (delta >= -1e-12) return;  // must strictly reduce violation
+          const wgt_t gain = w_to_q - conn.own + anchor_adjust(options, v, pv, q);
+          const bool better =
+              best_to == kInvalidIndex || delta < best_delta - 1e-15 ||
+              (delta <= best_delta + 1e-15 && gain > best_gain);
+          if (better) {
+            best_to = q;
+            best_delta = delta;
+            best_gain = gain;
+          }
+        };
+        for (int i = 0; i < conn.count; ++i) {
+          consider(conn.parts[static_cast<std::size_t>(i)],
+                   conn.weights[static_cast<std::size_t>(i)]);
+        }
+        if (best_to == kInvalidIndex) {
+          // No adjacent partition helps; try the least-violating partition
+          // overall so balance can always make progress.
+          idx_t lightest = kInvalidIndex;
+          double lightest_delta = -1e-12;
+          for (idx_t q = 0; q < k; ++q) {
+            if (q == pv) continue;
+            const double delta = bal.violation_delta(v, pv, q);
+            if (delta < lightest_delta) {
+              lightest_delta = delta;
+              lightest = q;
+            }
+          }
+          if (lightest != kInvalidIndex) {
+            best_to = lightest;
+          }
+        }
+        if (best_to != kInvalidIndex) {
+          bal.move(v, pv, best_to);
+          part[static_cast<std::size_t>(v)] = best_to;
+          ++pass_moves;
+        }
+      }
+    }
+
+    // --- Refinement phase: positive-gain boundary moves under balance. -----
+    for (idx_t oi = 0; oi < n; ++oi) {
+      const idx_t v = order[static_cast<std::size_t>(oi)];
+      const idx_t pv = part[static_cast<std::size_t>(v)];
+      conn.gather(g, part, v);
+      if (conn.count == 0) continue;  // interior vertex
+      idx_t best_to = kInvalidIndex;
+      wgt_t best_gain = 0;
+      for (int i = 0; i < conn.count; ++i) {
+        const idx_t q = conn.parts[static_cast<std::size_t>(i)];
+        const wgt_t gain =
+            conn.weights[static_cast<std::size_t>(i)] - conn.own + anchor_adjust(options, v, pv, q);
+        if (gain <= 0) continue;
+        if (!bal.fits(v, q)) continue;
+        if (best_to == kInvalidIndex || gain > best_gain) {
+          best_to = q;
+          best_gain = gain;
+        }
+      }
+      if (best_to != kInvalidIndex) {
+        bal.move(v, pv, best_to);
+        part[static_cast<std::size_t>(v)] = best_to;
+        ++pass_moves;
+      }
+    }
+
+    total_moves += pass_moves;
+    if (pass_moves == 0) break;
+  }
+  return total_moves;
+}
+
+}  // namespace cpart

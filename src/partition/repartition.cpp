@@ -1,0 +1,32 @@
+// Multi-constraint repartitioning (paper Sections 2 and 4.3): adapt an
+// existing partition to a changed graph, trading edge-cut quality against
+// the volume of data that must migrate. Implemented as anchored k-way
+// refinement — every vertex's previous partition acts as an anchor whose
+// pull (`migration_cost`) a move must overcome in cut units.
+#include "partition/partition.hpp"
+
+namespace cpart {
+
+std::vector<idx_t> repartition_graph(const CsrGraph& g,
+                                     std::span<const idx_t> old_part,
+                                     const RepartitionOptions& options) {
+  const idx_t n = g.num_vertices();
+  require(old_part.size() == static_cast<std::size_t>(n),
+          "repartition_graph: old partition size mismatch");
+  for (idx_t p : old_part) {
+    require(p >= 0 && p < options.k,
+            "repartition_graph: old partition id out of range");
+  }
+  std::vector<idx_t> part(old_part.begin(), old_part.end());
+  Rng rng(options.seed);
+  KwayRefineOptions kro;
+  kro.k = options.k;
+  kro.epsilon = options.epsilon;
+  kro.passes = options.passes;
+  kro.anchor = old_part;
+  kro.anchor_gain = options.migration_cost;
+  kway_refine(g, part, kro, rng);
+  return part;
+}
+
+}  // namespace cpart

@@ -1,0 +1,152 @@
+#include "runtime/virtual_cluster.hpp"
+
+#include <algorithm>
+
+namespace cpart {
+
+wgt_t StepTraffic::total_units() const {
+  wgt_t total = 0;
+  for (const auto& p : processors) total += p.sent_units;
+  return total;
+}
+
+wgt_t StepTraffic::max_received() const {
+  wgt_t best = 0;
+  for (const auto& p : processors) best = std::max(best, p.received_units);
+  return best;
+}
+
+wgt_t StepTraffic::max_sent() const {
+  wgt_t best = 0;
+  for (const auto& p : processors) best = std::max(best, p.sent_units);
+  return best;
+}
+
+double StepTraffic::imbalance() const {
+  if (processors.empty()) return 1.0;
+  wgt_t total = 0, worst = 0;
+  for (const auto& p : processors) {
+    const wgt_t load = p.sent_units + p.received_units;
+    total += load;
+    worst = std::max(worst, load);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(worst) *
+         static_cast<double>(processors.size()) / static_cast<double>(total);
+}
+
+idx_t StepTraffic::total_messages() const {
+  idx_t total = 0;
+  for (const auto& p : processors) total += p.messages;
+  return total;
+}
+
+StepTraffic& StepTraffic::operator+=(const StepTraffic& other) {
+  require(processors.size() == other.processors.size(),
+          "StepTraffic::operator+=: processor count mismatch");
+  for (std::size_t i = 0; i < processors.size(); ++i) {
+    processors[i].sent_units += other.processors[i].sent_units;
+    processors[i].received_units += other.processors[i].received_units;
+    processors[i].messages += other.processors[i].messages;
+  }
+  return *this;
+}
+
+VirtualCluster::VirtualCluster(idx_t k) : k_(k) {
+  require(k >= 1, "VirtualCluster: k must be >= 1");
+  matrix_.assign(static_cast<std::size_t>(k) * static_cast<std::size_t>(k), 0);
+}
+
+void VirtualCluster::send(idx_t from, idx_t to, wgt_t units) {
+  require(from >= 0 && from < k_ && to >= 0 && to < k_,
+          "VirtualCluster::send: processor out of range");
+  require(units >= 0, "VirtualCluster::send: negative units");
+  if (from == to || units == 0) return;
+  matrix_[static_cast<std::size_t>(from) * k_ + static_cast<std::size_t>(to)] +=
+      units;
+}
+
+StepTraffic VirtualCluster::finish() {
+  StepTraffic traffic;
+  traffic.processors.assign(static_cast<std::size_t>(k_), {});
+  for (idx_t from = 0; from < k_; ++from) {
+    for (idx_t to = 0; to < k_; ++to) {
+      const wgt_t units =
+          matrix_[static_cast<std::size_t>(from) * k_ +
+                  static_cast<std::size_t>(to)];
+      if (units == 0) continue;
+      traffic.processors[static_cast<std::size_t>(from)].sent_units += units;
+      traffic.processors[static_cast<std::size_t>(to)].received_units += units;
+      ++traffic.processors[static_cast<std::size_t>(from)].messages;
+    }
+  }
+  std::fill(matrix_.begin(), matrix_.end(), wgt_t{0});
+  return traffic;
+}
+
+StepTraffic fe_halo_traffic(const CsrGraph& g, std::span<const idx_t> part,
+                            idx_t k) {
+  require(part.size() == static_cast<std::size_t>(g.num_vertices()),
+          "fe_halo_traffic: partition size mismatch");
+  VirtualCluster cluster(k);
+  std::vector<char> seen(static_cast<std::size_t>(k), 0);
+  std::vector<idx_t> touched;
+  for (idx_t v = 0; v < g.num_vertices(); ++v) {
+    const idx_t pv = part[static_cast<std::size_t>(v)];
+    touched.clear();
+    for (idx_t u : g.neighbors(v)) {
+      const idx_t pu = part[static_cast<std::size_t>(u)];
+      if (pu == pv || seen[static_cast<std::size_t>(pu)]) continue;
+      seen[static_cast<std::size_t>(pu)] = 1;
+      touched.push_back(pu);
+    }
+    for (idx_t p : touched) {
+      cluster.send(pv, p, 1);  // v's data shipped to each adjacent partition
+      seen[static_cast<std::size_t>(p)] = 0;
+    }
+  }
+  return cluster.finish();
+}
+
+StepTraffic global_search_traffic(
+    const Mesh& mesh, const Surface& surface, std::span<const idx_t> owner,
+    real_t margin, idx_t k,
+    const std::function<void(const BBox&, std::vector<idx_t>&)>& filter) {
+  require(owner.size() == surface.faces.size(),
+          "global_search_traffic: owner array size mismatch");
+  VirtualCluster cluster(k);
+  std::vector<idx_t> parts;
+  for (std::size_t f = 0; f < surface.faces.size(); ++f) {
+    parts.clear();
+    const BBox box = face_bbox(mesh, surface.faces[f], margin);
+    filter(box, parts);
+    for (idx_t p : parts) {
+      if (p != owner[f]) cluster.send(owner[f], p, 1);
+    }
+  }
+  return cluster.finish();
+}
+
+StepTraffic m2m_traffic(std::span<const idx_t> fe_labels,
+                        std::span<const idx_t> contact_labels,
+                        std::span<const idx_t> relabel, idx_t k) {
+  require(fe_labels.size() == contact_labels.size(),
+          "m2m_traffic: label array size mismatch");
+  require(relabel.size() == static_cast<std::size_t>(k),
+          "m2m_traffic: relabel size mismatch");
+  VirtualCluster cluster(k);
+  for (std::size_t i = 0; i < fe_labels.size(); ++i) {
+    const idx_t fe = fe_labels[i];
+    const idx_t contact_as_fe =
+        relabel[static_cast<std::size_t>(contact_labels[i])];
+    if (fe != contact_as_fe) {
+      // One unit to the contact decomposition before the search, one back
+      // after — the "twice the M2MComm value" of Section 5.2.
+      cluster.send(fe, contact_as_fe, 1);
+      cluster.send(contact_as_fe, fe, 1);
+    }
+  }
+  return cluster.finish();
+}
+
+}  // namespace cpart

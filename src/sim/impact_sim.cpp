@@ -1,0 +1,217 @@
+#include "sim/impact_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mesh/generators.hpp"
+
+namespace cpart {
+
+namespace {
+
+real_t clamp01(real_t x) { return std::clamp<real_t>(x, 0, 1); }
+
+/// Smoothstep ramp: 0 below a, 1 above b.
+real_t ramp(real_t x, real_t a, real_t b) {
+  const real_t t = clamp01((x - a) / (b - a));
+  return t * t * (3 - 2 * t);
+}
+
+}  // namespace
+
+void ImpactSimConfig::scale_resolution(double factor) {
+  require(factor > 0, "scale_resolution: factor must be positive");
+  const double lin = std::cbrt(factor);
+  auto scale = [lin](idx_t v) {
+    return std::max<idx_t>(2, static_cast<idx_t>(std::lround(v * lin)));
+  };
+  plate_cells_xy = scale(plate_cells_xy);
+  plate_cells_z = scale(plate_cells_z);
+  proj_cells_diameter = scale(proj_cells_diameter);
+  proj_cells_z = scale(proj_cells_z);
+}
+
+ImpactSim::ImpactSim(const ImpactSimConfig& config) : config_(config) {
+  const real_t w = config_.plate_width;
+  const real_t t = config_.plate_thickness;
+  const real_t gap = config_.plate_gap;
+
+  plate1_top_ = 0;
+  plate1_bottom_ = -t;
+  plate2_top_ = -t - gap;
+  plate2_bottom_ = -2 * t - gap;
+
+  // Upper plate (body 1).
+  Mesh mesh = make_hex_box(config_.plate_cells_xy, config_.plate_cells_xy,
+                           config_.plate_cells_z, Vec3{-w / 2, -w / 2, plate1_bottom_},
+                           Vec3{w, w, t});
+  element_body_.assign(static_cast<std::size_t>(mesh.num_elements()),
+                       Body::kUpperPlate);
+  node_body_.assign(static_cast<std::size_t>(mesh.num_nodes()),
+                    Body::kUpperPlate);
+
+  // Lower plate (body 2).
+  Mesh plate2 = make_hex_box(config_.plate_cells_xy, config_.plate_cells_xy,
+                             config_.plate_cells_z,
+                             Vec3{-w / 2, -w / 2, plate2_bottom_}, Vec3{w, w, t});
+  mesh.append(plate2);
+  element_body_.insert(element_body_.end(),
+                       static_cast<std::size_t>(plate2.num_elements()),
+                       Body::kLowerPlate);
+  node_body_.insert(node_body_.end(),
+                    static_cast<std::size_t>(plate2.num_nodes()),
+                    Body::kLowerPlate);
+
+  // Projectile (body 0), nose hovering just above the upper plate.
+  nose_start_ = 0.15 * t;
+  Mesh proj = make_hex_cylinder(config_.proj_radius, config_.proj_length,
+                                Vec3{0, 0, nose_start_},
+                                config_.proj_cells_diameter,
+                                config_.proj_cells_z);
+  mesh.append(proj);
+  element_body_.insert(element_body_.end(),
+                       static_cast<std::size_t>(proj.num_elements()),
+                       Body::kProjectile);
+  node_body_.insert(node_body_.end(),
+                    static_cast<std::size_t>(proj.num_nodes()),
+                    Body::kProjectile);
+
+  initial_ = std::move(mesh);
+  element_center0_.resize(static_cast<std::size_t>(initial_.num_elements()));
+  for (idx_t e = 0; e < initial_.num_elements(); ++e) {
+    element_center0_[static_cast<std::size_t>(e)] = initial_.element_center(e);
+  }
+
+  // Travel: the nose ends below the lower plate by 60% of its own length,
+  // i.e. the projectile fully perforates both plates over the run.
+  nose_end_ = plate2_bottom_ - 0.6 * config_.proj_length;
+}
+
+real_t ImpactSim::nose_z(idx_t s) const {
+  require(s >= 0 && s < config_.num_snapshots, "nose_z: step out of range");
+  if (config_.num_snapshots == 1) return nose_start_;
+  const real_t f = static_cast<real_t>(s) /
+                   static_cast<real_t>(config_.num_snapshots - 1);
+  return nose_start_ + f * (nose_end_ - nose_start_);
+}
+
+bool ImpactSim::element_eroded(idx_t element, real_t nose) const {
+  if (element_body_[static_cast<std::size_t>(element)] == Body::kProjectile) {
+    return false;  // the projectile deforms but is not eroded
+  }
+  const Vec3 c = element_center0_[static_cast<std::size_t>(element)];
+  // Under oblique incidence the axis sits at x = obliquity * descent when
+  // the nose crosses the element's height — the eroded channel is a tilted
+  // cylinder swept by the nose.
+  const real_t axis_x = config_.obliquity * (nose_start_ - c.z);
+  const real_t rho = std::hypot(c.x - axis_x, c.y);
+  // A plate element erodes once the nose has passed its centre while the
+  // centre lies inside the (slightly inflated) projectile cross-section.
+  return rho <= 1.05 * config_.proj_radius && nose <= c.z;
+}
+
+Vec3 ImpactSim::displaced(idx_t node, real_t nose) const {
+  const Vec3 p0 = initial_.node(node);
+  const Body body = node_body_[static_cast<std::size_t>(node)];
+  const real_t r = config_.proj_radius;
+
+  const real_t drift = config_.obliquity * (nose_start_ - nose);
+  if (body == Body::kProjectile) {
+    // Rigid translation (down plus oblique drift) and nose mushrooming:
+    // the leading quarter of the projectile bulges radially as penetration
+    // progresses.
+    Vec3 p = p0;
+    p.z += nose - nose_start_;
+    const real_t depth_frac =
+        clamp01((nose_start_ - nose) / (nose_start_ - nose_end_));
+    const real_t mushroom_zone = 0.25 * config_.proj_length;
+    const real_t z_local = p0.z - nose_start_;  // 0 at the nose initially
+    if (z_local < mushroom_zone) {
+      const real_t s = 1.0 + 0.18 * depth_frac * (1.0 - z_local / mushroom_zone);
+      p.x = p0.x * s;
+      p.y = p0.y * s;
+    }
+    p.x += drift;
+    return p;
+  }
+
+  // Plate node: bulge downward around the impact axis as the nose
+  // approaches/passes the plate, and get pushed radially outward near the
+  // hole. Both effects freeze once the nose has fully passed the plate
+  // (plastic deformation).
+  const real_t top = (body == Body::kUpperPlate) ? plate1_top_ : plate2_top_;
+  const real_t bottom =
+      (body == Body::kUpperPlate) ? plate1_bottom_ : plate2_bottom_;
+  // Penetration progress through this plate: 0 before the nose reaches the
+  // top, 1 once it has passed below the bottom by one plate thickness.
+  const real_t progress =
+      ramp(top - nose, 0, (top - bottom) + config_.plate_thickness);
+  if (progress <= 0) return p0;
+
+  // Crater centred where the (possibly oblique) axis crosses this plate.
+  const real_t crater_x = config_.obliquity * (nose_start_ - top);
+  const real_t rho = std::hypot(p0.x - crater_x, p0.y);
+  Vec3 p = p0;
+  // Downward bulge, Gaussian in radius, capped at 60% plate thickness.
+  const real_t bulge = 0.6 * config_.plate_thickness * progress *
+                       std::exp(-(rho * rho) / (2.5 * r * r));
+  p.z -= bulge;
+  // Radial push (crater lip) peaking near the hole radius, centred on the
+  // crater.
+  if (rho > 1e-9) {
+    const real_t push =
+        0.35 * r * progress * std::exp(-((rho - r) * (rho - r)) / (2.0 * r * r));
+    const real_t scale = (rho + push) / rho;
+    p.x = crater_x + (p0.x - crater_x) * scale;
+    p.y = p0.y * scale;
+  }
+  return p;
+}
+
+Mesh ImpactSim::snapshot_mesh(idx_t s, idx_t* eroded) const {
+  const real_t nose = nose_z(s);
+  Mesh mesh = initial_;
+  for (idx_t v = 0; v < mesh.num_nodes(); ++v) {
+    mesh.set_node(v, displaced(v, nose));
+  }
+  std::vector<char> keep(static_cast<std::size_t>(mesh.num_elements()), 1);
+  for (idx_t e = 0; e < mesh.num_elements(); ++e) {
+    if (element_eroded(e, nose)) keep[static_cast<std::size_t>(e)] = 0;
+  }
+  const idx_t removed = mesh.remove_elements(keep);
+  if (eroded != nullptr) *eroded = removed;
+  return mesh;
+}
+
+ImpactSim::Snapshot ImpactSim::snapshot(idx_t s) const {
+  Snapshot snap;
+  snap.step = s;
+  snap.nose_z = nose_z(s);
+  snap.mesh = snapshot_mesh(s, &snap.eroded_elements);
+  snap.surface = extract_surface(snap.mesh);
+  if (config_.contact_zone_factor > 0) {
+    // Keep the projectile's whole surface plus plate boundary faces near
+    // the impact axis — the application-designated contact-surface set.
+    const real_t zone = config_.contact_zone_factor * config_.proj_radius;
+    std::vector<char> keep(snap.surface.faces.size(), 0);
+    for (std::size_t f = 0; f < snap.surface.faces.size(); ++f) {
+      const SurfaceFace& face = snap.surface.faces[f];
+      if (node_body_[static_cast<std::size_t>(face.nodes.front())] ==
+          Body::kProjectile) {
+        keep[f] = 1;
+        continue;
+      }
+      Vec3 c{};
+      for (idx_t id : face.nodes) c = c + snap.mesh.node(id);
+      c = (1.0 / static_cast<real_t>(face.nodes.size())) * c;
+      // Zone centred on the (possibly oblique) axis at the face's height.
+      const real_t axis_x = config_.obliquity * (nose_start_ - c.z);
+      keep[f] = std::hypot(c.x - axis_x, c.y) <= zone;
+    }
+    snap.surface =
+        filter_surface(snap.surface, keep, snap.mesh.num_nodes());
+  }
+  return snap;
+}
+
+}  // namespace cpart

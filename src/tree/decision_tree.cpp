@@ -1,0 +1,561 @@
+#include "tree/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "parallel/thread_pool.hpp"
+
+namespace cpart {
+
+idx_t DecisionTree::max_depth() const {
+  if (empty()) return 0;
+  idx_t best = 0;
+  // Iterative DFS with explicit depth to avoid recursion limits on the
+  // pathological deep trees of Figure 2.
+  std::vector<std::pair<idx_t, idx_t>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const TreeNode& nd = node(id);
+    if (nd.axis < 0) {
+      best = std::max(best, depth);
+    } else {
+      stack.emplace_back(nd.left, depth + 1);
+      stack.emplace_back(nd.right, depth + 1);
+    }
+  }
+  return best;
+}
+
+idx_t DecisionTree::locate(Vec3 p) const {
+  require(!empty(), "DecisionTree::locate: empty tree");
+  idx_t cur = root_;
+  while (node(cur).axis >= 0) {
+    const TreeNode& nd = node(cur);
+    cur = (p[nd.axis] < nd.cut) ? nd.left : nd.right;
+  }
+  return cur;
+}
+
+void DecisionTree::collect_box_leaves(const BBox& box,
+                                      std::vector<idx_t>& out) const {
+  if (empty() || box.empty()) return;
+  std::vector<idx_t> stack{root_};
+  while (!stack.empty()) {
+    const idx_t id = stack.back();
+    stack.pop_back();
+    const TreeNode& nd = node(id);
+    if (!box.intersects(nd.bounds)) continue;
+    if (nd.axis < 0) {
+      out.push_back(id);
+      continue;
+    }
+    stack.push_back(nd.left);
+    stack.push_back(nd.right);
+  }
+}
+
+void DecisionTree::collect_box_labels(const BBox& box,
+                                      std::vector<char>& mask) const {
+  if (empty() || box.empty()) return;
+  std::vector<idx_t> stack{root_};
+  while (!stack.empty()) {
+    const idx_t id = stack.back();
+    stack.pop_back();
+    const TreeNode& nd = node(id);
+    if (!box.intersects(nd.bounds)) continue;
+    if (nd.axis < 0) {
+      if (nd.label != kInvalidIndex) {
+        mask[static_cast<std::size_t>(nd.label)] = 1;
+      }
+      if (!nd.pure) {
+        for (idx_t l : minority_labels(id)) {
+          mask[static_cast<std::size_t>(l)] = 1;
+        }
+      }
+      continue;
+    }
+    stack.push_back(nd.left);
+    stack.push_back(nd.right);
+  }
+}
+
+std::span<const idx_t> DecisionTree::minority_labels(idx_t id) const {
+  if (minority_offsets_.empty()) return {};
+  const auto b = static_cast<std::size_t>(
+      minority_offsets_[static_cast<std::size_t>(id)]);
+  const auto e = static_cast<std::size_t>(
+      minority_offsets_[static_cast<std::size_t>(id) + 1]);
+  return {minority_labels_.data() + b, e - b};
+}
+
+// ---------------------------------------------------------------------------
+// Induction
+// ---------------------------------------------------------------------------
+
+/// Implements induce_tree(). Keeps one index array per axis, each sorted by
+/// that axis's coordinate; every tree node owns the same contiguous
+/// subrange [lo, hi) of all arrays, and splits stable-partition each array
+/// so sortedness is preserved without re-sorting (the paper's "the required
+/// sorting can be done once for the entire set").
+///
+/// Parallel mode (options.parallel): a sequential phase expands the tree
+/// until the work stack holds enough independent subranges, then each
+/// pending subtree is built concurrently into its own node buffer (the
+/// per-axis sorted arrays are shared — subranges are disjoint — while
+/// histograms and scratch are per-worker) and spliced into the final tree
+/// with deterministic offsets.
+class TreeInducer {
+ public:
+  TreeInducer(std::span<const Vec3> points, std::span<const idx_t> labels,
+              idx_t num_labels, const TreeInduceOptions& options)
+      : points_(points),
+        labels_(labels),
+        num_labels_(num_labels),
+        options_(options) {}
+
+  /// Pending subtree: node id within its context plus the point range.
+  struct Item {
+    idx_t node;
+    idx_t lo, hi;
+  };
+
+  /// Per-worker build state. Node ids are local to the context.
+  struct Context {
+    std::vector<TreeNode> nodes;
+    std::vector<Item> stack;
+    std::vector<std::pair<idx_t, std::vector<idx_t>>> minorities;  // local ids
+    std::vector<wgt_t> counts;
+    std::vector<wgt_t> left_counts;
+    std::vector<idx_t> scratch;
+    idx_t leaves = 0;
+
+    explicit Context(idx_t num_labels)
+        : counts(static_cast<std::size_t>(num_labels), 0),
+          left_counts(static_cast<std::size_t>(num_labels), 0) {}
+
+    idx_t new_node() {
+      nodes.emplace_back();
+      return to_idx(nodes.size()) - 1;
+    }
+  };
+
+  InducedTree run() {
+    const idx_t n = to_idx(points_.size());
+    InducedTree result;
+    result.num_labels = num_labels_;
+    result.point_leaf.assign(points_.size(), kInvalidIndex);
+    if (n == 0) return result;
+
+    for (int a = 0; a < options_.dim; ++a) {
+      sorted_[a].resize(points_.size());
+      std::iota(sorted_[a].begin(), sorted_[a].end(), idx_t{0});
+      std::sort(sorted_[a].begin(), sorted_[a].end(), [&](idx_t x, idx_t y) {
+        const real_t cx = points_[static_cast<std::size_t>(x)][a];
+        const real_t cy = points_[static_cast<std::size_t>(y)][a];
+        if (cx != cy) return cx < cy;
+        return x < y;
+      });
+    }
+    side_.assign(points_.size(), 0);
+    point_leaf_ = result.point_leaf.data();
+
+    Context main_ctx(num_labels_);
+    const idx_t root = main_ctx.new_node();
+    main_ctx.stack.push_back({root, 0, n});
+
+    // The frontier/splice path runs whenever parallel mode is requested on
+    // a large enough input — even with one worker (tasks then run inline),
+    // so behaviour does not depend on the machine's core count.
+    const unsigned workers = ThreadPool::global().num_threads();
+    const bool go_parallel = options_.parallel && n >= 4096;
+    const idx_t frontier_target =
+        go_parallel ? static_cast<idx_t>(std::max(2u, workers) * 4) : 0;
+
+    if (go_parallel) {
+      // Sequential phase: expand breadth-first-ish until the work stack
+      // holds enough independent subranges.
+      while (!main_ctx.stack.empty() &&
+             to_idx(main_ctx.stack.size()) < frontier_target) {
+        // Pop the widest item so the frontier ranges stay balanced.
+        std::size_t widest = 0;
+        for (std::size_t i = 1; i < main_ctx.stack.size(); ++i) {
+          if (main_ctx.stack[i].hi - main_ctx.stack[i].lo >
+              main_ctx.stack[widest].hi - main_ctx.stack[widest].lo) {
+            widest = i;
+          }
+        }
+        const Item item = main_ctx.stack[widest];
+        main_ctx.stack.erase(main_ctx.stack.begin() +
+                             static_cast<std::ptrdiff_t>(widest));
+        process(main_ctx, item);
+      }
+    } else {
+      while (!main_ctx.stack.empty()) {
+        const Item item = main_ctx.stack.back();
+        main_ctx.stack.pop_back();
+        process(main_ctx, item);
+      }
+    }
+
+    std::vector<Context> task_ctx;
+    std::vector<Item> frontier;
+    if (go_parallel && !main_ctx.stack.empty()) {
+      frontier = std::move(main_ctx.stack);
+      main_ctx.stack.clear();
+      task_ctx.reserve(frontier.size());
+      for (std::size_t t = 0; t < frontier.size(); ++t) {
+        task_ctx.emplace_back(num_labels_);
+      }
+      ThreadPool::global().parallel_tasks(
+          to_idx(frontier.size()), [&](idx_t t) {
+            Context& ctx = task_ctx[static_cast<std::size_t>(t)];
+            const Item top = frontier[static_cast<std::size_t>(t)];
+            const idx_t local_root = ctx.new_node();
+            ctx.stack.push_back({local_root, top.lo, top.hi});
+            while (!ctx.stack.empty()) {
+              const Item item = ctx.stack.back();
+              ctx.stack.pop_back();
+              process(ctx, item);
+            }
+          });
+    }
+
+    // Splice: main context nodes keep their ids; each task's local node j
+    // maps to (j == 0 ? frontier node id : base_t + j - 1).
+    DecisionTree& tree = result.tree;
+    tree.root_ = root;
+    tree.nodes_ = std::move(main_ctx.nodes);
+    tree.num_leaves_ = main_ctx.leaves;
+    std::vector<std::pair<idx_t, std::vector<idx_t>>> all_minorities =
+        std::move(main_ctx.minorities);
+
+    std::vector<idx_t> base(task_ctx.size());
+    idx_t next = to_idx(tree.nodes_.size());
+    for (std::size_t t = 0; t < task_ctx.size(); ++t) {
+      base[t] = next;
+      next += std::max<idx_t>(0, to_idx(task_ctx[t].nodes.size()) - 1);
+    }
+    tree.nodes_.resize(static_cast<std::size_t>(next));
+    for (std::size_t t = 0; t < task_ctx.size(); ++t) {
+      Context& ctx = task_ctx[t];
+      const Item top = frontier[t];
+      auto remap = [&](idx_t local) {
+        return local == 0 ? top.node : base[t] + local - 1;
+      };
+      for (idx_t j = 0; j < to_idx(ctx.nodes.size()); ++j) {
+        TreeNode nd = ctx.nodes[static_cast<std::size_t>(j)];
+        if (nd.axis >= 0) {
+          nd.left = remap(nd.left);
+          nd.right = remap(nd.right);
+        }
+        tree.nodes_[static_cast<std::size_t>(remap(j))] = nd;
+      }
+      // Point-leaf entries of this subtree hold local ids; the subtree's
+      // points are exactly sorted_[0][top.lo .. top.hi).
+      for (idx_t i = top.lo; i < top.hi; ++i) {
+        idx_t& slot = result.point_leaf[static_cast<std::size_t>(
+            sorted_[0][static_cast<std::size_t>(i)])];
+        slot = remap(slot);
+      }
+      for (auto& [local_id, labels] : ctx.minorities) {
+        all_minorities.emplace_back(remap(local_id), std::move(labels));
+      }
+      tree.num_leaves_ += ctx.leaves;
+    }
+
+    // Compact the per-leaf minority labels into CSR form.
+    tree.minority_offsets_.assign(
+        static_cast<std::size_t>(tree.num_nodes()) + 1, 0);
+    for (const auto& [id, labels] : all_minorities) {
+      tree.minority_offsets_[static_cast<std::size_t>(id) + 1] =
+          to_idx(labels.size());
+    }
+    for (std::size_t i = 1; i < tree.minority_offsets_.size(); ++i) {
+      tree.minority_offsets_[i] += tree.minority_offsets_[i - 1];
+    }
+    tree.minority_labels_.resize(
+        static_cast<std::size_t>(tree.minority_offsets_.back()));
+    for (const auto& [id, labels] : all_minorities) {
+      std::copy(labels.begin(), labels.end(),
+                tree.minority_labels_.begin() +
+                    tree.minority_offsets_[static_cast<std::size_t>(id)]);
+    }
+    return result;
+  }
+
+ private:
+  struct Split {
+    bool found = false;
+    int axis = -1;
+    idx_t position = 0;  // points sorted_[axis][lo .. lo+position) go left
+    real_t cut = 0;
+    double score = -1;
+  };
+
+  real_t coord(idx_t point, int axis) const {
+    return points_[static_cast<std::size_t>(point)][axis];
+  }
+  idx_t label(idx_t point) const {
+    return labels_[static_cast<std::size_t>(point)];
+  }
+
+  /// Histogram of labels over [lo, hi); fills ctx.counts and returns the
+  /// majority label and whether the range is pure.
+  std::pair<idx_t, bool> tally(Context& ctx, idx_t lo, idx_t hi) const {
+    std::fill(ctx.counts.begin(), ctx.counts.end(), wgt_t{0});
+    for (idx_t i = lo; i < hi; ++i) {
+      ++ctx.counts[static_cast<std::size_t>(
+          label(sorted_[0][static_cast<std::size_t>(i)]))];
+    }
+    idx_t majority = 0;
+    idx_t distinct = 0;
+    for (idx_t l = 0; l < num_labels_; ++l) {
+      if (ctx.counts[static_cast<std::size_t>(l)] > 0) {
+        ++distinct;
+        if (ctx.counts[static_cast<std::size_t>(l)] >
+            ctx.counts[static_cast<std::size_t>(majority)]) {
+          majority = l;
+        }
+      }
+    }
+    return {majority, distinct <= 1};
+  }
+
+  /// Best Eq.-1 split over all axes for the (impure) range [lo, hi).
+  Split best_gini_split(Context& ctx, idx_t lo, idx_t hi) const {
+    Split best;
+    const idx_t m = hi - lo;
+    double sumsq_total = 0;
+    for (idx_t l = 0; l < num_labels_; ++l) {
+      const double c =
+          static_cast<double>(ctx.counts[static_cast<std::size_t>(l)]);
+      sumsq_total += c * c;
+    }
+    for (int axis = 0; axis < options_.dim; ++axis) {
+      const auto& ord = sorted_[axis];
+      const real_t span_lo = coord(ord[static_cast<std::size_t>(lo)], axis);
+      const real_t span_hi = coord(ord[static_cast<std::size_t>(hi - 1)], axis);
+      if (span_lo == span_hi) continue;  // degenerate axis
+      const real_t width = span_hi - span_lo;
+      std::fill(ctx.left_counts.begin(), ctx.left_counts.end(), wgt_t{0});
+      double sumsq_left = 0;
+      double sumsq_right = sumsq_total;
+      for (idx_t i = 0; i + 1 < m; ++i) {
+        const idx_t p = ord[static_cast<std::size_t>(lo + i)];
+        const idx_t lp = label(p);
+        // Move p from the right side to the left side; both sums update in
+        // O(1): (c+1)^2 - c^2 = 2c+1 and c^2 - (c-1)^2 = 2c-1.
+        const double cl =
+            static_cast<double>(ctx.left_counts[static_cast<std::size_t>(lp)]);
+        const double cr =
+            static_cast<double>(ctx.counts[static_cast<std::size_t>(lp)]) - cl;
+        sumsq_left += 2 * cl + 1;
+        sumsq_right -= 2 * cr - 1;
+        ++ctx.left_counts[static_cast<std::size_t>(lp)];
+        const real_t c0 = coord(p, axis);
+        const real_t c1 = coord(ord[static_cast<std::size_t>(lo + i + 1)], axis);
+        if (c0 == c1) continue;  // hyperplane must separate distinct coords
+        double score = std::sqrt(sumsq_left) + std::sqrt(sumsq_right);
+        if (options_.gap_alpha > 0) {
+          // Gap preference: wider empty corridors score higher. Scaled by m
+          // so it is commensurate with the count-scaled purity term.
+          score += options_.gap_alpha * static_cast<double>(m) *
+                   static_cast<double>((c1 - c0) / width);
+        }
+        if (score > best.score) {
+          best.found = true;
+          best.axis = axis;
+          best.position = i + 1;
+          best.cut = 0.5 * (c0 + c1);
+          best.score = score;
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Median split along the longest non-degenerate axis; used for oversized
+  /// pure nodes (paper's max_p rule; the split index is useless there).
+  Split median_split(idx_t lo, idx_t hi) const {
+    Split best;
+    const idx_t m = hi - lo;
+    // Order axes by extent, try the longest first (manual ordering of at
+    // most three entries; std::sort on the partial array trips GCC's
+    // -Warray-bounds).
+    std::array<int, 3> axes{0, 1, 2};
+    std::array<real_t, 3> ext{};
+    for (int a = 0; a < options_.dim; ++a) {
+      ext[static_cast<std::size_t>(a)] =
+          coord(sorted_[a][static_cast<std::size_t>(hi - 1)], a) -
+          coord(sorted_[a][static_cast<std::size_t>(lo)], a);
+    }
+    for (int i = 1; i < options_.dim; ++i) {
+      for (int j = i; j > 0 &&
+                      ext[static_cast<std::size_t>(axes[static_cast<std::size_t>(j)])] >
+                          ext[static_cast<std::size_t>(
+                              axes[static_cast<std::size_t>(j - 1)])];
+           --j) {
+        std::swap(axes[static_cast<std::size_t>(j)],
+                  axes[static_cast<std::size_t>(j - 1)]);
+      }
+    }
+    for (int ai = 0; ai < options_.dim; ++ai) {
+      const int axis = axes[static_cast<std::size_t>(ai)];
+      if (ext[static_cast<std::size_t>(axis)] <= 0) continue;
+      const auto& ord = sorted_[axis];
+      // Find the split nearest m/2 where coordinates actually differ.
+      const idx_t mid = m / 2;
+      for (idx_t delta = 0; delta < m; ++delta) {
+        for (int sign = -1; sign <= 1; sign += 2) {
+          const idx_t pos = mid + sign * delta;
+          if (pos < 1 || pos >= m) continue;
+          const real_t c0 = coord(ord[static_cast<std::size_t>(lo + pos - 1)], axis);
+          const real_t c1 = coord(ord[static_cast<std::size_t>(lo + pos)], axis);
+          if (c0 == c1) continue;
+          best.found = true;
+          best.axis = axis;
+          best.position = pos;
+          best.cut = 0.5 * (c0 + c1);
+          return best;
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Splits [lo, hi) at `split`, stable-partitioning every axis order so
+  /// each side stays sorted. Returns the boundary index. Touches only the
+  /// [lo, hi) slices of the shared arrays, so disjoint ranges can split
+  /// concurrently.
+  idx_t apply_split(Context& ctx, const Split& split, idx_t lo, idx_t hi) {
+    const auto& ord = sorted_[split.axis];
+    for (idx_t i = lo; i < lo + split.position; ++i) {
+      side_[static_cast<std::size_t>(ord[static_cast<std::size_t>(i)])] = 0;
+    }
+    for (idx_t i = lo + split.position; i < hi; ++i) {
+      side_[static_cast<std::size_t>(ord[static_cast<std::size_t>(i)])] = 1;
+    }
+    ctx.scratch.resize(static_cast<std::size_t>(hi - lo));
+    for (int a = 0; a < options_.dim; ++a) {
+      auto& arr = sorted_[a];
+      idx_t out_left = lo;
+      idx_t out_right = 0;
+      for (idx_t i = lo; i < hi; ++i) {
+        const idx_t p = arr[static_cast<std::size_t>(i)];
+        if (side_[static_cast<std::size_t>(p)] == 0) {
+          arr[static_cast<std::size_t>(out_left++)] = p;
+        } else {
+          ctx.scratch[static_cast<std::size_t>(out_right++)] = p;
+        }
+      }
+      std::copy(ctx.scratch.begin(), ctx.scratch.begin() + out_right,
+                arr.begin() + out_left);
+    }
+    return lo + split.position;
+  }
+
+  void make_leaf(Context& ctx, idx_t id, idx_t lo, idx_t hi, idx_t majority,
+                 bool pure) {
+    TreeNode& nd = ctx.nodes[static_cast<std::size_t>(id)];
+    nd.axis = -1;
+    nd.label = majority;
+    nd.pure = pure;
+    nd.count = hi - lo;
+    ++ctx.leaves;
+    for (idx_t i = lo; i < hi; ++i) {
+      point_leaf_[static_cast<std::size_t>(
+          sorted_[0][static_cast<std::size_t>(i)])] = id;
+    }
+    if (!pure) {
+      std::vector<idx_t> minorities;
+      for (idx_t l = 0; l < num_labels_; ++l) {
+        if (l != majority && ctx.counts[static_cast<std::size_t>(l)] > 0) {
+          minorities.push_back(l);
+        }
+      }
+      ctx.minorities.emplace_back(id, std::move(minorities));
+    }
+  }
+
+  /// Exact point bounding box of [lo, hi): the sorted order per axis makes
+  /// each extent the first/last coordinate in O(1).
+  BBox range_bounds(idx_t lo, idx_t hi) const {
+    BBox box;
+    box.lo = Vec3{0, 0, 0};
+    box.hi = Vec3{0, 0, 0};
+    for (int a = 0; a < options_.dim; ++a) {
+      box.lo[a] = coord(sorted_[a][static_cast<std::size_t>(lo)], a);
+      box.hi[a] = coord(sorted_[a][static_cast<std::size_t>(hi - 1)], a);
+    }
+    return box;
+  }
+
+  void process(Context& ctx, const Item& item) {
+    const auto [id, lo, hi] = item;
+    const auto [majority, pure] = tally(ctx, lo, hi);
+    const idx_t m = hi - lo;
+    ctx.nodes[static_cast<std::size_t>(id)].bounds = range_bounds(lo, hi);
+
+    Split split;
+    if (pure) {
+      const bool oversized = options_.max_pure > 0 && m >= options_.max_pure;
+      if (oversized) split = median_split(lo, hi);
+      // Pure and small (or unsplittable): leaf.
+    } else {
+      const bool undersized = options_.max_impure > 0 && m < options_.max_impure;
+      if (!undersized) {
+        split = best_gini_split(ctx, lo, hi);
+        // Mixed labels on coincident coordinates cannot be separated by an
+        // axis-parallel plane: fall through to an impure leaf; box queries
+        // union all labels present (conservative, never misses).
+      }
+    }
+
+    if (!split.found) {
+      make_leaf(ctx, id, lo, hi, majority, pure);
+      return;
+    }
+
+    const idx_t boundary = apply_split(ctx, split, lo, hi);
+    const idx_t left = ctx.new_node();
+    const idx_t right = ctx.new_node();
+    TreeNode& nd = ctx.nodes[static_cast<std::size_t>(id)];
+    nd.axis = split.axis;
+    nd.cut = split.cut;
+    nd.left = left;
+    nd.right = right;
+    nd.label = majority;
+    nd.pure = pure;
+    nd.count = m;
+    ctx.stack.push_back({left, lo, boundary});
+    ctx.stack.push_back({right, boundary, hi});
+  }
+
+  std::span<const Vec3> points_;
+  std::span<const idx_t> labels_;
+  idx_t num_labels_;
+  TreeInduceOptions options_;
+
+  std::array<std::vector<idx_t>, 3> sorted_;
+  std::vector<char> side_;
+  idx_t* point_leaf_ = nullptr;
+};
+
+InducedTree induce_tree(std::span<const Vec3> points,
+                        std::span<const idx_t> labels, idx_t num_labels,
+                        const TreeInduceOptions& options) {
+  require(points.size() == labels.size(),
+          "induce_tree: points/labels size mismatch");
+  require(num_labels >= 1, "induce_tree: need at least one label");
+  require(options.dim == 2 || options.dim == 3,
+          "induce_tree: dim must be 2 or 3");
+  for (idx_t l : labels) {
+    require(l >= 0 && l < num_labels, "induce_tree: label out of range");
+  }
+  TreeInducer inducer(points, labels, num_labels, options);
+  return inducer.run();
+}
+
+}  // namespace cpart

@@ -1,0 +1,127 @@
+// Axis-parallel decision trees over labeled point sets (paper Section 4.1).
+//
+// A tree recursively bisects space with axis-parallel hyperplanes. Interior
+// nodes hold "coord < cut?" tests (yes → left, matching the paper's Figure 1
+// convention); leaves hold the label (partition id) of the points they
+// cover, a purity flag, and the point count. Two inductions are built on the
+// shared inducer:
+//   * descriptor trees (tree/descriptor_tree.hpp): split until every leaf is
+//     pure — the subdomain geometric descriptors used for global search;
+//   * region trees (tree/region_tree.hpp): the max_p / max_i terminated
+//     variant over *all* mesh nodes used to make partitions tree-friendly
+//     (paper Section 4.2).
+//
+// Split selection maximizes the paper's Eq. 1 splitting index
+//     sqrt(sum_i |A1_i|^2) + sqrt(sum_i |A2_i|^2)
+// over every hyperplane between successive distinct coordinates along each
+// of the first `dim` axes, computed incrementally in O(1) per candidate over
+// pre-sorted coordinate orders (O(|A| * dim) per node).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "util/common.hpp"
+
+namespace cpart {
+
+struct TreeNode {
+  int axis = -1;                 // -1 for leaves
+  real_t cut = 0;                // interior: points with coord < cut go left
+  idx_t left = kInvalidIndex;
+  idx_t right = kInvalidIndex;
+  idx_t label = kInvalidIndex;   // majority label of covered points
+  bool pure = false;             // all covered points share `label`
+  idx_t count = 0;               // number of covered points
+  /// Tight bounding box of the points covered by this node. Box queries
+  /// test against it rather than the (unbounded) space cell: a subdomain
+  /// only "occupies" space near its actual contact points, which removes
+  /// the empty-space false positives the paper's Section 6 discusses.
+  BBox bounds;
+};
+
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  idx_t num_nodes() const { return to_idx(nodes_.size()); }
+  idx_t num_leaves() const { return num_leaves_; }
+  idx_t root() const { return root_; }
+  bool empty() const { return root_ == kInvalidIndex; }
+
+  const TreeNode& node(idx_t id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  /// Longest root-to-leaf path (a single leaf tree has depth 0).
+  idx_t max_depth() const;
+
+  /// Descends to the leaf containing p; returns its node id.
+  idx_t locate(Vec3 p) const;
+
+  /// Label of the leaf containing p.
+  idx_t classify(Vec3 p) const { return node(locate(p)).label; }
+
+  /// Appends the ids of every leaf whose region intersects `box`.
+  void collect_box_leaves(const BBox& box, std::vector<idx_t>& out) const;
+
+  /// Sets mask[l] for every label l of a leaf intersecting `box`.
+  /// `mask` must be pre-sized to the number of labels and pre-cleared (the
+  /// call only sets bits). Impure leaves conservatively set the majority
+  /// label and all minority labels recorded at build time.
+  void collect_box_labels(const BBox& box, std::vector<char>& mask) const;
+
+  /// Labels present in the (impure) leaf `id` beyond the majority label.
+  std::span<const idx_t> minority_labels(idx_t id) const;
+
+ private:
+  friend class TreeInducer;
+  friend DecisionTree assemble_tree(std::vector<TreeNode> nodes, idx_t root,
+                                    std::vector<idx_t> minority_offsets,
+                                    std::vector<idx_t> minority_labels);
+
+  std::vector<TreeNode> nodes_;
+  idx_t root_ = kInvalidIndex;
+  idx_t num_leaves_ = 0;
+  // Impure-leaf minority labels, CSR-style keyed by node id.
+  std::vector<idx_t> minority_offsets_;  // size num_nodes()+1 when present
+  std::vector<idx_t> minority_labels_;
+};
+
+/// Options for tree induction; the defaults build a descriptor tree.
+struct TreeInduceOptions {
+  int dim = 3;
+  /// 0: pure nodes always become leaves. Otherwise pure nodes with
+  /// count >= max_pure are split at the median of their longest axis
+  /// (paper Section 4.2, the max_p parameter).
+  idx_t max_pure = 0;
+  /// 0: impure nodes are split until no separating hyperplane exists.
+  /// Otherwise impure nodes with count < max_impure become (impure) leaves
+  /// (paper Section 4.2, the max_i parameter).
+  idx_t max_impure = 0;
+  /// Gap-preferring split selection (paper Section 6 future work): blends
+  /// the purity score with the normalized width of the coordinate gap the
+  /// hyperplane passes through. 0 disables.
+  double gap_alpha = 0.0;
+  /// Builds independent subtrees concurrently once the frontier is wide
+  /// enough (efficient parallel tree-induction formulations exist — paper
+  /// Section 4.1.1 / ScalParC). The resulting tree is geometrically
+  /// identical to the sequential one; only node numbering differs.
+  bool parallel = false;
+};
+
+/// Induction result: the tree plus the leaf id assigned to every input point.
+struct InducedTree {
+  DecisionTree tree;
+  std::vector<idx_t> point_leaf;
+  idx_t num_labels = 0;
+};
+
+/// Builds a decision tree over `points` with partition labels `labels`
+/// (each in [0, num_labels)). See TreeInduceOptions for termination control.
+InducedTree induce_tree(std::span<const Vec3> points,
+                        std::span<const idx_t> labels, idx_t num_labels,
+                        const TreeInduceOptions& options = {});
+
+}  // namespace cpart

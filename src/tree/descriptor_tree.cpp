@@ -1,0 +1,74 @@
+#include "tree/descriptor_tree.hpp"
+
+#include <algorithm>
+
+namespace cpart {
+
+SubdomainDescriptors::SubdomainDescriptors(
+    std::span<const Vec3> contact_points, std::span<const idx_t> part_of_point,
+    idx_t num_parts, const DescriptorOptions& options)
+    : num_parts_(num_parts) {
+  TreeInduceOptions induce;
+  induce.dim = options.dim;
+  induce.gap_alpha = options.gap_alpha;
+  // Descriptor trees terminate exactly at purity: max_pure = 0 (pure nodes
+  // are always leaves), max_impure = 0 (impure nodes split until no
+  // separating hyperplane exists).
+  InducedTree induced =
+      induce_tree(contact_points, part_of_point, num_parts, induce);
+  tree_ = std::move(induced.tree);
+  domain_ = bbox_of(contact_points);
+
+  regions_per_part_.assign(static_cast<std::size_t>(num_parts), 0);
+  for (idx_t id = 0; id < tree_.num_nodes(); ++id) {
+    const TreeNode& nd = tree_.node(id);
+    if (nd.axis < 0 && nd.label != kInvalidIndex) {
+      ++regions_per_part_[static_cast<std::size_t>(nd.label)];
+    }
+  }
+  mask_.assign(static_cast<std::size_t>(num_parts), 0);
+}
+
+idx_t SubdomainDescriptors::num_regions(idx_t p) const {
+  require(p >= 0 && p < num_parts_, "num_regions: partition out of range");
+  return regions_per_part_[static_cast<std::size_t>(p)];
+}
+
+void SubdomainDescriptors::query_box(const BBox& box,
+                                     std::vector<idx_t>& parts) const {
+  std::fill(mask_.begin(), mask_.end(), 0);
+  tree_.collect_box_labels(box, mask_);
+  for (idx_t p = 0; p < num_parts_; ++p) {
+    if (mask_[static_cast<std::size_t>(p)]) parts.push_back(p);
+  }
+}
+
+std::vector<BBox> SubdomainDescriptors::region_boxes(idx_t p) const {
+  require(p >= 0 && p < num_parts_, "region_boxes: partition out of range");
+  std::vector<BBox> boxes;
+  if (tree_.empty()) return boxes;
+  // DFS carrying the clipped region of each node.
+  struct Item {
+    idx_t id;
+    BBox box;
+  };
+  std::vector<Item> stack{{tree_.root(), domain_}};
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    const TreeNode& nd = tree_.node(item.id);
+    if (nd.axis < 0) {
+      if (nd.label == p) boxes.push_back(item.box);
+      continue;
+    }
+    BBox left = item.box;
+    left.hi[nd.axis] = nd.cut;
+    BBox right = item.box;
+    right.lo[nd.axis] = nd.cut;
+    stack.push_back({nd.left, left});
+    stack.push_back({nd.right, right});
+  }
+  return boxes;
+}
+
+}  // namespace cpart

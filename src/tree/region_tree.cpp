@@ -1,0 +1,55 @@
+#include "tree/region_tree.hpp"
+
+#include <cmath>
+
+namespace cpart {
+
+RegionTreeOptions recommended_region_options(idx_t n, idx_t k, int dim) {
+  require(n >= 1 && k >= 1, "recommended_region_options: bad n or k");
+  RegionTreeOptions o;
+  o.dim = dim;
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  o.max_pure = std::max<idx_t>(1, static_cast<idx_t>(dn / std::pow(dk, 1.25)));
+  o.max_impure = std::max<idx_t>(1, static_cast<idx_t>(dn / std::pow(dk, 2.25)));
+  return o;
+}
+
+RegionTree::RegionTree(std::span<const Vec3> points,
+                       std::span<const idx_t> part, idx_t num_parts,
+                       const RegionTreeOptions& options) {
+  require(options.max_pure >= 1 && options.max_impure >= 1,
+          "RegionTree: max_pure and max_impure must be >= 1");
+  TreeInduceOptions induce;
+  induce.dim = options.dim;
+  induce.max_pure = options.max_pure;
+  induce.max_impure = options.max_impure;
+  InducedTree induced = induce_tree(points, part, num_parts, induce);
+  tree_ = std::move(induced.tree);
+
+  // Densify leaf ids into region indices 0..R-1 and record majorities.
+  std::vector<idx_t> leaf_to_region(
+      static_cast<std::size_t>(tree_.num_nodes()), kInvalidIndex);
+  for (idx_t id = 0; id < tree_.num_nodes(); ++id) {
+    const TreeNode& nd = tree_.node(id);
+    if (nd.axis < 0) {
+      leaf_to_region[static_cast<std::size_t>(id)] = num_regions_++;
+      region_majority_.push_back(nd.label);
+    }
+  }
+  region_of_point_.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const idx_t leaf = induced.point_leaf[i];
+    region_of_point_[i] = leaf_to_region[static_cast<std::size_t>(leaf)];
+  }
+}
+
+std::vector<idx_t> RegionTree::majority_partition() const {
+  std::vector<idx_t> p(region_of_point_.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = region_majority_[static_cast<std::size_t>(region_of_point_[i])];
+  }
+  return p;
+}
+
+}  // namespace cpart

@@ -1,0 +1,64 @@
+// Tree-friendly region decomposition over ALL mesh nodes (paper Section 4.2).
+//
+// To make the multi-constraint partition's boundaries piecewise
+// axes-parallel, a decision tree is induced over *every* vertex of the
+// nodal graph with two termination thresholds:
+//   max_p — pure nodes with >= max_p points are still split (median of the
+//           longest axis), so no region grows too heavy to move later;
+//   max_i — impure nodes with < max_i points become leaves, bounding the
+//           tree size near complicated boundaries.
+// Each leaf becomes one rectangular/box region; region points are then
+// reassigned to the region's majority partition (P -> P'), and the regions
+// become super-vertices of the collapsed graph G' on which multi-constraint
+// k-way refinement restores balance (P' -> P'').
+//
+// Recommended parameter ranges (paper Section 4.2):
+//   n/k^1.5 <= max_p <= n/k      and      n/k^2.5 <= max_i <= n/k^2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tree/decision_tree.hpp"
+
+namespace cpart {
+
+struct RegionTreeOptions {
+  int dim = 3;
+  idx_t max_pure = 0;    // the paper's max_p; must be >= 1
+  idx_t max_impure = 0;  // the paper's max_i; must be >= 1
+};
+
+/// Mid-range defaults from the paper's recommended intervals:
+/// max_p = n / k^1.25, max_i = n / k^2.25 (geometric midpoints).
+RegionTreeOptions recommended_region_options(idx_t n, idx_t k, int dim = 3);
+
+class RegionTree {
+ public:
+  /// Induces the region tree over all vertex positions with their current
+  /// partition labels.
+  RegionTree(std::span<const Vec3> points, std::span<const idx_t> part,
+             idx_t num_parts, const RegionTreeOptions& options);
+
+  idx_t num_regions() const { return num_regions_; }
+  idx_t num_tree_nodes() const { return tree_.num_nodes(); }
+
+  /// Dense region index (0 .. num_regions-1) of each input point.
+  const std::vector<idx_t>& region_of_point() const { return region_of_point_; }
+
+  /// Majority partition of each region — the P' assignment.
+  const std::vector<idx_t>& region_majority() const { return region_majority_; }
+
+  /// P': every point reassigned to its region's majority partition.
+  std::vector<idx_t> majority_partition() const;
+
+  const DecisionTree& tree() const { return tree_; }
+
+ private:
+  DecisionTree tree_;
+  idx_t num_regions_ = 0;
+  std::vector<idx_t> region_of_point_;
+  std::vector<idx_t> region_majority_;
+};
+
+}  // namespace cpart

@@ -1,0 +1,145 @@
+#include "tree/tree_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace cpart {
+
+void write_tree(std::ostream& os, const DecisionTree& tree) {
+  os << "cparttree 1\n";
+  os << tree.num_nodes() << ' ' << (tree.empty() ? -1 : tree.root()) << '\n';
+  os << std::setprecision(17);
+  for (idx_t id = 0; id < tree.num_nodes(); ++id) {
+    const TreeNode& nd = tree.node(id);
+    os << nd.axis << ' ' << nd.cut << ' ' << nd.left << ' ' << nd.right << ' '
+       << nd.label << ' ' << (nd.pure ? 1 : 0) << ' ' << nd.count;
+    os << ' ' << nd.bounds.lo.x << ' ' << nd.bounds.lo.y << ' '
+       << nd.bounds.lo.z << ' ' << nd.bounds.hi.x << ' ' << nd.bounds.hi.y
+       << ' ' << nd.bounds.hi.z;
+    const auto minorities = tree.minority_labels(id);
+    os << ' ' << minorities.size();
+    for (idx_t l : minorities) os << ' ' << l;
+    os << '\n';
+  }
+}
+
+std::string tree_to_string(const DecisionTree& tree) {
+  std::ostringstream os;
+  write_tree(os, tree);
+  return os.str();
+}
+
+DecisionTree read_tree(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  require(is.good() && magic == "cparttree" && version == 1,
+          "read_tree: not a cparttree v1 stream");
+  idx_t count = 0, root = 0;
+  is >> count >> root;
+  require(!is.fail() && count >= 0, "read_tree: bad node count");
+  std::vector<TreeNode> nodes(static_cast<std::size_t>(count));
+  std::vector<idx_t> offsets{0};
+  std::vector<idx_t> labels;
+  for (idx_t id = 0; id < count; ++id) {
+    TreeNode& nd = nodes[static_cast<std::size_t>(id)];
+    int pure = 0;
+    is >> nd.axis >> nd.cut >> nd.left >> nd.right >> nd.label >> pure >>
+        nd.count;
+    is >> nd.bounds.lo.x >> nd.bounds.lo.y >> nd.bounds.lo.z >>
+        nd.bounds.hi.x >> nd.bounds.hi.y >> nd.bounds.hi.z;
+    nd.pure = pure != 0;
+    idx_t num_minorities = 0;
+    is >> num_minorities;
+    require(!is.fail() && num_minorities >= 0,
+            "read_tree: bad node record " + std::to_string(id));
+    for (idx_t i = 0; i < num_minorities; ++i) {
+      idx_t l;
+      is >> l;
+      require(!is.fail(), "read_tree: truncated minority list");
+      labels.push_back(l);
+    }
+    offsets.push_back(to_idx(labels.size()));
+  }
+  return assemble_tree(std::move(nodes), root, std::move(offsets),
+                       std::move(labels));
+}
+
+DecisionTree tree_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_tree(is);
+}
+
+DecisionTree assemble_tree(std::vector<TreeNode> nodes, idx_t root,
+                           std::vector<idx_t> minority_offsets,
+                           std::vector<idx_t> minority_labels) {
+  const idx_t count = to_idx(nodes.size());
+  require((count == 0) == (root < 0),
+          "assemble_tree: root/emptiness mismatch");
+  require(count == 0 || (root >= 0 && root < count),
+          "assemble_tree: root out of range");
+  require(minority_offsets.size() ==
+              (count == 0 ? std::size_t{1}
+                          : static_cast<std::size_t>(count) + 1) ||
+              (count == 0 && minority_offsets.empty()),
+          "assemble_tree: minority offsets size mismatch");
+  // Validate children and count leaves; detect cycles by checking each node
+  // is referenced at most once and the root never is.
+  idx_t leaves = 0;
+  std::vector<char> referenced(static_cast<std::size_t>(count), 0);
+  for (idx_t id = 0; id < count; ++id) {
+    const TreeNode& nd = nodes[static_cast<std::size_t>(id)];
+    if (nd.axis < 0) {
+      ++leaves;
+      continue;
+    }
+    require(nd.axis < 3, "assemble_tree: bad split axis");
+    for (idx_t child : {nd.left, nd.right}) {
+      require(child >= 0 && child < count,
+              "assemble_tree: child index out of range");
+      require(!referenced[static_cast<std::size_t>(child)],
+              "assemble_tree: node referenced twice (not a tree)");
+      referenced[static_cast<std::size_t>(child)] = 1;
+    }
+  }
+  require(count == 0 || !referenced[static_cast<std::size_t>(root)],
+          "assemble_tree: root has a parent");
+  DecisionTree tree;
+  tree.nodes_ = std::move(nodes);
+  tree.root_ = count == 0 ? kInvalidIndex : root;
+  tree.num_leaves_ = leaves;
+  tree.minority_offsets_ = std::move(minority_offsets);
+  tree.minority_labels_ = std::move(minority_labels);
+  return tree;
+}
+
+bool trees_equal(const DecisionTree& a, const DecisionTree& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_leaves() != b.num_leaves()) {
+    return false;
+  }
+  if (a.empty()) return b.empty();
+  if (a.root() != b.root()) return false;
+  for (idx_t id = 0; id < a.num_nodes(); ++id) {
+    const TreeNode& x = a.node(id);
+    const TreeNode& y = b.node(id);
+    if (x.axis != y.axis || x.cut != y.cut || x.left != y.left ||
+        x.right != y.right || x.label != y.label || x.pure != y.pure ||
+        x.count != y.count) {
+      return false;
+    }
+    if (!(x.bounds.lo == y.bounds.lo) || !(x.bounds.hi == y.bounds.hi)) {
+      return false;
+    }
+    const auto ma = a.minority_labels(id);
+    const auto mb = b.minority_labels(id);
+    if (ma.size() != mb.size() ||
+        !std::equal(ma.begin(), ma.end(), mb.begin())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cpart

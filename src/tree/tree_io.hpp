@@ -1,0 +1,35 @@
+// Decision-tree serialization.
+//
+// In the parallel algorithm the descriptor tree is built once and
+// "communicated to all the processors" (paper Section 4.1.1) — NTNodes
+// measures exactly this cost. This module provides the wire format: a
+// compact line-oriented text encoding with a round-trip guarantee, plus a
+// structural-equality helper used by the tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tree/decision_tree.hpp"
+
+namespace cpart {
+
+void write_tree(std::ostream& os, const DecisionTree& tree);
+std::string tree_to_string(const DecisionTree& tree);
+
+/// Parses the format produced by write_tree; throws InputError on malformed
+/// or structurally inconsistent input (bad child indices, cycles).
+DecisionTree read_tree(std::istream& is);
+DecisionTree tree_from_string(const std::string& text);
+
+/// Deep structural equality (topology, cuts, labels, bounds).
+bool trees_equal(const DecisionTree& a, const DecisionTree& b);
+
+/// Assembles a tree from raw node records (also used by read_tree).
+/// Validates: root in range, children in range and acyclic, exactly the
+/// leaf nodes have axis < 0, minority CSR sizes consistent.
+DecisionTree assemble_tree(std::vector<TreeNode> nodes, idx_t root,
+                           std::vector<idx_t> minority_offsets,
+                           std::vector<idx_t> minority_labels);
+
+}  // namespace cpart

@@ -1,0 +1,94 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace cpart {
+
+void Flags::define(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  specs_[name] = Spec{default_value, help, /*is_bool=*/false};
+}
+
+void Flags::define_bool(const std::string& name, bool default_value,
+                        const std::string& help) {
+  specs_[name] = Spec{default_value ? "true" : "false", help, /*is_bool=*/true};
+}
+
+const Flags::Spec& Flags::spec(const std::string& name) const {
+  auto it = specs_.find(name);
+  require(it != specs_.end(), "unknown flag: --" + name);
+  return it->second;
+}
+
+std::vector<std::string> Flags::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::optional<std::string> value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    const Spec& s = spec(name);
+    if (!value) {
+      if (s.is_bool) {
+        value = "true";
+      } else {
+        require(i + 1 < argc, "flag --" + name + " expects a value");
+        value = argv[++i];
+      }
+    }
+    values_[name] = *value;
+  }
+  return positional;
+}
+
+std::string Flags::get_string(const std::string& name) const {
+  const Spec& s = spec(name);
+  auto it = values_.find(name);
+  return it != values_.end() ? it->second : s.default_value;
+}
+
+long Flags::get_int(const std::string& name) const {
+  const std::string v = get_string(name);
+  char* end = nullptr;
+  const long r = std::strtol(v.c_str(), &end, 10);
+  require(end && *end == '\0' && !v.empty(),
+          "flag --" + name + " expects an integer, got '" + v + "'");
+  return r;
+}
+
+double Flags::get_double(const std::string& name) const {
+  const std::string v = get_string(name);
+  char* end = nullptr;
+  const double r = std::strtod(v.c_str(), &end);
+  require(end && *end == '\0' && !v.empty(),
+          "flag --" + name + " expects a number, got '" + v + "'");
+  return r;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw InputError("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, s] : specs_) {
+    os << "  --" << name << " (default: " << s.default_value << ")  " << s.help
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cpart

@@ -1,0 +1,48 @@
+// Minimal command-line flag parser for benches and examples.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unknown flags raise InputError so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+class Flags {
+ public:
+  /// Registers a flag with a default value and help text. Call before parse().
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+  void define_bool(const std::string& name, bool default_value,
+                   const std::string& help);
+
+  /// Parses argv; throws InputError on unknown flags or missing values.
+  /// Returns leftover positional arguments.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// One-line-per-flag usage text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    bool is_bool = false;
+  };
+  const Spec& spec(const std::string& name) const;
+
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cpart

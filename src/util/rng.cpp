@@ -1,0 +1,17 @@
+#include "util/rng.hpp"
+
+namespace cpart {
+
+std::vector<idx_t> random_permutation(idx_t n, Rng& rng) {
+  std::vector<idx_t> perm(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  // Fisher–Yates.
+  for (idx_t i = n - 1; i > 0; --i) {
+    const idx_t j = rng.uniform_int(i + 1);
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+}  // namespace cpart

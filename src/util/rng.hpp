@@ -1,0 +1,52 @@
+// Deterministic, splittable pseudo-random number generator.
+//
+// All randomized stages of the library (matching visit order, initial
+// partition seeds, tie breaking) draw from an explicitly seeded Rng so that
+// every experiment is reproducible bit-for-bit. The generator is
+// SplitMix64 — tiny state, high quality for the non-cryptographic uses here,
+// and trivially splittable for per-thread streams.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  idx_t uniform_int(idx_t bound) {
+    assert(bound > 0);
+    return static_cast<idx_t>(next() % static_cast<std::uint64_t>(bound));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Derive an independent stream (e.g. one per thread or per level).
+  Rng split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Uniformly random permutation of {0, ..., n-1}.
+std::vector<idx_t> random_permutation(idx_t n, Rng& rng);
+
+}  // namespace cpart

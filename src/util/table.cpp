@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::begin_row() { rows_.emplace_back(); }
+
+void Table::add_cell(const std::string& value) {
+  require(!rows_.empty(), "Table::add_cell before begin_row");
+  rows_.back().push_back(value);
+}
+
+void Table::add_cell(long long value) { add_cell(std::to_string(value)); }
+
+void Table::add_cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  add_cell(std::string(buf));
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  require(row < rows_.size() && col < rows_[row].size(),
+          "Table::cell out of range");
+  return rows_[row][col];
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      digit = true;
+    } else if (s[i] != '.' && s[i] != '%') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      const std::size_t pad = width[c] - std::min(width[c], v.size());
+      if (looks_numeric(v)) {
+        os << "  " << std::string(pad, ' ') << v;
+      } else {
+        os << "  " << v << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace cpart

@@ -1,0 +1,19 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace cpart {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace cpart

@@ -1,0 +1,98 @@
+#include "viz/svg.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cpart {
+
+SvgCanvas::SvgCanvas(const BBox& world, int pixels) : world_(world) {
+  require(!world.empty(), "SvgCanvas: empty world box");
+  require(pixels > 0, "SvgCanvas: non-positive pixel width");
+  const double ex = world_.extent(0);
+  const double ey = world_.extent(1);
+  require(ex > 0 && ey > 0, "SvgCanvas: degenerate world box");
+  scale_ = pixels / ex;
+  width_ = pixels;
+  height_ = static_cast<int>(ey * scale_) + 1;
+}
+
+double SvgCanvas::sx(double x) const { return (x - world_.lo.x) * scale_; }
+double SvgCanvas::sy(double y) const { return (world_.hi.y - y) * scale_; }
+
+void SvgCanvas::add_rect(const BBox& box, const std::string& fill,
+                         const std::string& stroke, double stroke_width,
+                         double fill_opacity) {
+  std::ostringstream os;
+  os << "<rect x=\"" << sx(box.lo.x) << "\" y=\"" << sy(box.hi.y)
+     << "\" width=\"" << box.extent(0) * scale_ << "\" height=\""
+     << box.extent(1) * scale_ << "\" fill=\"" << fill << "\" fill-opacity=\""
+     << fill_opacity << "\" stroke=\"" << stroke << "\" stroke-width=\""
+     << stroke_width << "\"/>";
+  shapes_.push_back(os.str());
+}
+
+void SvgCanvas::add_circle(Vec3 center, double world_radius,
+                           const std::string& fill, const std::string& stroke) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << sx(center.x) << "\" cy=\"" << sy(center.y)
+     << "\" r=\"" << world_radius * scale_ << "\" fill=\"" << fill
+     << "\" stroke=\"" << stroke << "\"/>";
+  shapes_.push_back(os.str());
+}
+
+void SvgCanvas::add_line(Vec3 a, Vec3 b, const std::string& stroke,
+                         double stroke_width) {
+  std::ostringstream os;
+  os << "<line x1=\"" << sx(a.x) << "\" y1=\"" << sy(a.y) << "\" x2=\""
+     << sx(b.x) << "\" y2=\"" << sy(b.y) << "\" stroke=\"" << stroke
+     << "\" stroke-width=\"" << stroke_width << "\"/>";
+  shapes_.push_back(os.str());
+}
+
+void SvgCanvas::add_text(Vec3 at, const std::string& text, int font_px,
+                         const std::string& fill) {
+  std::ostringstream os;
+  os << "<text x=\"" << sx(at.x) << "\" y=\"" << sy(at.y) << "\" font-size=\""
+     << font_px << "\" fill=\"" << fill << "\">" << text << "</text>";
+  shapes_.push_back(os.str());
+}
+
+void SvgCanvas::add_polygon(const std::vector<Vec3>& points,
+                            const std::string& fill, const std::string& stroke,
+                            double stroke_width, double fill_opacity) {
+  std::ostringstream os;
+  os << "<polygon points=\"";
+  for (const Vec3& p : points) os << sx(p.x) << ',' << sy(p.y) << ' ';
+  os << "\" fill=\"" << fill << "\" fill-opacity=\"" << fill_opacity
+     << "\" stroke=\"" << stroke << "\" stroke-width=\"" << stroke_width
+     << "\"/>";
+  shapes_.push_back(os.str());
+}
+
+std::string SvgCanvas::render() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+     << "\" height=\"" << height_ << "\">\n";
+  for (const std::string& s : shapes_) os << "  " << s << '\n';
+  os << "</svg>\n";
+  return os.str();
+}
+
+void SvgCanvas::save(const std::string& path) const {
+  std::ofstream os(path);
+  require(os.good(), "SvgCanvas::save: cannot open " + path);
+  os << render();
+  require(os.good(), "SvgCanvas::save: write failed for " + path);
+}
+
+std::string SvgCanvas::partition_color(idx_t p) {
+  static const char* kPalette[] = {
+      "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+      "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#1f77b4", "#ff7f0e",
+      "#2ca02c", "#d62728", "#9467bd", "#8c564b"};
+  constexpr idx_t kCount = static_cast<idx_t>(std::size(kPalette));
+  return kPalette[static_cast<std::size_t>(((p % kCount) + kCount) % kCount)];
+}
+
+}  // namespace cpart

@@ -1,0 +1,49 @@
+// Minimal SVG output for 2D figures (Figure 1/2 reproductions, partition
+// cross-sections of the impact simulation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "util/common.hpp"
+
+namespace cpart {
+
+class SvgCanvas {
+ public:
+  /// World-coordinate viewport mapped to a `pixels`-wide image (height
+  /// follows the aspect ratio). y points up in world space.
+  SvgCanvas(const BBox& world, int pixels = 800);
+
+  void add_rect(const BBox& box, const std::string& fill,
+                const std::string& stroke = "black", double stroke_width = 1.0,
+                double fill_opacity = 1.0);
+  void add_circle(Vec3 center, double world_radius, const std::string& fill,
+                  const std::string& stroke = "none");
+  void add_line(Vec3 a, Vec3 b, const std::string& stroke,
+                double stroke_width = 1.0);
+  void add_text(Vec3 at, const std::string& text, int font_px = 12,
+                const std::string& fill = "black");
+  /// Closed polygon through world-space points.
+  void add_polygon(const std::vector<Vec3>& points, const std::string& fill,
+                   const std::string& stroke = "black",
+                   double stroke_width = 1.0, double fill_opacity = 1.0);
+
+  std::string render() const;
+  void save(const std::string& path) const;
+
+  /// Distinct fill colours for partition ids (cycled palette).
+  static std::string partition_color(idx_t p);
+
+ private:
+  double sx(double x) const;
+  double sy(double y) const;
+
+  BBox world_;
+  double scale_;
+  int width_, height_;
+  std::vector<std::string> shapes_;
+};
+
+}  // namespace cpart

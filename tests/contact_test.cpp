@@ -1,0 +1,203 @@
+// Tests for contact/: bbox filter, face ownership, global search counting,
+// M2MComm (with optimal relabelling) and UpdComm.
+#include <gtest/gtest.h>
+
+#include "contact/global_search.hpp"
+#include "contact/search_metrics.hpp"
+#include "mesh/generators.hpp"
+#include "tree/descriptor_tree.hpp"
+
+namespace cpart {
+namespace {
+
+TEST(BBoxFilter, FromPointsBuildsTightBoxes) {
+  const std::vector<Vec3> pts{{0, 0, 0}, {1, 1, 0}, {5, 5, 0}, {6, 6, 0}};
+  const std::vector<idx_t> labels{0, 0, 1, 1};
+  const BBoxFilter f = BBoxFilter::from_points(pts, labels, 2);
+  EXPECT_DOUBLE_EQ(f.box(0).hi.x, 1);
+  EXPECT_DOUBLE_EQ(f.box(1).lo.x, 5);
+  std::vector<idx_t> parts;
+  BBox q;
+  q.expand(Vec3{0.5, 0.5, 0});
+  f.query_box(q, parts);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], 0);
+}
+
+TEST(BBoxFilter, OverlappingBoxesReportBoth) {
+  const std::vector<Vec3> pts{{0, 0, 0}, {4, 4, 0}, {2, 2, 0}, {6, 6, 0}};
+  const std::vector<idx_t> labels{0, 0, 1, 1};
+  const BBoxFilter f = BBoxFilter::from_points(pts, labels, 2);
+  std::vector<idx_t> parts;
+  BBox q;
+  q.expand(Vec3{3, 3, 0});
+  f.query_box(q, parts);
+  EXPECT_EQ(parts.size(), 2u);  // boxes overlap at (3,3): false positive zone
+}
+
+TEST(BBoxFilter, EmptyPartitionNeverMatches) {
+  const std::vector<Vec3> pts{{0, 0, 0}};
+  const std::vector<idx_t> labels{0};
+  const BBoxFilter f = BBoxFilter::from_points(pts, labels, 3);
+  std::vector<idx_t> parts;
+  BBox q;
+  q.expand(Vec3{0, 0, 0});
+  q.inflate(100);
+  f.query_box(q, parts);
+  ASSERT_EQ(parts.size(), 1u);
+}
+
+TEST(FaceOwners, MajorityAndTieBreak) {
+  const Mesh m = make_hex_box(1, 1, 1, Vec3{0, 0, 0}, Vec3{1, 1, 1});
+  const Surface s = extract_surface(m);
+  ASSERT_EQ(s.num_faces(), 6);
+  // All nodes in partition 2 -> every face owned by 2.
+  std::vector<idx_t> labels(8, 2);
+  auto owners = face_owners(s, labels, 3);
+  for (idx_t o : owners) EXPECT_EQ(o, 2);
+
+  // 2D quad: each boundary "face" is an edge with 2 nodes. Label so that
+  // every edge has one node of each partition -> ties -> lowest id wins.
+  const Mesh q = make_quad_rect(1, 1, Vec3{0, 0, 0}, Vec3{1, 1, 0});
+  const Surface qs = extract_surface(q);
+  ASSERT_EQ(qs.num_faces(), 4);
+  std::vector<idx_t> qlabels(4);
+  for (idx_t v = 0; v < 4; ++v) {
+    // Grid ids: (i*(ny+1)+j) -> label by (i+j) parity gives opposite labels
+    // on every edge of the unit quad.
+    const idx_t i = v / 2, j = v % 2;
+    qlabels[static_cast<std::size_t>(v)] = (i + j) % 2;
+  }
+  owners = face_owners(qs, qlabels, 3);
+  for (idx_t o : owners) EXPECT_EQ(o, 0);
+}
+
+TEST(GlobalSearch, NoRemoteSendsForSinglePartition) {
+  const Mesh m = make_hex_box(3, 3, 3, Vec3{0, 0, 0}, Vec3{1, 1, 1});
+  const Surface s = extract_surface(m);
+  const std::vector<idx_t> labels(static_cast<std::size_t>(m.num_nodes()), 0);
+  const auto owners = face_owners(s, labels, 1);
+  std::vector<Vec3> pts;
+  std::vector<idx_t> plabels;
+  for (idx_t id : s.contact_nodes) {
+    pts.push_back(m.node(id));
+    plabels.push_back(0);
+  }
+  const BBoxFilter f = BBoxFilter::from_points(pts, plabels, 1);
+  const auto stats = global_search_bbox(m, s, owners, f, 0.01);
+  EXPECT_EQ(stats.remote_sends, 0);
+  EXPECT_EQ(stats.elements_sent, 0);
+  EXPECT_GT(stats.candidates, 0);
+}
+
+TEST(GlobalSearch, BoundaryFacesCrossPartitions) {
+  // Split a 4x1x1 hex row at x=2: faces adjacent to the split must be sent.
+  const Mesh m = make_hex_box(4, 1, 1, Vec3{0, 0, 0}, Vec3{4, 1, 1});
+  const Surface s = extract_surface(m);
+  std::vector<idx_t> labels(static_cast<std::size_t>(m.num_nodes()));
+  for (idx_t v = 0; v < m.num_nodes(); ++v) {
+    labels[static_cast<std::size_t>(v)] = m.node(v).x < 2 ? 0 : 1;
+  }
+  const auto owners = face_owners(s, labels, 2);
+  std::vector<Vec3> pts;
+  std::vector<idx_t> plabels;
+  for (idx_t id : s.contact_nodes) {
+    pts.push_back(m.node(id));
+    plabels.push_back(labels[static_cast<std::size_t>(id)]);
+  }
+  const BBoxFilter f = BBoxFilter::from_points(pts, plabels, 2);
+  const auto stats = global_search_bbox(m, s, owners, f, 0.05);
+  EXPECT_GT(stats.remote_sends, 0);
+  EXPECT_LT(stats.remote_sends, s.num_faces());  // far faces stay local
+
+  // The descriptor-tree filter must agree on which faces are local-only for
+  // well-separated regions, and send no more than the bbox filter here.
+  const SubdomainDescriptors desc(pts, plabels, 2);
+  const auto tree_stats = global_search_tree(m, s, owners, desc, 0.05);
+  EXPECT_GT(tree_stats.remote_sends, 0);
+  EXPECT_LE(tree_stats.remote_sends, stats.remote_sends);
+}
+
+TEST(GlobalSearch, OwnerSizeMismatchThrows) {
+  const Mesh m = make_hex_box(1, 1, 1, Vec3{0, 0, 0}, Vec3{1, 1, 1});
+  const Surface s = extract_surface(m);
+  const std::vector<idx_t> owners(2, 0);  // wrong size
+  const BBoxFilter f({BBox{}});
+  EXPECT_THROW(global_search_bbox(m, s, owners, f, 0), InputError);
+}
+
+TEST(M2M, ZeroWhenLabelingsIdentical) {
+  const std::vector<idx_t> fe{0, 1, 2, 0, 1, 2};
+  const auto r = m2m_comm(fe, fe, 3);
+  EXPECT_EQ(r.mismatched, 0);
+}
+
+TEST(M2M, ZeroWhenLabelingsArePermutationsOfEachOther) {
+  // contact label = (fe label + 1) mod 3: a pure relabelling; the maximal
+  // matching must recover it and report zero mismatch.
+  const std::vector<idx_t> fe{0, 0, 1, 1, 2, 2};
+  std::vector<idx_t> contact;
+  for (idx_t l : fe) contact.push_back((l + 1) % 3);
+  const auto r = m2m_comm(fe, contact, 3);
+  EXPECT_EQ(r.mismatched, 0);
+  // relabel maps contact partition j to FE partition j-1 (mod 3).
+  EXPECT_EQ(r.relabel[1], 0);
+  EXPECT_EQ(r.relabel[2], 1);
+  EXPECT_EQ(r.relabel[0], 2);
+}
+
+TEST(M2M, CountsGenuineMismatches) {
+  // 4 points agree on identity, 2 points disagree in a way no relabelling
+  // can absorb.
+  const std::vector<idx_t> fe{0, 0, 0, 1, 1, 1};
+  const std::vector<idx_t> contact{0, 0, 1, 1, 1, 0};
+  const auto r = m2m_comm(fe, contact, 2);
+  EXPECT_EQ(r.mismatched, 2);
+}
+
+TEST(M2M, WorstCaseAllMismatch) {
+  // Every FE partition's points are spread uniformly over contact
+  // partitions: best matching saves exactly 1/k of the points.
+  std::vector<idx_t> fe, contact;
+  const idx_t k = 4;
+  for (idx_t i = 0; i < k; ++i) {
+    for (idx_t j = 0; j < k; ++j) {
+      fe.push_back(i);
+      contact.push_back(j);
+    }
+  }
+  const auto r = m2m_comm(fe, contact, k);
+  EXPECT_EQ(r.mismatched, to_idx(fe.size()) - k);
+}
+
+TEST(M2M, RejectsBadInput) {
+  const std::vector<idx_t> a{0, 1};
+  const std::vector<idx_t> b{0};
+  EXPECT_THROW(m2m_comm(a, b, 2), InputError);
+  const std::vector<idx_t> bad{0, 5};
+  EXPECT_THROW(m2m_comm(a, bad, 2), InputError);
+}
+
+TEST(UpdComm, CountsOnlyPersistingMovedPoints) {
+  // ids 0..4 labeled; next snapshot drops id 4, adds id 5, moves id 1.
+  const std::vector<idx_t> ids_a{0, 1, 2, 3, 4};
+  const std::vector<idx_t> lab_a{0, 0, 1, 1, 1};
+  const std::vector<idx_t> ids_b{0, 1, 2, 3, 5};
+  const std::vector<idx_t> lab_b{0, 1, 1, 1, 0};
+  EXPECT_EQ(upd_comm(ids_a, lab_a, ids_b, lab_b, 6), 1);
+}
+
+TEST(UpdComm, ZeroForIdenticalLabelings) {
+  const std::vector<idx_t> ids{0, 1, 2};
+  const std::vector<idx_t> lab{2, 1, 0};
+  EXPECT_EQ(upd_comm(ids, lab, ids, lab, 3), 0);
+}
+
+TEST(UpdComm, RejectsOutOfRangeIds) {
+  const std::vector<idx_t> ids{7};
+  const std::vector<idx_t> lab{0};
+  EXPECT_THROW(upd_comm(ids, lab, ids, lab, 3), InputError);
+}
+
+}  // namespace
+}  // namespace cpart

@@ -1,0 +1,77 @@
+// File-level I/O round-trips through temporary files (the stream-level
+// round-trips live in io_test.cpp / mesh_test.cpp).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/graph_builder.hpp"
+#include "graph/graph_io.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/mesh_io.hpp"
+#include "mesh/vtk_io.hpp"
+#include "partition/partition.hpp"
+
+namespace cpart {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cpart_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TempDir, MeshFileRoundTrip) {
+  const Mesh m = make_tet_box(2, 3, 2, Vec3{0, -1, 2}, Vec3{2, 3, 2});
+  write_mesh_file(path("box.mesh"), m);
+  const Mesh r = read_mesh_file(path("box.mesh"));
+  EXPECT_EQ(r.element_type(), ElementType::kTet4);
+  EXPECT_EQ(r.num_nodes(), m.num_nodes());
+  EXPECT_EQ(r.num_elements(), m.num_elements());
+  for (idx_t i = 0; i < m.num_nodes(); i += 3) {
+    EXPECT_EQ(r.node(i), m.node(i));
+  }
+}
+
+TEST_F(TempDir, GraphAndPartitionFileRoundTrip) {
+  const CsrGraph g = make_grid_graph(9, 7);
+  write_metis_graph_file(path("grid.graph"), g);
+  const CsrGraph r = read_metis_graph_file(path("grid.graph"));
+  EXPECT_EQ(r.num_vertices(), g.num_vertices());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+
+  PartitionOptions opts;
+  opts.k = 4;
+  const auto part = partition_graph(r, opts);
+  write_partition_file(path("grid.part"), part);
+  EXPECT_EQ(read_partition_file(path("grid.part"), r.num_vertices()), part);
+}
+
+TEST_F(TempDir, VtkFileWritten) {
+  const Mesh m = make_hex_box(2, 2, 2, Vec3{0, 0, 0}, Vec3{1, 1, 1});
+  std::vector<idx_t> field(static_cast<std::size_t>(m.num_elements()), 3);
+  const VtkScalarField f{"body", field};
+  write_vtk_file(path("box.vtk"), m, {}, {&f, 1});
+  EXPECT_GT(std::filesystem::file_size(path("box.vtk")), 500u);
+}
+
+TEST_F(TempDir, WriteToUnwritablePathThrows) {
+  const Mesh m = make_hex_box(1, 1, 1, Vec3{0, 0, 0}, Vec3{1, 1, 1});
+  EXPECT_THROW(write_mesh_file("/nonexistent-dir/x.mesh", m), InputError);
+  EXPECT_THROW(write_metis_graph_file("/nonexistent-dir/x.graph",
+                                      make_path_graph(3)),
+               InputError);
+}
+
+}  // namespace
+}  // namespace cpart

@@ -1,0 +1,246 @@
+// Tests for geom/: Vec3 and BBox primitives plus the RCB partitioner
+// (balance, locate consistency, incremental update, degenerate inputs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/bbox.hpp"
+#include "geom/rcb.hpp"
+#include "util/rng.hpp"
+
+namespace cpart {
+namespace {
+
+TEST(Vec3, IndexingAndArithmetic) {
+  Vec3 v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(v[0], 1);
+  EXPECT_DOUBLE_EQ(v[1], 2);
+  EXPECT_DOUBLE_EQ(v[2], 3);
+  const Vec3 w = v + Vec3{1, 1, 1};
+  EXPECT_DOUBLE_EQ(w.x, 2);
+  const Vec3 d = w - v;
+  EXPECT_DOUBLE_EQ(d.y, 1);
+  const Vec3 s = 2.0 * v;
+  EXPECT_DOUBLE_EQ(s.z, 6);
+  EXPECT_DOUBLE_EQ(dot(v, v), 14);
+  EXPECT_DOUBLE_EQ(norm(Vec3{3, 4, 0}), 5);
+}
+
+TEST(BBox, EmptyAndExpand) {
+  BBox b;
+  EXPECT_TRUE(b.empty());
+  b.expand(Vec3{1, 2, 3});
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(b.contains(Vec3{1, 2, 3}));
+  b.expand(Vec3{-1, 0, 5});
+  EXPECT_DOUBLE_EQ(b.extent(0), 2);
+  EXPECT_DOUBLE_EQ(b.extent(2), 2);
+}
+
+TEST(BBox, IntersectsClosedInterval) {
+  BBox a, b;
+  a.expand(Vec3{0, 0, 0});
+  a.expand(Vec3{1, 1, 1});
+  b.expand(Vec3{1, 1, 1});  // touching at a corner
+  b.expand(Vec3{2, 2, 2});
+  EXPECT_TRUE(a.intersects(b));
+  BBox c;
+  c.expand(Vec3{1.01, 0, 0});
+  c.expand(Vec3{2, 1, 1});
+  EXPECT_FALSE(c.intersects(a));
+}
+
+TEST(BBox, EmptyNeverIntersects) {
+  BBox a, empty;
+  a.expand(Vec3{0, 0, 0});
+  a.expand(Vec3{5, 5, 5});
+  EXPECT_FALSE(a.intersects(empty));
+  EXPECT_FALSE(empty.intersects(a));
+}
+
+TEST(BBox, InflateAndCenter) {
+  BBox b;
+  b.expand(Vec3{0, 0, 0});
+  b.expand(Vec3{2, 4, 6});
+  const Vec3 c = b.center();
+  EXPECT_DOUBLE_EQ(c.x, 1);
+  EXPECT_DOUBLE_EQ(c.y, 2);
+  b.inflate(0.5);
+  EXPECT_DOUBLE_EQ(b.lo.x, -0.5);
+  EXPECT_DOUBLE_EQ(b.hi.z, 6.5);
+}
+
+TEST(BBox, LongestAxisRespectsDim) {
+  BBox b;
+  b.expand(Vec3{0, 0, 0});
+  b.expand(Vec3{1, 2, 10});
+  EXPECT_EQ(b.longest_axis(3), 2);
+  EXPECT_EQ(b.longest_axis(2), 1);  // z ignored in 2D
+}
+
+TEST(BBox, BBoxOfSubset) {
+  const std::vector<Vec3> pts{{0, 0, 0}, {10, 0, 0}, {5, 5, 0}};
+  const std::vector<idx_t> subset{0, 2};
+  const BBox b = bbox_of(pts, subset);
+  EXPECT_DOUBLE_EQ(b.hi.x, 5);
+}
+
+// ---------------------------------------------------------------------------
+// RCB
+// ---------------------------------------------------------------------------
+
+std::vector<Vec3> random_points(idx_t n, int dim, Rng& rng) {
+  std::vector<Vec3> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) {
+    p.x = rng.uniform(0, 10);
+    p.y = rng.uniform(0, 10);
+    p.z = dim == 3 ? rng.uniform(0, 10) : 0;
+  }
+  return pts;
+}
+
+double label_imbalance(const std::vector<idx_t>& labels, idx_t k) {
+  std::vector<idx_t> counts(static_cast<std::size_t>(k), 0);
+  for (idx_t l : labels) ++counts[static_cast<std::size_t>(l)];
+  idx_t mx = 0;
+  for (idx_t c : counts) mx = std::max(mx, c);
+  return static_cast<double>(mx) * k / static_cast<double>(labels.size());
+}
+
+class RcbBalanceTest : public ::testing::TestWithParam<idx_t> {};
+
+TEST_P(RcbBalanceTest, PartsNearlyEqual) {
+  const idx_t k = GetParam();
+  Rng rng(123);
+  const auto pts = random_points(2000, 3, rng);
+  const RcbTree tree = RcbTree::build(pts, {}, k, 3);
+  const auto& labels = tree.labels();
+  // Every label in range, all parts non-empty, imbalance tiny.
+  std::vector<idx_t> counts(static_cast<std::size_t>(k), 0);
+  for (idx_t l : labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, k);
+    ++counts[static_cast<std::size_t>(l)];
+  }
+  for (idx_t c : counts) EXPECT_GT(c, 0);
+  EXPECT_LE(label_imbalance(labels, k), 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, RcbBalanceTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 16, 25, 64));
+
+TEST(Rcb, LocateMatchesLabelsAwayFromCuts) {
+  Rng rng(7);
+  const auto pts = random_points(500, 3, rng);
+  const RcbTree tree = RcbTree::build(pts, {}, 8, 3);
+  // locate() uses coordinate comparisons; points not exactly on a cut plane
+  // must resolve to their assigned partition.
+  int mismatches = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (tree.locate(pts[i]) != tree.labels()[i]) ++mismatches;
+  }
+  // Ties on cut planes are possible but rare with random reals.
+  EXPECT_LE(mismatches, 2);
+}
+
+TEST(Rcb, WeightedMedianRespectsWeights) {
+  // 10 unit-weight points at x=0..9 plus one heavy point at x=9.
+  std::vector<Vec3> pts;
+  std::vector<wgt_t> wgts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(Vec3{static_cast<real_t>(i), 0, 0});
+    wgts.push_back(1);
+  }
+  pts.push_back(Vec3{9.5, 0, 0});
+  wgts.push_back(10);
+  const RcbTree tree = RcbTree::build(pts, wgts, 2, 2);
+  // Weighted half is 10; the heavy point alone holds half the total, so the
+  // left side must take most of the light points.
+  wgt_t left_weight = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (tree.labels()[i] == 0) left_weight += wgts[i];
+  }
+  EXPECT_NEAR(static_cast<double>(left_weight), 10.0, 2.0);
+}
+
+TEST(Rcb, UpdateKeepsStructureStableUnderSmallMotion) {
+  Rng rng(99);
+  auto pts = random_points(1000, 3, rng);
+  RcbTree tree = RcbTree::build(pts, {}, 16, 3);
+  const auto before = tree.labels();
+  // Jiggle points slightly; most labels must survive.
+  for (auto& p : pts) {
+    p.x += rng.uniform(-0.01, 0.01);
+    p.y += rng.uniform(-0.01, 0.01);
+    p.z += rng.uniform(-0.01, 0.01);
+  }
+  tree.update(pts, {});
+  const auto& after = tree.labels();
+  idx_t moved = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) ++moved;
+  }
+  EXPECT_LT(moved, 50);  // < 5% of points move for a tiny perturbation
+  EXPECT_LE(label_imbalance(after, 16), 1.05);
+}
+
+TEST(Rcb, UpdateRebalancesAfterDrift) {
+  Rng rng(5);
+  auto pts = random_points(800, 2, rng);
+  RcbTree tree = RcbTree::build(pts, {}, 8, 2);
+  // Strong drift: squeeze all points into the left half.
+  for (auto& p : pts) p.x *= 0.3;
+  tree.update(pts, {});
+  EXPECT_LE(label_imbalance(tree.labels(), 8), 1.05);
+}
+
+TEST(Rcb, UpdateHandlesChangedPointCount) {
+  Rng rng(31);
+  auto pts = random_points(500, 3, rng);
+  RcbTree tree = RcbTree::build(pts, {}, 5, 3);
+  pts.resize(300);  // surface eroded
+  tree.update(pts, {});
+  EXPECT_EQ(tree.labels().size(), 300u);
+  EXPECT_LE(label_imbalance(tree.labels(), 5), 1.2);
+}
+
+TEST(Rcb, SinglePartAndSinglePoint) {
+  const std::vector<Vec3> pts{{1, 2, 3}};
+  const RcbTree t1 = RcbTree::build(pts, {}, 1, 3);
+  EXPECT_EQ(t1.labels()[0], 0);
+  // k > number of points: labels stay in range.
+  const RcbTree t4 = RcbTree::build(pts, {}, 4, 3);
+  EXPECT_GE(t4.labels()[0], 0);
+  EXPECT_LT(t4.labels()[0], 4);
+}
+
+TEST(Rcb, DuplicatePointsSplitDeterministically) {
+  // All points coincide: RCB must still produce a balanced labeling.
+  const std::vector<Vec3> pts(64, Vec3{1, 1, 1});
+  const RcbTree tree = RcbTree::build(pts, {}, 4, 3);
+  EXPECT_LE(label_imbalance(tree.labels(), 4), 1.01);
+}
+
+TEST(Rcb, RejectsBadArguments) {
+  const std::vector<Vec3> pts{{0, 0, 0}};
+  EXPECT_THROW(RcbTree::build(pts, {}, 0, 3), InputError);
+  EXPECT_THROW(RcbTree::build(pts, {}, 2, 1), InputError);
+  const std::vector<wgt_t> wrong{1, 2};
+  EXPECT_THROW(RcbTree::build(pts, wrong, 2, 3), InputError);
+}
+
+TEST(Rcb, TwoDimensionalIgnoresZ) {
+  // Points separated only along z; 2D RCB must still split (by x/y order of
+  // equal coordinates) without touching z.
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back(Vec3{static_cast<real_t>(i % 10), static_cast<real_t>(i / 10),
+                       static_cast<real_t>(i) * 100});
+  }
+  const RcbTree tree = RcbTree::build(pts, {}, 4, 2);
+  EXPECT_LE(label_imbalance(tree.labels(), 4), 1.01);
+}
+
+}  // namespace
+}  // namespace cpart

@@ -1,0 +1,196 @@
+// Tests for graph/: CSR validation, builder deduplication, metrics.
+#include <gtest/gtest.h>
+
+#include "graph/csr_graph.hpp"
+#include "graph/graph_builder.hpp"
+#include "graph/graph_metrics.hpp"
+
+namespace cpart {
+namespace {
+
+CsrGraph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  return b.build();
+}
+
+TEST(CsrGraph, BasicShape) {
+  const CsrGraph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(CsrGraph, RejectsBadXadj) {
+  EXPECT_THROW(CsrGraph({0, 2, 1}, {0, 1}), InputError);
+  EXPECT_THROW(CsrGraph({1, 2}, {0}), InputError);
+}
+
+TEST(CsrGraph, RejectsOutOfRangeNeighbor) {
+  EXPECT_THROW(CsrGraph({0, 1, 2}, {5, 0}), InputError);
+}
+
+TEST(CsrGraph, RejectsBadWeightSizes) {
+  EXPECT_THROW(CsrGraph({0, 1, 2}, {1, 0}, {1, 2, 3}, {}, 1), InputError);
+  EXPECT_THROW(CsrGraph({0, 1, 2}, {1, 0}, {}, {1, 2, 3}, 1), InputError);
+}
+
+TEST(CsrGraph, UnitWeightsByDefault) {
+  const CsrGraph g = triangle();
+  EXPECT_EQ(g.vertex_weight(0), 1);
+  EXPECT_EQ(g.edge_weight(0, 0), 1);
+  EXPECT_EQ(g.total_vertex_weight(), 3);
+}
+
+TEST(CsrGraph, MultiConstraintWeights) {
+  CsrGraph g({0, 1, 2}, {1, 0}, {1, 0, 1, 1}, {}, 2);
+  EXPECT_EQ(g.ncon(), 2);
+  EXPECT_EQ(g.vertex_weight(0, 0), 1);
+  EXPECT_EQ(g.vertex_weight(0, 1), 0);
+  EXPECT_EQ(g.total_vertex_weight(1), 1);
+}
+
+TEST(GraphBuilder, DeduplicatesKeepingMax) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 0, 7);
+  const CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge_weight(0, 0), 7);
+}
+
+TEST(GraphBuilder, DeduplicatesSumming) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 0, 7);
+  const CsrGraph g = b.build(DupPolicy::kSum);
+  EXPECT_EQ(g.edge_weight(0, 0), 10);
+}
+
+TEST(GraphBuilder, RejectsSelfLoopAndRange) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 0), InputError);
+  EXPECT_THROW(b.add_edge(0, 5), InputError);
+  EXPECT_THROW(b.add_edge(0, 1, 0), InputError);
+}
+
+TEST(GraphBuilder, GridGraphShape) {
+  const CsrGraph g = make_grid_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  // Edges: 2*4 horizontal + 3*3 vertical = 17.
+  EXPECT_EQ(g.num_edges(), 17);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(GraphBuilder, Grid3dShape) {
+  const CsrGraph g = make_grid_graph_3d(2, 3, 4);
+  EXPECT_EQ(g.num_vertices(), 24);
+  // Edges: 1*3*4 + 2*2*4 + 2*3*3 = 12 + 16 + 18 = 46.
+  EXPECT_EQ(g.num_edges(), 46);
+}
+
+TEST(GraphBuilder, PathGraph) {
+  const CsrGraph g = make_path_graph(5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(Metrics, EdgeCutOnPath) {
+  const CsrGraph g = make_path_graph(4);
+  const std::vector<idx_t> part{0, 0, 1, 1};
+  EXPECT_EQ(edge_cut(g, part), 1);
+}
+
+TEST(Metrics, EdgeCutWeighted) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 2);
+  const CsrGraph g = b.build();
+  const std::vector<idx_t> part{0, 1, 1};
+  EXPECT_EQ(edge_cut(g, part), 5);
+}
+
+TEST(Metrics, CommVolumeCountsDistinctParts) {
+  // Star: center 0 adjacent to three leaves in three different partitions.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const CsrGraph g = b.build();
+  const std::vector<idx_t> part{0, 1, 2, 2};
+  // Center talks to partitions {1, 2} -> 2; each leaf talks to {0} -> 1.
+  EXPECT_EQ(total_comm_volume(g, part), 2 + 3);
+}
+
+TEST(Metrics, CommVolumeZeroWhenSinglePartition) {
+  const CsrGraph g = make_grid_graph(4, 4);
+  const std::vector<idx_t> part(16, 0);
+  EXPECT_EQ(total_comm_volume(g, part), 0);
+  EXPECT_EQ(edge_cut(g, part), 0);
+  EXPECT_EQ(boundary_vertex_count(g, part), 0);
+}
+
+TEST(Metrics, LoadImbalanceUniform) {
+  const CsrGraph g = make_path_graph(4);
+  const std::vector<idx_t> part{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(load_imbalance(g, part, 2), 1.0);
+}
+
+TEST(Metrics, LoadImbalanceSkewed) {
+  const CsrGraph g = make_path_graph(4);
+  const std::vector<idx_t> part{0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(load_imbalance(g, part, 2), 1.5);
+}
+
+TEST(Metrics, LoadImbalanceZeroTotalIsBalanced) {
+  // Constraint 1 weights all zero -> vacuously balanced.
+  CsrGraph g({0, 1, 2}, {1, 0}, {1, 0, 1, 0}, {}, 2);
+  const std::vector<idx_t> part{0, 1};
+  EXPECT_DOUBLE_EQ(load_imbalance(g, part, 2, 1), 1.0);
+}
+
+TEST(Metrics, MaxLoadImbalanceTakesWorstConstraint) {
+  // Constraint 0 balanced, constraint 1 fully skewed.
+  CsrGraph g({0, 1, 2}, {1, 0}, {1, 1, 1, 0}, {}, 2);
+  const std::vector<idx_t> part{0, 1};
+  EXPECT_DOUBLE_EQ(load_imbalance(g, part, 2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(max_load_imbalance(g, part, 2), 2.0);
+}
+
+TEST(Metrics, BoundaryVertexCount) {
+  const CsrGraph g = make_path_graph(5);
+  const std::vector<idx_t> part{0, 0, 1, 1, 1};
+  EXPECT_EQ(boundary_vertex_count(g, part), 2);
+}
+
+TEST(Metrics, PartitionWeightsPerConstraint) {
+  CsrGraph g({0, 1, 3, 4}, {1, 0, 2, 1}, {1, 5, 1, 0, 2, 3}, {}, 2);
+  const std::vector<idx_t> part{0, 0, 1};
+  const auto w0 = partition_weights(g, part, 2, 0);
+  const auto w1 = partition_weights(g, part, 2, 1);
+  EXPECT_EQ(w0[0], 2);
+  EXPECT_EQ(w0[1], 2);
+  EXPECT_EQ(w1[0], 5);
+  EXPECT_EQ(w1[1], 3);
+}
+
+TEST(Metrics, InvalidPartitionDetected) {
+  const std::vector<idx_t> good{0, 1, 2};
+  const std::vector<idx_t> bad{0, 3, 1};
+  EXPECT_TRUE(is_valid_partition(good, 3));
+  EXPECT_FALSE(is_valid_partition(bad, 3));
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const CsrGraph g = make_path_graph(4);
+  const std::vector<idx_t> part{0, 1};
+  EXPECT_THROW(edge_cut(g, part), InputError);
+  EXPECT_THROW(total_comm_volume(g, part), InputError);
+}
+
+}  // namespace
+}  // namespace cpart

@@ -1,0 +1,94 @@
+// Tests for match/: exact maximum-weight assignment, including a
+// brute-force cross-check property sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "match/hungarian.hpp"
+#include "util/rng.hpp"
+
+namespace cpart {
+namespace {
+
+TEST(Hungarian, IdentityIsOptimalForDiagonalMatrix) {
+  // Heavy diagonal: identity assignment wins.
+  const idx_t n = 4;
+  std::vector<wgt_t> w(16, 1);
+  for (idx_t i = 0; i < n; ++i) w[static_cast<std::size_t>(i) * n + i] = 100;
+  const auto a = max_weight_assignment(w, n);
+  for (idx_t i = 0; i < n; ++i) EXPECT_EQ(a[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(assignment_weight(w, n, a), 400);
+}
+
+TEST(Hungarian, RecoversPermutation) {
+  // Weight concentrated on a known permutation.
+  const idx_t n = 5;
+  const std::vector<idx_t> perm{3, 0, 4, 1, 2};
+  std::vector<wgt_t> w(25, 0);
+  for (idx_t i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i) * n +
+      static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = 50;
+  }
+  const auto a = max_weight_assignment(w, n);
+  EXPECT_EQ(a, perm);
+}
+
+TEST(Hungarian, OneByOneAndEmpty) {
+  EXPECT_TRUE(max_weight_assignment({}, 0).empty());
+  const auto a = max_weight_assignment({7}, 1);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], 0);
+}
+
+TEST(Hungarian, TieBreaksStillValidPermutation) {
+  const idx_t n = 6;
+  std::vector<wgt_t> w(36, 5);  // all equal
+  const auto a = max_weight_assignment(w, n);
+  std::vector<idx_t> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  for (idx_t i = 0; i < n; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Hungarian, RejectsBadSizes) {
+  EXPECT_THROW(max_weight_assignment({1, 2, 3}, 2), InputError);
+}
+
+/// Brute force over all permutations (n <= 6).
+wgt_t brute_force_best(const std::vector<wgt_t>& w, idx_t n) {
+  std::vector<idx_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), idx_t{0});
+  wgt_t best = std::numeric_limits<wgt_t>::min();
+  do {
+    wgt_t total = 0;
+    for (idx_t i = 0; i < n; ++i) {
+      total += w[static_cast<std::size_t>(i) * n +
+                 static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+    }
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+class HungarianPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianPropertyTest, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const idx_t n = 2 + rng.uniform_int(4);  // 2..5
+  std::vector<wgt_t> w(static_cast<std::size_t>(n) * n);
+  for (auto& x : w) x = rng.uniform_int(1000);
+  const auto a = max_weight_assignment(w, n);
+  // Valid permutation.
+  std::vector<idx_t> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  for (idx_t i = 0; i < n; ++i) {
+    ASSERT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(assignment_weight(w, n, a), brute_force_best(w, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, HungarianPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cpart

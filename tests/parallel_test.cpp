@@ -1,0 +1,135 @@
+// Tests for parallel/: thread-pool correctness under contention, coverage of
+// the iteration space, deterministic reductions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/thread_pool.hpp"
+
+namespace cpart {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, [&](idx_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const idx_t n = 100000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.parallel_for(n, [&](idx_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (idx_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReduceMatchesSerialSum) {
+  ThreadPool pool(8);
+  const idx_t n = 50000;
+  const wgt_t parallel_sum =
+      pool.parallel_reduce<wgt_t>(n, 0, [](idx_t i) { return wgt_t{i}; });
+  const wgt_t serial = static_cast<wgt_t>(n) * (n - 1) / 2;
+  EXPECT_EQ(parallel_sum, serial);
+}
+
+TEST(ThreadPool, ReduceDeterministicAcrossCalls) {
+  ThreadPool pool(8);
+  const idx_t n = 30000;
+  auto run = [&] {
+    return pool.parallel_reduce<double>(
+        n, 0.0, [](idx_t i) { return 1.0 / (1.0 + static_cast<double>(i)); });
+  };
+  const double a = run();
+  const double b = run();
+  EXPECT_EQ(a, b);  // bitwise equal: chunk combination order is fixed
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](idx_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](idx_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, RepeatedDispatchesDoNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(5000, [&](idx_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200L * 5000);
+}
+
+TEST(ThreadPool, ChunkIndicesAreDisjointAndOrdered) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<idx_t, idx_t>> ranges;
+  pool.parallel_for_chunks(100000, [&](unsigned, idx_t b, idx_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  idx_t covered = 0;
+  for (auto [b, e] : ranges) {
+    EXPECT_EQ(b, covered);
+    EXPECT_GT(e, b);
+    covered = e;
+  }
+  EXPECT_EQ(covered, 100000);
+}
+
+TEST(ThreadPool, ParallelTasksRunsEachExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(37);
+  pool.parallel_tasks(37, [&](idx_t t) {
+    hits[static_cast<std::size_t>(t)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelTasksHandlesFewerTasksThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_tasks(3, [&](idx_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 3);
+  pool.parallel_tasks(0, [&](idx_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, ParallelTasksOnSingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_tasks(5, [&](idx_t t) { order.push_back(static_cast<int>(t)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelTasksUnevenWork) {
+  // Tasks with wildly different costs must all complete.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  pool.parallel_tasks(13, [&](idx_t t) {
+    long local = 0;
+    for (long i = 0; i < (t + 1) * 10000; ++i) local += i % 7;
+    total.fetch_add(local + 1, std::memory_order_relaxed);
+  });
+  EXPECT_GT(total.load(), 13);
+}
+
+TEST(ThreadPool, GlobalPoolUsable) {
+  const wgt_t s = ThreadPool::global().parallel_reduce<wgt_t>(
+      1000, 0, [](idx_t) { return wgt_t{1}; });
+  EXPECT_EQ(s, 1000);
+}
+
+}  // namespace
+}  // namespace cpart

@@ -1,0 +1,432 @@
+// Tests for partition/: coarsening invariants, FM bisection, multilevel
+// k-way partitioning (single- and multi-constraint), k-way refinement,
+// connectivity cleanup, and repartitioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/graph_builder.hpp"
+#include "graph/graph_metrics.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/connectivity.hpp"
+#include "partition/initial_partition.hpp"
+#include "partition/kway_multilevel.hpp"
+#include "partition/partition.hpp"
+#include "partition/refine_bisection.hpp"
+
+namespace cpart {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Coarsening
+// ---------------------------------------------------------------------------
+
+TEST(Coarsen, PreservesTotalVertexWeight) {
+  const CsrGraph g = make_grid_graph(20, 20);
+  Rng rng(1);
+  const Coarsening c = coarsen_once(g, rng);
+  EXPECT_LT(c.coarse.num_vertices(), g.num_vertices());
+  EXPECT_GE(c.coarse.num_vertices(), g.num_vertices() / 2);
+  EXPECT_EQ(c.coarse.total_vertex_weight(), g.total_vertex_weight());
+}
+
+TEST(Coarsen, PreservesMultiWeightTotals) {
+  CsrGraph g = make_grid_graph(10, 10);
+  std::vector<wgt_t> vwgt(200);
+  for (idx_t v = 0; v < 100; ++v) {
+    vwgt[static_cast<std::size_t>(v) * 2] = 1;
+    vwgt[static_cast<std::size_t>(v) * 2 + 1] = v % 3 == 0 ? 1 : 0;
+  }
+  g.set_vertex_weights(vwgt, 2);
+  Rng rng(2);
+  const Coarsening c = coarsen_once(g, rng);
+  EXPECT_EQ(c.coarse.ncon(), 2);
+  EXPECT_EQ(c.coarse.total_vertex_weight(0), g.total_vertex_weight(0));
+  EXPECT_EQ(c.coarse.total_vertex_weight(1), g.total_vertex_weight(1));
+}
+
+TEST(Coarsen, CoarseGraphSymmetricAndMapped) {
+  const CsrGraph g = make_grid_graph_3d(6, 6, 6);
+  Rng rng(3);
+  const Coarsening c = coarsen_once(g, rng);
+  EXPECT_TRUE(c.coarse.is_symmetric());
+  // Every fine vertex maps to a valid coarse vertex; pairs are adjacent or
+  // identical.
+  for (idx_t v = 0; v < g.num_vertices(); ++v) {
+    const idx_t cv = c.coarse_of_fine[static_cast<std::size_t>(v)];
+    ASSERT_GE(cv, 0);
+    ASSERT_LT(cv, c.coarse.num_vertices());
+  }
+}
+
+TEST(Coarsen, CutOfProjectedPartitionPreserved) {
+  // Edge weights aggregate so that any partition of the coarse graph has
+  // the same cut as its projection to the fine graph.
+  const CsrGraph g = make_grid_graph(12, 12);
+  Rng rng(4);
+  const Coarsening c = coarsen_once(g, rng);
+  Rng rng2(5);
+  std::vector<idx_t> coarse_part(
+      static_cast<std::size_t>(c.coarse.num_vertices()));
+  for (auto& p : coarse_part) p = rng2.uniform_int(2);
+  std::vector<idx_t> fine_part(static_cast<std::size_t>(g.num_vertices()));
+  for (idx_t v = 0; v < g.num_vertices(); ++v) {
+    fine_part[static_cast<std::size_t>(v)] = coarse_part[static_cast<std::size_t>(
+        c.coarse_of_fine[static_cast<std::size_t>(v)])];
+  }
+  EXPECT_EQ(edge_cut(c.coarse, coarse_part), edge_cut(g, fine_part));
+}
+
+// ---------------------------------------------------------------------------
+// FM bisection
+// ---------------------------------------------------------------------------
+
+TEST(Fm, ImprovesBadBisection) {
+  const CsrGraph g = make_grid_graph(16, 16);
+  // Balanced random start: high cut, FM must cut it down sharply.
+  std::vector<idx_t> part(256);
+  Rng scatter(1234);
+  for (idx_t v = 0; v < 256; ++v) {
+    part[static_cast<std::size_t>(v)] = scatter.uniform_int(2);
+  }
+  const wgt_t bad_cut = edge_cut(g, part);
+  Rng rng(6);
+  fm_refine_bisection(g, part, 0.5, 0.05, 10, rng);
+  const wgt_t good_cut = edge_cut(g, part);
+  EXPECT_LT(good_cut, bad_cut / 4);
+  EXPECT_LE(bisection_violation(g, part, 0.5, 0.05), 1e-12);
+}
+
+TEST(Fm, RepairsImbalance) {
+  const CsrGraph g = make_grid_graph(16, 16);
+  std::vector<idx_t> part(256, 1);  // everything on one side
+  for (idx_t v = 0; v < 10; ++v) part[static_cast<std::size_t>(v)] = 0;
+  Rng rng(7);
+  fm_refine_bisection(g, part, 0.5, 0.05, 20, rng);
+  EXPECT_LE(bisection_violation(g, part, 0.5, 0.05), 1e-12);
+}
+
+TEST(Fm, NeverWorsens) {
+  const CsrGraph g = make_grid_graph(10, 10);
+  std::vector<idx_t> part(100);
+  for (idx_t v = 0; v < 100; ++v) part[static_cast<std::size_t>(v)] = v < 50;
+  const wgt_t before = edge_cut(g, part);
+  const double viol_before = bisection_violation(g, part, 0.5, 0.05);
+  Rng rng(8);
+  fm_refine_bisection(g, part, 0.5, 0.05, 5, rng);
+  EXPECT_LE(edge_cut(g, part), before);
+  EXPECT_LE(bisection_violation(g, part, 0.5, 0.05), viol_before + 1e-12);
+}
+
+TEST(Fm, AsymmetricTargetFraction) {
+  const CsrGraph g = make_grid_graph(12, 12);
+  Rng rng(9);
+  const auto part = initial_bisection(g, 0.75, 0.05, 4, 8, rng);
+  const auto weights = partition_weights(g, part, 2);
+  EXPECT_NEAR(static_cast<double>(weights[0]) / 144.0, 0.75, 0.06);
+}
+
+// ---------------------------------------------------------------------------
+// Multilevel k-way partitioning (parameterized property sweep)
+// ---------------------------------------------------------------------------
+
+struct KwayCase {
+  idx_t k;
+  std::uint64_t seed;
+};
+
+class KwayPartitionTest : public ::testing::TestWithParam<KwayCase> {};
+
+TEST_P(KwayPartitionTest, BalancedValidAndReasonableCut) {
+  const auto [k, seed] = GetParam();
+  const CsrGraph g = make_grid_graph(32, 32);
+  PartitionOptions opts;
+  opts.k = k;
+  opts.epsilon = 0.10;
+  opts.seed = seed;
+  const auto part = partition_graph(g, opts);
+  ASSERT_TRUE(is_valid_partition(part, k));
+  EXPECT_LE(load_imbalance(g, part, k), 1.10 + 1e-9);
+  // A k-way partition of a 32x32 grid should cut no more than a few
+  // times the perfect tiling's boundary (~ 32 * (sqrt(k)-1) * 2).
+  const double perfect =
+      64.0 * (std::sqrt(static_cast<double>(k)) - 1.0) + 1;
+  EXPECT_LT(static_cast<double>(edge_cut(g, part)), 3.0 * perfect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KwayPartitionTest,
+    ::testing::Values(KwayCase{2, 1}, KwayCase{3, 1}, KwayCase{4, 2},
+                      KwayCase{5, 3}, KwayCase{8, 4}, KwayCase{16, 5},
+                      KwayCase{25, 6}, KwayCase{2, 42}, KwayCase{8, 42}));
+
+TEST(Partition, KEqualsOneTrivial) {
+  const CsrGraph g = make_grid_graph(4, 4);
+  PartitionOptions opts;
+  opts.k = 1;
+  const auto part = partition_graph(g, opts);
+  for (idx_t p : part) EXPECT_EQ(p, 0);
+}
+
+TEST(Partition, DeterministicForFixedSeed) {
+  const CsrGraph g = make_grid_graph(20, 20);
+  PartitionOptions opts;
+  opts.k = 6;
+  opts.seed = 99;
+  const auto a = partition_graph(g, opts);
+  const auto b = partition_graph(g, opts);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Partition, MultiConstraintBalancesBothWeights) {
+  // Grid where the left half carries all of constraint 1: a partitioner
+  // balancing both constraints must split the left half among all parts.
+  CsrGraph g = make_grid_graph(24, 24);
+  std::vector<wgt_t> vwgt(static_cast<std::size_t>(24 * 24) * 2);
+  for (idx_t v = 0; v < 24 * 24; ++v) {
+    vwgt[static_cast<std::size_t>(v) * 2] = 1;
+    vwgt[static_cast<std::size_t>(v) * 2 + 1] = (v / 24 < 12) ? 1 : 0;
+  }
+  g.set_vertex_weights(vwgt, 2);
+  PartitionOptions opts;
+  opts.k = 4;
+  opts.epsilon = 0.10;
+  const auto part = partition_graph(g, opts);
+  EXPECT_LE(load_imbalance(g, part, 4, 0), 1.11);
+  EXPECT_LE(load_imbalance(g, part, 4, 1), 1.11);
+}
+
+TEST(Partition, WeightedEdgesSteerTheCut) {
+  // Path of 3 heavy-coupled pairs: cutting inside a pair costs 100, between
+  // pairs costs 1. The bisector must cut a light edge.
+  GraphBuilder b(6);
+  b.add_edge(0, 1, 100);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 100);
+  b.add_edge(3, 4, 1);
+  b.add_edge(4, 5, 100);
+  const CsrGraph g = b.build();
+  PartitionOptions opts;
+  opts.k = 2;
+  opts.epsilon = 0.40;  // allow 2/4 splits
+  const auto part = partition_graph(g, opts);
+  EXPECT_LE(edge_cut(g, part), 2);
+}
+
+// ---------------------------------------------------------------------------
+// k-way refinement
+// ---------------------------------------------------------------------------
+
+TEST(KwayRefine, RestoresBalanceFromSkewedStart) {
+  const CsrGraph g = make_grid_graph(20, 20);
+  std::vector<idx_t> part(400, 0);
+  for (idx_t v = 300; v < 400; ++v) part[static_cast<std::size_t>(v)] = 1;
+  // parts 2,3 empty, part 0 massively overweight.
+  KwayRefineOptions opts;
+  opts.k = 4;
+  opts.epsilon = 0.10;
+  opts.passes = 30;
+  Rng rng(11);
+  kway_refine(g, part, opts, rng);
+  EXPECT_LE(load_imbalance(g, part, 4), 1.12);
+}
+
+TEST(KwayRefine, ReducesCutWithoutBreakingBalance) {
+  const CsrGraph g = make_grid_graph(20, 20);
+  Rng scatter(12);
+  std::vector<idx_t> part(400);
+  for (auto& p : part) p = scatter.uniform_int(4);
+  const wgt_t before = edge_cut(g, part);
+  KwayRefineOptions opts;
+  opts.k = 4;
+  opts.epsilon = 0.10;
+  opts.passes = 20;
+  Rng rng(13);
+  kway_refine(g, part, opts, rng);
+  EXPECT_LT(edge_cut(g, part), before / 2);
+  EXPECT_LE(load_imbalance(g, part, 4), 1.12);
+}
+
+TEST(KwayRefine, AnchorLimitsMigration) {
+  const CsrGraph g = make_grid_graph(16, 16);
+  PartitionOptions popts;
+  popts.k = 4;
+  const auto original = partition_graph(g, popts);
+  // Heavy anchor: refinement must barely move anything.
+  std::vector<idx_t> part = original;
+  KwayRefineOptions opts;
+  opts.k = 4;
+  opts.epsilon = 0.10;
+  opts.passes = 10;
+  opts.anchor = original;
+  opts.anchor_gain = 1000;
+  Rng rng(14);
+  kway_refine(g, part, opts, rng);
+  idx_t moved = 0;
+  for (std::size_t i = 0; i < part.size(); ++i) moved += part[i] != original[i];
+  EXPECT_EQ(moved, 0);
+}
+
+TEST(KwayRefine, RejectsBadInput) {
+  const CsrGraph g = make_path_graph(4);
+  std::vector<idx_t> part{0, 1, 2, 5};  // 5 out of range for k=3
+  KwayRefineOptions opts;
+  opts.k = 3;
+  Rng rng(15);
+  EXPECT_THROW(kway_refine(g, part, opts, rng), InputError);
+}
+
+// ---------------------------------------------------------------------------
+// Connectivity cleanup
+// ---------------------------------------------------------------------------
+
+TEST(Connectivity, CountsComponents) {
+  const CsrGraph g = make_path_graph(6);
+  // Partition 0 = {0, 1, 4}: two components; partition 1 = {2, 3, 5}: two.
+  const std::vector<idx_t> part{0, 0, 1, 1, 0, 1};
+  const auto comps = partition_components(g, part, 2);
+  EXPECT_EQ(comps[0], 2);
+  EXPECT_EQ(comps[1], 2);
+}
+
+TEST(Connectivity, MergesFragments) {
+  const CsrGraph g = make_path_graph(8);
+  // Partition 0 owns a stray island {6, 7} beyond partition 1 territory.
+  std::vector<idx_t> part{0, 0, 0, 0, 1, 1, 0, 0};
+  const idx_t moved = merge_partition_fragments(g, part, 2);
+  EXPECT_EQ(moved, 2);
+  EXPECT_EQ(part[6], 1);
+  EXPECT_EQ(part[7], 1);
+  const auto comps = partition_components(g, part, 2);
+  EXPECT_EQ(comps[0], 1);
+  EXPECT_EQ(comps[1], 1);
+}
+
+TEST(Connectivity, FragmentJoinsStrongestNeighbor) {
+  // Weighted star: island vertex 0 has a weight-10 edge to partition 2 and
+  // weight-1 to partition 1; it must join partition 2.
+  GraphBuilder b(5);
+  b.add_edge(0, 1, 1);   // partition 1
+  b.add_edge(0, 2, 10);  // partition 2
+  b.add_edge(3, 1, 1);
+  b.add_edge(4, 2, 1);
+  const CsrGraph g = b.build();
+  // Partition 0 = {0} only; its "largest component" is itself, so nothing
+  // moves. Add another, larger component for partition 0 to make {0} a
+  // fragment.
+  std::vector<idx_t> part{0, 1, 2, 0, 2};
+  // components of partition 0: {0} and {3}; equal size 1 -> the first found
+  // becomes main. Vertex 3's component is the fragment or vertex 0's is.
+  merge_partition_fragments(g, part, 3);
+  const auto comps = partition_components(g, part, 3);
+  EXPECT_LE(comps[0], 1);
+}
+
+TEST(Connectivity, NoOpOnConnectedPartitions) {
+  const CsrGraph g = make_grid_graph(8, 8);
+  std::vector<idx_t> part(64);
+  for (idx_t v = 0; v < 64; ++v) part[static_cast<std::size_t>(v)] = v / 32;
+  EXPECT_EQ(merge_partition_fragments(g, part, 2), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Direct multilevel k-way
+// ---------------------------------------------------------------------------
+
+class DirectKwayTest : public ::testing::TestWithParam<idx_t> {};
+
+TEST_P(DirectKwayTest, BalancedAndValid) {
+  const idx_t k = GetParam();
+  const CsrGraph g = make_grid_graph(32, 32);
+  PartitionOptions opts;
+  opts.k = k;
+  opts.epsilon = 0.10;
+  opts.seed = 7;
+  const auto part = partition_graph_kway(g, opts);
+  ASSERT_TRUE(is_valid_partition(part, k));
+  EXPECT_LE(load_imbalance(g, part, k), 1.11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, DirectKwayTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 25));
+
+TEST(DirectKway, QualityComparableToRecursiveBisection) {
+  const CsrGraph g = make_grid_graph_3d(16, 16, 16);
+  PartitionOptions opts;
+  opts.k = 16;
+  opts.seed = 3;
+  const auto rb = partition_graph(g, opts);
+  const auto kw = partition_graph_kway(g, opts);
+  // Direct k-way must be in the same quality league (within 2x of RB).
+  EXPECT_LT(edge_cut(g, kw), 2 * edge_cut(g, rb));
+  EXPECT_LE(load_imbalance(g, kw, 16), 1.11);
+}
+
+TEST(DirectKway, MultiConstraintBalance) {
+  CsrGraph g = make_grid_graph(24, 24);
+  std::vector<wgt_t> vwgt(static_cast<std::size_t>(24 * 24) * 2);
+  for (idx_t v = 0; v < 24 * 24; ++v) {
+    vwgt[static_cast<std::size_t>(v) * 2] = 1;
+    vwgt[static_cast<std::size_t>(v) * 2 + 1] = (v % 24 < 8) ? 1 : 0;
+  }
+  g.set_vertex_weights(vwgt, 2);
+  PartitionOptions opts;
+  opts.k = 6;
+  const auto part = partition_graph_kway(g, opts);
+  EXPECT_LE(load_imbalance(g, part, 6, 0), 1.11);
+  EXPECT_LE(load_imbalance(g, part, 6, 1), 1.11);
+}
+
+// ---------------------------------------------------------------------------
+// Repartitioning
+// ---------------------------------------------------------------------------
+
+TEST(Repartition, KeepsBalancedPartitionMostlyInPlace) {
+  const CsrGraph g = make_grid_graph(20, 20);
+  PartitionOptions popts;
+  popts.k = 5;
+  const auto old_part = partition_graph(g, popts);
+  RepartitionOptions ropts;
+  ropts.k = 5;
+  ropts.migration_cost = 3;
+  const auto new_part = repartition_graph(g, old_part, ropts);
+  idx_t moved = 0;
+  for (std::size_t i = 0; i < old_part.size(); ++i) {
+    moved += new_part[i] != old_part[i];
+  }
+  EXPECT_LT(moved, 40);  // < 10% churn on an already good partition
+  EXPECT_LE(load_imbalance(g, new_part, 5), 1.12);
+}
+
+TEST(Repartition, RestoresBalanceWithBoundedMigration) {
+  const CsrGraph g = make_grid_graph(20, 20);
+  // Unbalanced start: stripes of unequal width.
+  std::vector<idx_t> part(400);
+  for (idx_t v = 0; v < 400; ++v) {
+    const idx_t col = v % 20;
+    part[static_cast<std::size_t>(v)] = col < 14 ? 0 : (col < 17 ? 1 : 2);
+  }
+  RepartitionOptions opts;
+  opts.k = 3;
+  opts.epsilon = 0.10;
+  const auto new_part = repartition_graph(g, part, opts);
+  EXPECT_LE(load_imbalance(g, new_part, 3), 1.12);
+  // Migration should be in the order of the imbalance, not the whole mesh.
+  idx_t moved = 0;
+  for (std::size_t i = 0; i < part.size(); ++i) moved += new_part[i] != part[i];
+  EXPECT_LT(moved, 250);
+}
+
+TEST(Repartition, RejectsBadOldPartition) {
+  const CsrGraph g = make_path_graph(4);
+  const std::vector<idx_t> wrong_size{0, 1};
+  RepartitionOptions opts;
+  opts.k = 2;
+  EXPECT_THROW(repartition_graph(g, wrong_size, opts), InputError);
+  const std::vector<idx_t> out_of_range{0, 1, 2, 0};
+  EXPECT_THROW(repartition_graph(g, out_of_range, opts), InputError);
+}
+
+}  // namespace
+}  // namespace cpart

@@ -1,0 +1,129 @@
+// Tests for runtime/: the virtual cluster and the cross-validation between
+// executed traffic and the analytic metrics (FEComm, NRemote, M2MComm).
+#include <gtest/gtest.h>
+
+#include "contact/search_metrics.hpp"
+#include "core/mcml_dt.hpp"
+#include "core/ml_rcb.hpp"
+#include "graph/graph_builder.hpp"
+#include "graph/graph_metrics.hpp"
+#include "mesh/mesh_graphs.hpp"
+#include "runtime/virtual_cluster.hpp"
+#include "sim/impact_sim.hpp"
+
+namespace cpart {
+namespace {
+
+TEST(VirtualCluster, AccumulatesAndResets) {
+  VirtualCluster cluster(3);
+  cluster.send(0, 1, 5);
+  cluster.send(0, 1, 2);
+  cluster.send(1, 2, 1);
+  cluster.send(2, 2, 100);  // self-send ignored
+  StepTraffic t = cluster.finish();
+  EXPECT_EQ(t.total_units(), 8);
+  EXPECT_EQ(t.processors[0].sent_units, 7);
+  EXPECT_EQ(t.processors[1].received_units, 7);
+  EXPECT_EQ(t.processors[1].sent_units, 1);
+  EXPECT_EQ(t.processors[2].received_units, 1);
+  EXPECT_EQ(t.total_messages(), 2);
+  // finish() resets.
+  StepTraffic empty = cluster.finish();
+  EXPECT_EQ(empty.total_units(), 0);
+}
+
+TEST(VirtualCluster, ImbalanceOfUniformTrafficIsOne) {
+  VirtualCluster cluster(4);
+  for (idx_t i = 0; i < 4; ++i) cluster.send(i, (i + 1) % 4, 10);
+  const StepTraffic t = cluster.finish();
+  EXPECT_DOUBLE_EQ(t.imbalance(), 1.0);
+  EXPECT_EQ(t.max_received(), 10);
+  EXPECT_EQ(t.max_sent(), 10);
+}
+
+TEST(VirtualCluster, RejectsBadSends) {
+  VirtualCluster cluster(2);
+  EXPECT_THROW(cluster.send(-1, 0, 1), InputError);
+  EXPECT_THROW(cluster.send(0, 2, 1), InputError);
+  EXPECT_THROW(cluster.send(0, 1, -3), InputError);
+}
+
+TEST(Traffic, FeHaloMatchesTotalCommVolume) {
+  const CsrGraph g = make_grid_graph(16, 16);
+  std::vector<idx_t> part(256);
+  for (idx_t v = 0; v < 256; ++v) {
+    part[static_cast<std::size_t>(v)] = (v % 16) / 4;  // 4 column stripes
+  }
+  const StepTraffic t = fe_halo_traffic(g, part, 4);
+  EXPECT_EQ(t.total_units(), total_comm_volume(g, part));
+  EXPECT_GT(t.total_units(), 0);
+}
+
+TEST(Traffic, StepTrafficAddition) {
+  const CsrGraph g = make_path_graph(6);
+  const std::vector<idx_t> part{0, 0, 1, 1, 2, 2};
+  StepTraffic a = fe_halo_traffic(g, part, 3);
+  const wgt_t single = a.total_units();
+  a += fe_halo_traffic(g, part, 3);
+  EXPECT_EQ(a.total_units(), 2 * single);
+}
+
+class EndToEndTraffic : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ImpactSimConfig config;
+    config.plate_cells_xy = 14;
+    config.plate_cells_z = 2;
+    config.proj_cells_diameter = 6;
+    config.proj_cells_z = 6;
+    config.num_snapshots = 4;
+    sim_ = std::make_unique<ImpactSim>(config);
+    snap_ = sim_->snapshot(1);
+  }
+  std::unique_ptr<ImpactSim> sim_;
+  ImpactSim::Snapshot snap_;
+  static constexpr idx_t kParts = 6;
+};
+
+TEST_F(EndToEndTraffic, GlobalSearchTrafficMatchesNRemote) {
+  McmlDtConfig config;
+  config.k = kParts;
+  const McmlDtPartitioner p(snap_.mesh, snap_.surface, config);
+  const auto desc = p.build_descriptors(snap_.mesh, snap_.surface);
+  const auto owners = face_owners(snap_.surface, p.node_partition(), kParts);
+  const auto analytic =
+      global_search_tree(snap_.mesh, snap_.surface, owners, desc, 0.1);
+  const StepTraffic executed = global_search_traffic(
+      snap_.mesh, snap_.surface, owners, 0.1, kParts,
+      [&desc](const BBox& box, std::vector<idx_t>& parts) {
+        desc.query_box(box, parts);
+      });
+  EXPECT_EQ(executed.total_units(), analytic.remote_sends);
+  EXPECT_GE(executed.imbalance(), 1.0);
+}
+
+TEST_F(EndToEndTraffic, M2MTrafficIsTwiceM2MComm) {
+  MlRcbConfig config;
+  config.k = kParts;
+  const MlRcbPartitioner p(snap_.mesh, snap_.surface, config);
+  std::vector<idx_t> fe_labels;
+  for (idx_t id : snap_.surface.contact_nodes) {
+    fe_labels.push_back(p.node_partition()[static_cast<std::size_t>(id)]);
+  }
+  const M2MResult m2m = m2m_comm(fe_labels, p.contact_labels(), kParts);
+  const StepTraffic executed =
+      m2m_traffic(fe_labels, p.contact_labels(), m2m.relabel, kParts);
+  EXPECT_EQ(executed.total_units(), 2 * m2m.mismatched);
+}
+
+TEST_F(EndToEndTraffic, FeHaloTrafficMatchesExperimentMetric) {
+  McmlDtConfig config;
+  config.k = kParts;
+  const McmlDtPartitioner p(snap_.mesh, snap_.surface, config);
+  const CsrGraph g = nodal_graph(snap_.mesh);
+  const StepTraffic executed = fe_halo_traffic(g, p.node_partition(), kParts);
+  EXPECT_EQ(executed.total_units(), total_comm_volume(g, p.node_partition()));
+}
+
+}  // namespace
+}  // namespace cpart

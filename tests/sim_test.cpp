@@ -1,0 +1,186 @@
+// Tests for sim/: the synthetic impact sequence — determinism, stable node
+// ids, monotone erosion, moving contact surface, configuration scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/impact_sim.hpp"
+
+namespace cpart {
+namespace {
+
+ImpactSimConfig tiny_config() {
+  ImpactSimConfig c;
+  c.plate_cells_xy = 12;
+  c.plate_cells_z = 2;
+  c.proj_cells_diameter = 6;
+  c.proj_cells_z = 6;
+  c.num_snapshots = 10;
+  return c;
+}
+
+TEST(ImpactSim, InitialMeshHasThreeBodies) {
+  const ImpactSim sim(tiny_config());
+  const Mesh& m = sim.initial_mesh();
+  EXPECT_GT(m.num_nodes(), 0);
+  std::set<Body> bodies(sim.node_body().begin(), sim.node_body().end());
+  EXPECT_EQ(bodies.size(), 3u);
+  EXPECT_EQ(sim.element_body().size(),
+            static_cast<std::size_t>(m.num_elements()));
+  EXPECT_EQ(sim.node_body().size(), static_cast<std::size_t>(m.num_nodes()));
+}
+
+TEST(ImpactSim, NoseDescendsMonotonically) {
+  const ImpactSim sim(tiny_config());
+  for (idx_t s = 1; s < sim.num_snapshots(); ++s) {
+    EXPECT_LT(sim.nose_z(s), sim.nose_z(s - 1));
+  }
+  // Starts above the upper plate, ends below the lower plate.
+  EXPECT_GT(sim.nose_z(0), 0);
+  EXPECT_LT(sim.nose_z(sim.num_snapshots() - 1), -2.0);
+}
+
+TEST(ImpactSim, SnapshotsAreDeterministic) {
+  const ImpactSim sim(tiny_config());
+  const auto a = sim.snapshot(5);
+  const auto b = sim.snapshot(5);
+  EXPECT_EQ(a.mesh.num_elements(), b.mesh.num_elements());
+  for (idx_t i = 0; i < a.mesh.num_nodes(); ++i) {
+    EXPECT_EQ(a.mesh.node(i), b.mesh.node(i));
+  }
+}
+
+TEST(ImpactSim, NodeIdsStableAcrossSnapshots) {
+  const ImpactSim sim(tiny_config());
+  const auto first = sim.snapshot(0);
+  const auto last = sim.snapshot(sim.num_snapshots() - 1);
+  // Node count never changes; only elements disappear.
+  EXPECT_EQ(first.mesh.num_nodes(), last.mesh.num_nodes());
+  EXPECT_EQ(first.mesh.num_nodes(), sim.initial_mesh().num_nodes());
+}
+
+TEST(ImpactSim, ErosionMonotonicallyIncreases) {
+  const ImpactSim sim(tiny_config());
+  idx_t prev = 0;
+  for (idx_t s = 0; s < sim.num_snapshots(); ++s) {
+    idx_t eroded = 0;
+    sim.snapshot_mesh(s, &eroded);
+    EXPECT_GE(eroded, prev);
+    prev = eroded;
+  }
+  EXPECT_GT(prev, 0);  // the projectile does punch through
+}
+
+TEST(ImpactSim, ProjectileElementsNeverErode) {
+  ImpactSimConfig c = tiny_config();
+  const ImpactSim sim(c);
+  idx_t proj_elems = 0;
+  for (Body b : sim.element_body()) proj_elems += b == Body::kProjectile;
+  idx_t eroded = 0;
+  const Mesh final = sim.snapshot_mesh(sim.num_snapshots() - 1, &eroded);
+  // All remaining elements = initial - eroded; projectile never shrinks.
+  EXPECT_EQ(final.num_elements(), sim.initial_mesh().num_elements() - eroded);
+  EXPECT_GE(final.num_elements(), proj_elems);
+}
+
+TEST(ImpactSim, ContactSurfaceEvolvesAndStaysInZone) {
+  ImpactSimConfig c = tiny_config();
+  c.contact_zone_factor = 2.0;
+  const ImpactSim sim(c);
+  const auto early = sim.snapshot(0);
+  const auto late = sim.snapshot(sim.num_snapshots() - 1);
+  EXPECT_GT(early.surface.num_contact_nodes(), 0);
+  EXPECT_GT(late.surface.num_contact_nodes(), 0);
+  // The node sets differ (erosion exposes new surface).
+  EXPECT_NE(early.surface.contact_nodes, late.surface.contact_nodes);
+}
+
+TEST(ImpactSim, ZoneFactorControlsContactCount) {
+  ImpactSimConfig narrow = tiny_config();
+  narrow.contact_zone_factor = 1.5;
+  ImpactSimConfig wide = tiny_config();
+  wide.contact_zone_factor = -1;  // everything
+  const auto n = ImpactSim(narrow).snapshot(0);
+  const auto w = ImpactSim(wide).snapshot(0);
+  EXPECT_LT(n.surface.num_contact_nodes(), w.surface.num_contact_nodes());
+}
+
+TEST(ImpactSim, PlateNodesDeformNearImpactOnly) {
+  const ImpactSim sim(tiny_config());
+  const Mesh mid = sim.snapshot_mesh(sim.num_snapshots() / 2);
+  const Mesh& init = sim.initial_mesh();
+  real_t max_near = 0, max_far = 0;
+  for (idx_t v = 0; v < init.num_nodes(); ++v) {
+    if (sim.node_body()[static_cast<std::size_t>(v)] == Body::kProjectile) {
+      continue;
+    }
+    const Vec3 p0 = init.node(v);
+    const real_t moved = norm(mid.node(v) - p0);
+    const real_t rho = std::hypot(p0.x, p0.y);
+    if (rho < 2.0) {
+      max_near = std::max(max_near, moved);
+    } else if (rho > 4.0) {
+      max_far = std::max(max_far, moved);
+    }
+  }
+  EXPECT_GT(max_near, 0.05);  // crater forms
+  EXPECT_LT(max_far, 0.05);   // far field essentially rigid
+}
+
+TEST(ImpactSim, ScaleResolutionGrowsMesh) {
+  ImpactSimConfig small = tiny_config();
+  ImpactSimConfig big = tiny_config();
+  big.scale_resolution(8.0);  // 2x linear
+  EXPECT_EQ(big.plate_cells_xy, 2 * small.plate_cells_xy);
+  const idx_t n_small = ImpactSim(small).initial_mesh().num_nodes();
+  const idx_t n_big = ImpactSim(big).initial_mesh().num_nodes();
+  EXPECT_GT(n_big, 4 * n_small);
+}
+
+TEST(ImpactSim, ObliqueImpactDriftsCrater) {
+  ImpactSimConfig straight = tiny_config();
+  ImpactSimConfig oblique = tiny_config();
+  oblique.obliquity = 0.4;
+  const ImpactSim sim_s(straight);
+  const ImpactSim sim_o(oblique);
+  // Both fully perforate; the oblique channel erodes at least as many
+  // elements (it sweeps a longer path through each plate).
+  idx_t eroded_s = 0, eroded_o = 0;
+  sim_s.snapshot_mesh(sim_s.num_snapshots() - 1, &eroded_s);
+  sim_o.snapshot_mesh(sim_o.num_snapshots() - 1, &eroded_o);
+  EXPECT_GT(eroded_s, 0);
+  EXPECT_GE(eroded_o, eroded_s);
+  // The projectile ends displaced in +x for the oblique run.
+  const Mesh end_s = sim_s.snapshot_mesh(sim_s.num_snapshots() - 1);
+  const Mesh end_o = sim_o.snapshot_mesh(sim_o.num_snapshots() - 1);
+  real_t mean_sx = 0, mean_ox = 0;
+  idx_t count = 0;
+  for (idx_t v = 0; v < end_s.num_nodes(); ++v) {
+    if (sim_s.node_body()[static_cast<std::size_t>(v)] == Body::kProjectile) {
+      mean_sx += end_s.node(v).x;
+      mean_ox += end_o.node(v).x;
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_GT(mean_ox / count, mean_sx / count + 0.5);
+}
+
+TEST(ImpactSim, ObliqueContactZoneFollowsAxis) {
+  ImpactSimConfig c = tiny_config();
+  c.obliquity = 0.5;
+  c.contact_zone_factor = 2.0;
+  const ImpactSim sim(c);
+  const auto snap = sim.snapshot(sim.num_snapshots() - 1);
+  EXPECT_GT(snap.surface.num_contact_nodes(), 0);
+}
+
+TEST(ImpactSim, StepOutOfRangeThrows) {
+  const ImpactSim sim(tiny_config());
+  EXPECT_THROW(sim.nose_z(-1), InputError);
+  EXPECT_THROW(sim.nose_z(sim.num_snapshots()), InputError);
+}
+
+}  // namespace
+}  // namespace cpart

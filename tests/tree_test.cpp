@@ -1,0 +1,447 @@
+// Tests for tree/: decision-tree induction (Eq. 1 splitting), descriptor
+// trees (purity, box queries, NTNodes), region trees (max_p/max_i
+// semantics), and the Figure 1 / Figure 2 scenarios from the paper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "tree/decision_tree.hpp"
+#include "tree/descriptor_tree.hpp"
+#include "tree/region_tree.hpp"
+#include "util/rng.hpp"
+
+namespace cpart {
+namespace {
+
+/// Two horizontally separated clusters: the canonical 1-split case.
+struct TwoClusters {
+  std::vector<Vec3> points;
+  std::vector<idx_t> labels;
+  TwoClusters() {
+    for (int i = 0; i < 10; ++i) {
+      points.push_back(Vec3{static_cast<real_t>(i) * 0.1, 0.5, 0});
+      labels.push_back(0);
+      points.push_back(Vec3{5.0 + static_cast<real_t>(i) * 0.1, 0.5, 0});
+      labels.push_back(1);
+    }
+  }
+};
+
+TEST(Induce, TwoClustersSingleSplit) {
+  TwoClusters tc;
+  TreeInduceOptions opts;
+  opts.dim = 2;
+  const InducedTree t = induce_tree(tc.points, tc.labels, 2, opts);
+  // Perfectly separable: 3 nodes (root + 2 pure leaves).
+  EXPECT_EQ(t.tree.num_nodes(), 3);
+  EXPECT_EQ(t.tree.num_leaves(), 2);
+  EXPECT_EQ(t.tree.max_depth(), 1);
+  const TreeNode& root = t.tree.node(t.tree.root());
+  EXPECT_EQ(root.axis, 0);  // x-split
+  EXPECT_GT(root.cut, 0.9);
+  EXPECT_LT(root.cut, 5.1);
+}
+
+TEST(Induce, LeavesPureAndClassifyConsistent) {
+  TwoClusters tc;
+  TreeInduceOptions opts;
+  opts.dim = 2;
+  const InducedTree t = induce_tree(tc.points, tc.labels, 2, opts);
+  for (std::size_t i = 0; i < tc.points.size(); ++i) {
+    const idx_t leaf = t.point_leaf[i];
+    EXPECT_TRUE(t.tree.node(leaf).pure);
+    EXPECT_EQ(t.tree.node(leaf).label, tc.labels[i]);
+    EXPECT_EQ(t.tree.locate(tc.points[i]), leaf);
+    EXPECT_EQ(t.tree.classify(tc.points[i]), tc.labels[i]);
+  }
+}
+
+TEST(Induce, SingleLabelIsOneLeaf) {
+  Rng rng(3);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back(Vec3{rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  const std::vector<idx_t> labels(50, 0);
+  const InducedTree t = induce_tree(pts, labels, 1);
+  EXPECT_EQ(t.tree.num_nodes(), 1);
+  EXPECT_TRUE(t.tree.node(t.tree.root()).pure);
+}
+
+TEST(Induce, EmptyInput) {
+  const InducedTree t = induce_tree({}, {}, 1);
+  EXPECT_TRUE(t.tree.empty());
+  EXPECT_EQ(t.tree.num_nodes(), 0);
+}
+
+TEST(Induce, CoincidentMixedPointsBecomeImpureLeaf) {
+  // Two points of different partitions at the same location cannot be
+  // separated by an axis-parallel plane.
+  const std::vector<Vec3> pts{{1, 1, 0}, {1, 1, 0}, {3, 1, 0}};
+  const std::vector<idx_t> labels{0, 1, 1};
+  TreeInduceOptions opts;
+  opts.dim = 2;
+  const InducedTree t = induce_tree(pts, labels, 2, opts);
+  // The coincident pair ends in one impure leaf recording both labels.
+  const idx_t leaf = t.point_leaf[0];
+  EXPECT_EQ(leaf, t.point_leaf[1]);
+  EXPECT_FALSE(t.tree.node(leaf).pure);
+  const auto minorities = t.tree.minority_labels(leaf);
+  EXPECT_EQ(minorities.size(), 1u);
+}
+
+TEST(Induce, RejectsBadInput) {
+  const std::vector<Vec3> pts{{0, 0, 0}};
+  const std::vector<idx_t> labels{0};
+  const std::vector<idx_t> bad_labels{7};
+  EXPECT_THROW(induce_tree(pts, {}, 1), InputError);
+  EXPECT_THROW(induce_tree(pts, bad_labels, 1), InputError);
+  TreeInduceOptions opts;
+  opts.dim = 1;
+  EXPECT_THROW(induce_tree(pts, labels, 1, opts), InputError);
+}
+
+TEST(Induce, DeterministicForSameInput) {
+  Rng rng(17);
+  std::vector<Vec3> pts;
+  std::vector<idx_t> labels;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back(Vec3{rng.uniform(0, 4), rng.uniform(0, 4), 0});
+    labels.push_back(pts.back().x < 2 ? 0 : (pts.back().y < 2 ? 1 : 2));
+  }
+  TreeInduceOptions opts;
+  opts.dim = 2;
+  const InducedTree a = induce_tree(pts, labels, 3, opts);
+  const InducedTree b = induce_tree(pts, labels, 3, opts);
+  EXPECT_EQ(a.tree.num_nodes(), b.tree.num_nodes());
+  EXPECT_EQ(a.point_leaf, b.point_leaf);
+}
+
+// Figure 1 of the paper: a 3-way partitioning of 2D contact points whose
+// boundaries are axes-parallel; the induced tree must recover compact
+// rectangles with pure leaves.
+TEST(Induce, Figure1StyleThreeWayPartition) {
+  std::vector<Vec3> pts;
+  std::vector<idx_t> labels;
+  Rng rng(21);
+  auto add_cluster = [&](real_t x0, real_t x1, real_t y0, real_t y1, idx_t l,
+                         int count) {
+    for (int i = 0; i < count; ++i) {
+      pts.push_back(Vec3{rng.uniform(x0, x1), rng.uniform(y0, y1), 0});
+      labels.push_back(l);
+    }
+  };
+  // Triangle region: top band; circle: bottom-left; square: bottom-right.
+  add_cluster(0, 10, 5, 8, 0, 15);
+  add_cluster(0, 5, 0, 4.5, 1, 15);
+  add_cluster(5.5, 10, 0, 4.5, 2, 15);
+  TreeInduceOptions opts;
+  opts.dim = 2;
+  const InducedTree t = induce_tree(pts, labels, 3, opts);
+  // Axes-parallel separable into 3 rectangles: expect a small tree
+  // (ideally 5 nodes: 2 interior + 3 leaves).
+  EXPECT_LE(t.tree.num_nodes(), 7);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(t.tree.classify(pts[i]), labels[i]);
+  }
+}
+
+// Figure 2 of the paper: a diagonal boundary forces a fine-grained space
+// partition — tree size grows roughly linearly in the number of boundary
+// points instead of logarithmically.
+TEST(Induce, Figure2DiagonalBoundaryBlowsUpTree) {
+  std::vector<Vec3> diag_pts, axis_pts;
+  std::vector<idx_t> diag_labels, axis_labels;
+  const int n = 14;  // 28 points as in the figure
+  for (int i = 0; i < n; ++i) {
+    const real_t x = static_cast<real_t>(i);
+    // Diagonal: partition 0 just below the line y = x, partition 1 above.
+    diag_pts.push_back(Vec3{x, x - 0.4, 0});
+    diag_labels.push_back(0);
+    diag_pts.push_back(Vec3{x, x + 0.4, 0});
+    diag_labels.push_back(1);
+    // Axes-parallel: same points but separated by the line y = n/2.
+    axis_pts.push_back(Vec3{x, 3.0, 0});
+    axis_labels.push_back(0);
+    axis_pts.push_back(Vec3{x, 10.0, 0});
+    axis_labels.push_back(1);
+  }
+  TreeInduceOptions opts;
+  opts.dim = 2;
+  const InducedTree diag = induce_tree(diag_pts, diag_labels, 2, opts);
+  const InducedTree axis = induce_tree(axis_pts, axis_labels, 2, opts);
+  EXPECT_EQ(axis.tree.num_nodes(), 3);  // one split suffices
+  EXPECT_GE(diag.tree.num_nodes(), 2 * n - 3);  // near-linear blow-up
+}
+
+TEST(Induce, GapAlphaPrefersWideCorridors) {
+  // Labels separable at two x-positions: a narrow gap near x=1 (between
+  // mislabeled-ish dense points) and a wide empty corridor near x=6.
+  // With purity equal, gap preference must choose the wide corridor.
+  std::vector<Vec3> pts;
+  std::vector<idx_t> labels;
+  for (int i = 0; i < 8; ++i) {
+    pts.push_back(Vec3{static_cast<real_t>(i) * 0.25, 0, 0});
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 8; ++i) {
+    pts.push_back(Vec3{8.0 + static_cast<real_t>(i) * 0.25, 0, 0});
+    labels.push_back(1);
+  }
+  TreeInduceOptions plain;
+  plain.dim = 2;
+  TreeInduceOptions gappy = plain;
+  gappy.gap_alpha = 0.5;
+  const InducedTree t = induce_tree(pts, labels, 2, gappy);
+  const TreeNode& root = t.tree.node(t.tree.root());
+  // The only pure split is the corridor between 1.75 and 8.0; both settings
+  // find it, but with gap_alpha the cut must be the corridor midpoint.
+  EXPECT_NEAR(root.cut, (1.75 + 8.0) / 2, 1e-9);
+}
+
+TEST(Induce, ParallelMatchesSerialGeometry) {
+  // The parallel builder must produce a geometrically identical tree: same
+  // leaf count, same classification of every point, same per-point leaf
+  // purity. Node numbering may differ.
+  Rng rng(71);
+  std::vector<Vec3> pts;
+  std::vector<idx_t> labels;
+  for (int i = 0; i < 20000; ++i) {
+    pts.push_back(
+        Vec3{rng.uniform(0, 12), rng.uniform(0, 12), rng.uniform(0, 4)});
+    labels.push_back((pts.back().x < 6 ? 0 : 1) + 2 * (pts.back().y < 6 ? 0 : 1) +
+                     4 * (pts.back().z < 2 ? 0 : 1));
+  }
+  TreeInduceOptions serial_opts;
+  TreeInduceOptions parallel_opts;
+  parallel_opts.parallel = true;
+  const InducedTree serial = induce_tree(pts, labels, 8, serial_opts);
+  const InducedTree parallel = induce_tree(pts, labels, 8, parallel_opts);
+  EXPECT_EQ(parallel.tree.num_nodes(), serial.tree.num_nodes());
+  EXPECT_EQ(parallel.tree.num_leaves(), serial.tree.num_leaves());
+  for (std::size_t i = 0; i < pts.size(); i += 37) {
+    EXPECT_EQ(parallel.tree.classify(pts[i]), serial.tree.classify(pts[i]));
+    const idx_t leaf = parallel.point_leaf[i];
+    EXPECT_EQ(parallel.tree.node(leaf).label, labels[i]);
+  }
+}
+
+TEST(Induce, ParallelRegionTreeConsistent) {
+  // Parallel induction with max_p / max_i termination must keep the
+  // point->leaf mapping consistent with the stored leaves.
+  Rng rng(72);
+  std::vector<Vec3> pts;
+  std::vector<idx_t> labels;
+  for (int i = 0; i < 10000; ++i) {
+    pts.push_back(Vec3{rng.uniform(0, 12), rng.uniform(0, 12), 0});
+    labels.push_back(rng.uniform_int(4));
+  }
+  TreeInduceOptions opts;
+  opts.dim = 2;
+  opts.max_pure = 300;
+  opts.max_impure = 40;
+  opts.parallel = true;
+  const InducedTree t = induce_tree(pts, labels, 4, opts);
+  std::vector<idx_t> counted(static_cast<std::size_t>(t.tree.num_nodes()), 0);
+  for (idx_t leaf : t.point_leaf) {
+    ASSERT_GE(leaf, 0);
+    ASSERT_LT(leaf, t.tree.num_nodes());
+    ASSERT_LT(t.tree.node(leaf).axis, 0) << "point mapped to interior node";
+    ++counted[static_cast<std::size_t>(leaf)];
+  }
+  for (idx_t id = 0; id < t.tree.num_nodes(); ++id) {
+    if (t.tree.node(id).axis < 0) {
+      EXPECT_EQ(counted[static_cast<std::size_t>(id)], t.tree.node(id).count);
+    }
+  }
+}
+
+TEST(Induce, BoundsAreTight) {
+  TwoClusters tc;
+  TreeInduceOptions opts;
+  opts.dim = 2;
+  const InducedTree t = induce_tree(tc.points, tc.labels, 2, opts);
+  const TreeNode& root = t.tree.node(t.tree.root());
+  EXPECT_DOUBLE_EQ(root.bounds.lo.x, 0.0);
+  EXPECT_DOUBLE_EQ(root.bounds.hi.x, 5.9);
+  const TreeNode& left = t.tree.node(root.left);
+  EXPECT_LE(left.bounds.hi.x, root.cut);
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor trees
+// ---------------------------------------------------------------------------
+
+TEST(Descriptors, QueryBoxFindsOnlyNearbyPartitions) {
+  TwoClusters tc;
+  DescriptorOptions opts;
+  opts.dim = 2;
+  const SubdomainDescriptors desc(tc.points, tc.labels, 2, opts);
+  EXPECT_EQ(desc.num_tree_nodes(), 3);
+  std::vector<idx_t> parts;
+  BBox near_left;
+  near_left.expand(Vec3{0.3, 0.5, 0});
+  near_left.inflate(0.2);
+  desc.query_box(near_left, parts);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], 0);
+
+  parts.clear();
+  BBox spanning;
+  spanning.expand(Vec3{0, 0.5, 0});
+  spanning.expand(Vec3{6, 0.5, 0});
+  desc.query_box(spanning, parts);
+  EXPECT_EQ(parts.size(), 2u);
+}
+
+TEST(Descriptors, EmptySpaceBetweenClustersYieldsNoCandidates) {
+  TwoClusters tc;  // clusters at x in [0, 0.9] and [5, 5.9]
+  DescriptorOptions opts;
+  opts.dim = 2;
+  const SubdomainDescriptors desc(tc.points, tc.labels, 2, opts);
+  std::vector<idx_t> parts;
+  BBox middle;
+  middle.expand(Vec3{2.5, 0.5, 0});
+  middle.inflate(0.5);  // far from both clusters
+  desc.query_box(middle, parts);
+  EXPECT_TRUE(parts.empty());
+}
+
+TEST(Descriptors, RegionCountsSumToLeaves) {
+  Rng rng(77);
+  std::vector<Vec3> pts;
+  std::vector<idx_t> labels;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(Vec3{rng.uniform(0, 8), rng.uniform(0, 8), 0});
+    labels.push_back((pts.back().x < 4 ? 0 : 1) + (pts.back().y < 4 ? 0 : 2));
+  }
+  DescriptorOptions opts;
+  opts.dim = 2;
+  const SubdomainDescriptors desc(pts, labels, 4, opts);
+  idx_t total_regions = 0;
+  for (idx_t p = 0; p < 4; ++p) total_regions += desc.num_regions(p);
+  EXPECT_EQ(total_regions, desc.num_leaves());
+  for (idx_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(to_idx(desc.region_boxes(p).size()), desc.num_regions(p));
+  }
+}
+
+TEST(Descriptors, NeverMissesActualNeighbors) {
+  // Property: for any query box, the candidate set must contain every
+  // partition that has a point inside the box (no false negatives).
+  Rng rng(13);
+  std::vector<Vec3> pts;
+  std::vector<idx_t> labels;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back(Vec3{rng.uniform(0, 10), rng.uniform(0, 10),
+                       rng.uniform(0, 10)});
+    labels.push_back(rng.uniform_int(5));
+  }
+  const SubdomainDescriptors desc(pts, labels, 5);
+  std::vector<idx_t> parts;
+  for (int trial = 0; trial < 50; ++trial) {
+    BBox q;
+    q.expand(Vec3{rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)});
+    q.inflate(rng.uniform(0.1, 2.0));
+    parts.clear();
+    desc.query_box(q, parts);
+    const std::set<idx_t> found(parts.begin(), parts.end());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (q.contains(pts[i])) {
+        EXPECT_TRUE(found.count(labels[i]))
+            << "partition " << labels[i] << " has a point in the box but was "
+            << "not reported";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Region trees
+// ---------------------------------------------------------------------------
+
+TEST(RegionTree, MaxPureForcesSplitsOfLargePureNodes) {
+  // 64 points in one partition: with max_pure = 16 every leaf must cover
+  // fewer than 16 points.
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      pts.push_back(Vec3{static_cast<real_t>(i), static_cast<real_t>(j), 0});
+    }
+  }
+  const std::vector<idx_t> labels(64, 0);
+  RegionTreeOptions opts;
+  opts.dim = 2;
+  opts.max_pure = 16;
+  opts.max_impure = 4;
+  const RegionTree rt(pts, labels, 1, opts);
+  EXPECT_GT(rt.num_regions(), 4);
+  for (idx_t r = 0; r < rt.num_regions(); ++r) {
+    idx_t count = 0;
+    for (idx_t rp : rt.region_of_point()) count += (rp == r);
+    EXPECT_LT(count, 16);
+  }
+}
+
+TEST(RegionTree, MaxImpureStopsEarly) {
+  // Fine-grained label noise: with a large max_impure the tree must stay
+  // tiny (impure leaves allowed), with max_impure=1 it must split to purity.
+  Rng rng(55);
+  std::vector<Vec3> pts;
+  std::vector<idx_t> labels;
+  for (int i = 0; i < 256; ++i) {
+    pts.push_back(Vec3{rng.uniform(), rng.uniform(), 0});
+    labels.push_back(rng.uniform_int(2));
+  }
+  RegionTreeOptions coarse;
+  coarse.dim = 2;
+  coarse.max_pure = 1000;
+  coarse.max_impure = 300;
+  const RegionTree rt_coarse(pts, labels, 2, coarse);
+  EXPECT_EQ(rt_coarse.num_regions(), 1);
+
+  RegionTreeOptions fine = coarse;
+  fine.max_impure = 1;
+  const RegionTree rt_fine(pts, labels, 2, fine);
+  EXPECT_GT(rt_fine.num_regions(), 50);
+}
+
+TEST(RegionTree, MajorityPartitionReassignsMinorities) {
+  // A lone mislabeled point inside a big uniform block gets absorbed when
+  // max_impure is large enough to keep the block one leaf.
+  std::vector<Vec3> pts;
+  std::vector<idx_t> labels;
+  for (int i = 0; i < 25; ++i) {
+    pts.push_back(Vec3{static_cast<real_t>(i % 5), static_cast<real_t>(i / 5), 0});
+    labels.push_back(i == 12 ? 1 : 0);
+  }
+  RegionTreeOptions opts;
+  opts.dim = 2;
+  opts.max_pure = 100;
+  opts.max_impure = 50;
+  const RegionTree rt(pts, labels, 2, opts);
+  const auto majority = rt.majority_partition();
+  EXPECT_EQ(majority[12], 0);  // absorbed into the majority
+}
+
+TEST(RegionTree, RecommendedOptionsWithinPaperRanges) {
+  const idx_t n = 100000, k = 25;
+  const RegionTreeOptions o = recommended_region_options(n, k);
+  const double dk = static_cast<double>(k);
+  EXPECT_GE(o.max_pure, static_cast<idx_t>(n / std::pow(dk, 1.5)));
+  EXPECT_LE(o.max_pure, static_cast<idx_t>(n / dk));
+  EXPECT_GE(o.max_impure, static_cast<idx_t>(n / std::pow(dk, 2.5)));
+  EXPECT_LE(o.max_impure, static_cast<idx_t>(n / std::pow(dk, 2.0)));
+}
+
+TEST(RegionTree, RejectsZeroThresholds) {
+  const std::vector<Vec3> pts{{0, 0, 0}};
+  const std::vector<idx_t> labels{0};
+  RegionTreeOptions opts;  // max_pure = max_impure = 0
+  EXPECT_THROW(RegionTree(pts, labels, 1, opts), InputError);
+}
+
+}  // namespace
+}  // namespace cpart

@@ -1,0 +1,72 @@
+// Tests for viz/: SVG canvas output structure.
+#include <gtest/gtest.h>
+
+#include "viz/svg.hpp"
+
+namespace cpart {
+namespace {
+
+BBox unit_world() {
+  BBox b;
+  b.expand(Vec3{0, 0, 0});
+  b.expand(Vec3{10, 5, 0});
+  return b;
+}
+
+TEST(Svg, RenderContainsShapes) {
+  SvgCanvas canvas(unit_world(), 400);
+  BBox r;
+  r.expand(Vec3{1, 1, 0});
+  r.expand(Vec3{3, 2, 0});
+  canvas.add_rect(r, "#ff0000");
+  canvas.add_circle(Vec3{5, 2.5, 0}, 0.5, "blue");
+  canvas.add_line(Vec3{0, 0, 0}, Vec3{10, 5, 0}, "black", 2);
+  canvas.add_text(Vec3{1, 4, 0}, "hello");
+  canvas.add_polygon({{0, 0, 0}, {1, 0, 0}, {0.5, 1, 0}}, "green");
+  const std::string svg = canvas.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("hello"), std::string::npos);
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, YAxisPointsUp) {
+  SvgCanvas canvas(unit_world(), 400);
+  canvas.add_circle(Vec3{0, 5, 0}, 0.1, "red");  // top-left in world space
+  const std::string svg = canvas.render();
+  // World (0, 5) maps to pixel (0, 0).
+  EXPECT_NE(svg.find("cx=\"0\" cy=\"0\""), std::string::npos);
+}
+
+TEST(Svg, AspectRatioPreserved) {
+  SvgCanvas canvas(unit_world(), 400);  // world is 10x5
+  const std::string svg = canvas.render();
+  EXPECT_NE(svg.find("width=\"400\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"201\""), std::string::npos);
+}
+
+TEST(Svg, PartitionColorsCycleAndAreStable) {
+  EXPECT_EQ(SvgCanvas::partition_color(0), SvgCanvas::partition_color(16));
+  EXPECT_NE(SvgCanvas::partition_color(0), SvgCanvas::partition_color(1));
+  EXPECT_FALSE(SvgCanvas::partition_color(7).empty());
+}
+
+TEST(Svg, RejectsDegenerateWorld) {
+  BBox empty;
+  EXPECT_THROW(SvgCanvas(empty, 100), InputError);
+  BBox flat;
+  flat.expand(Vec3{0, 0, 0});
+  flat.expand(Vec3{1, 0, 0});  // zero y-extent
+  EXPECT_THROW(SvgCanvas(flat, 100), InputError);
+}
+
+TEST(Svg, SaveToInvalidPathThrows) {
+  SvgCanvas canvas(unit_world(), 100);
+  EXPECT_THROW(canvas.save("/nonexistent-dir/out.svg"), InputError);
+}
+
+}  // namespace
+}  // namespace cpart

@@ -1,0 +1,80 @@
+// Mesh inspector: reads a cpartmesh file, reports its statistics (surface,
+// graphs, bounds), optionally partitions its nodal graph and exports a VTK
+// file with partition / contact fields for visualization.
+//
+//   cpart_meshinfo <mesh-file> [--k 8] [--vtk out.vtk] [--graph out.graph]
+#include <iostream>
+
+#include "graph/graph_io.hpp"
+#include "graph/graph_metrics.hpp"
+#include "mesh/mesh_graphs.hpp"
+#include "mesh/mesh_io.hpp"
+#include "mesh/surface.hpp"
+#include "mesh/vtk_io.hpp"
+#include "partition/partition.hpp"
+#include "util/flags.hpp"
+
+using namespace cpart;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("k", "0", "partition the nodal graph into k parts (0: skip)");
+  flags.define("vtk", "", "write a VTK file with contact/partition fields");
+  flags.define("graph", "", "export the nodal graph in METIS format");
+  try {
+    const auto positional = flags.parse(argc, argv);
+    require(positional.size() == 1,
+            "expected exactly one positional argument: the mesh file");
+    const Mesh mesh = read_mesh_file(positional[0]);
+    const Surface surface = extract_surface(mesh);
+    const BBox bounds = mesh.bounds();
+
+    std::cout << "element type:  " << element_type_name(mesh.element_type())
+              << " (" << mesh.dim() << "D)\n";
+    std::cout << "nodes:         " << mesh.num_nodes() << '\n';
+    std::cout << "elements:      " << mesh.num_elements() << '\n';
+    std::cout << "bounds:        [" << bounds.lo.x << ", " << bounds.lo.y
+              << ", " << bounds.lo.z << "] .. [" << bounds.hi.x << ", "
+              << bounds.hi.y << ", " << bounds.hi.z << "]\n";
+    std::cout << "surface faces: " << surface.num_faces() << '\n';
+    std::cout << "contact nodes: " << surface.num_contact_nodes() << '\n';
+
+    const CsrGraph nodal = nodal_graph(mesh);
+    const CsrGraph dual = dual_graph(mesh);
+    std::cout << "nodal graph:   " << nodal.num_vertices() << " vertices, "
+              << nodal.num_edges() << " edges\n";
+    std::cout << "dual graph:    " << dual.num_vertices() << " vertices, "
+              << dual.num_edges() << " edges\n";
+
+    std::vector<idx_t> part;
+    const idx_t k = static_cast<idx_t>(flags.get_int("k"));
+    if (k > 1) {
+      PartitionOptions opts;
+      opts.k = k;
+      part = partition_graph(nodal, opts);
+      std::cout << "k=" << k << " partition: edge-cut " << edge_cut(nodal, part)
+                << ", comm-volume " << total_comm_volume(nodal, part)
+                << ", imbalance " << load_imbalance(nodal, part, k) << '\n';
+    }
+
+    const std::string vtk_path = flags.get_string("vtk");
+    if (!vtk_path.empty()) {
+      std::vector<idx_t> contact(surface.is_contact_node.begin(),
+                                 surface.is_contact_node.end());
+      std::vector<VtkScalarField> fields{{"contact", contact}};
+      if (!part.empty()) fields.push_back({"partition", part});
+      write_vtk_file(vtk_path, mesh, fields);
+      std::cout << "VTK written to " << vtk_path << '\n';
+    }
+    const std::string graph_path = flags.get_string("graph");
+    if (!graph_path.empty()) {
+      write_metis_graph_file(graph_path, nodal);
+      std::cout << "nodal graph written to " << graph_path << '\n';
+    }
+    return 0;
+  } catch (const InputError& e) {
+    std::cerr << "error: " << e.what() << "\n"
+              << flags.usage("cpart_meshinfo <mesh-file>");
+    return 1;
+  }
+}
