@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contact_detection.dir/contact_detection.cpp.o"
+  "CMakeFiles/contact_detection.dir/contact_detection.cpp.o.d"
+  "contact_detection"
+  "contact_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

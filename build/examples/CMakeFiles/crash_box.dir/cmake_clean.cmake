@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_box.dir/crash_box.cpp.o"
+  "CMakeFiles/crash_box.dir/crash_box.cpp.o.d"
+  "crash_box"
+  "crash_box.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impact2d.dir/impact2d.cpp.o"
+  "CMakeFiles/impact2d.dir/impact2d.cpp.o.d"
+  "impact2d"
+  "impact2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impact2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_viewer.dir/partition_viewer.cpp.o"
+  "CMakeFiles/partition_viewer.dir/partition_viewer.cpp.o.d"
+  "partition_viewer"
+  "partition_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projectile_sim.dir/projectile_sim.cpp.o"
+  "CMakeFiles/projectile_sim.dir/projectile_sim.cpp.o.d"
+  "projectile_sim"
+  "projectile_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projectile_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contact/global_search.cpp" "src/CMakeFiles/contactpart.dir/contact/global_search.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/contact/global_search.cpp.o.d"
+  "/root/repo/src/contact/local_search.cpp" "src/CMakeFiles/contactpart.dir/contact/local_search.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/contact/local_search.cpp.o.d"
+  "/root/repo/src/contact/search_metrics.cpp" "src/CMakeFiles/contactpart.dir/contact/search_metrics.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/contact/search_metrics.cpp.o.d"
+  "/root/repo/src/core/apriori.cpp" "src/CMakeFiles/contactpart.dir/core/apriori.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/core/apriori.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/contactpart.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/mcml_dt.cpp" "src/CMakeFiles/contactpart.dir/core/mcml_dt.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/core/mcml_dt.cpp.o.d"
+  "/root/repo/src/core/ml_rcb.cpp" "src/CMakeFiles/contactpart.dir/core/ml_rcb.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/core/ml_rcb.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/contactpart.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/geom/bbox.cpp" "src/CMakeFiles/contactpart.dir/geom/bbox.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/geom/bbox.cpp.o.d"
+  "/root/repo/src/geom/kdtree.cpp" "src/CMakeFiles/contactpart.dir/geom/kdtree.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/geom/kdtree.cpp.o.d"
+  "/root/repo/src/geom/rcb.cpp" "src/CMakeFiles/contactpart.dir/geom/rcb.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/geom/rcb.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/CMakeFiles/contactpart.dir/graph/csr_graph.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/graph/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/graph_builder.cpp" "src/CMakeFiles/contactpart.dir/graph/graph_builder.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/graph/graph_builder.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/CMakeFiles/contactpart.dir/graph/graph_io.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/graph_metrics.cpp" "src/CMakeFiles/contactpart.dir/graph/graph_metrics.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/graph/graph_metrics.cpp.o.d"
+  "/root/repo/src/match/hungarian.cpp" "src/CMakeFiles/contactpart.dir/match/hungarian.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/match/hungarian.cpp.o.d"
+  "/root/repo/src/mesh/generators.cpp" "src/CMakeFiles/contactpart.dir/mesh/generators.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/mesh/generators.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/CMakeFiles/contactpart.dir/mesh/mesh.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/mesh/mesh.cpp.o.d"
+  "/root/repo/src/mesh/mesh_graphs.cpp" "src/CMakeFiles/contactpart.dir/mesh/mesh_graphs.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/mesh/mesh_graphs.cpp.o.d"
+  "/root/repo/src/mesh/mesh_io.cpp" "src/CMakeFiles/contactpart.dir/mesh/mesh_io.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/mesh/mesh_io.cpp.o.d"
+  "/root/repo/src/mesh/surface.cpp" "src/CMakeFiles/contactpart.dir/mesh/surface.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/mesh/surface.cpp.o.d"
+  "/root/repo/src/mesh/vtk_io.cpp" "src/CMakeFiles/contactpart.dir/mesh/vtk_io.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/mesh/vtk_io.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/contactpart.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/partition/coarsen.cpp" "src/CMakeFiles/contactpart.dir/partition/coarsen.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/partition/coarsen.cpp.o.d"
+  "/root/repo/src/partition/connectivity.cpp" "src/CMakeFiles/contactpart.dir/partition/connectivity.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/partition/connectivity.cpp.o.d"
+  "/root/repo/src/partition/geometric.cpp" "src/CMakeFiles/contactpart.dir/partition/geometric.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/partition/geometric.cpp.o.d"
+  "/root/repo/src/partition/initial_partition.cpp" "src/CMakeFiles/contactpart.dir/partition/initial_partition.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/partition/initial_partition.cpp.o.d"
+  "/root/repo/src/partition/kway_multilevel.cpp" "src/CMakeFiles/contactpart.dir/partition/kway_multilevel.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/partition/kway_multilevel.cpp.o.d"
+  "/root/repo/src/partition/kway_refine.cpp" "src/CMakeFiles/contactpart.dir/partition/kway_refine.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/partition/kway_refine.cpp.o.d"
+  "/root/repo/src/partition/multilevel.cpp" "src/CMakeFiles/contactpart.dir/partition/multilevel.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/partition/multilevel.cpp.o.d"
+  "/root/repo/src/partition/refine_bisection.cpp" "src/CMakeFiles/contactpart.dir/partition/refine_bisection.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/partition/refine_bisection.cpp.o.d"
+  "/root/repo/src/partition/repartition.cpp" "src/CMakeFiles/contactpart.dir/partition/repartition.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/partition/repartition.cpp.o.d"
+  "/root/repo/src/runtime/virtual_cluster.cpp" "src/CMakeFiles/contactpart.dir/runtime/virtual_cluster.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/runtime/virtual_cluster.cpp.o.d"
+  "/root/repo/src/sim/impact_sim.cpp" "src/CMakeFiles/contactpart.dir/sim/impact_sim.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/sim/impact_sim.cpp.o.d"
+  "/root/repo/src/tree/decision_tree.cpp" "src/CMakeFiles/contactpart.dir/tree/decision_tree.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/tree/decision_tree.cpp.o.d"
+  "/root/repo/src/tree/descriptor_tree.cpp" "src/CMakeFiles/contactpart.dir/tree/descriptor_tree.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/tree/descriptor_tree.cpp.o.d"
+  "/root/repo/src/tree/region_tree.cpp" "src/CMakeFiles/contactpart.dir/tree/region_tree.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/tree/region_tree.cpp.o.d"
+  "/root/repo/src/tree/tree_io.cpp" "src/CMakeFiles/contactpart.dir/tree/tree_io.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/tree/tree_io.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/contactpart.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/contactpart.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/contactpart.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/contactpart.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/util/timer.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/CMakeFiles/contactpart.dir/viz/svg.cpp.o" "gcc" "src/CMakeFiles/contactpart.dir/viz/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

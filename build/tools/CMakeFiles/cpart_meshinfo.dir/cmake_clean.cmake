@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpart_meshinfo.dir/cpart_meshinfo.cpp.o"
+  "CMakeFiles/cpart_meshinfo.dir/cpart_meshinfo.cpp.o.d"
+  "cpart_meshinfo"
+  "cpart_meshinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpart_meshinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cpart_meshinfo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for cpart_meshinfo.
+# This may be replaced when dependencies are built.

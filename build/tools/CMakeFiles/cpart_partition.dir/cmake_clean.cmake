@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpart_partition.dir/cpart_partition.cpp.o"
+  "CMakeFiles/cpart_partition.dir/cpart_partition.cpp.o.d"
+  "cpart_partition"
+  "cpart_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpart_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
