@@ -1,7 +1,6 @@
 #include "contact/global_search.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "parallel/thread_pool.hpp"
 
@@ -64,34 +63,43 @@ GlobalSearchStats global_search(
   require(owner.size() == surface.faces.size(),
           "global_search: owner array size mismatch");
   const idx_t nf = surface.num_faces();
-  std::atomic<wgt_t> remote{0};
-  std::atomic<wgt_t> sent{0};
-  std::atomic<wgt_t> candidates{0};
+  // One partial-stats slot per chunk, combined in chunk order: deterministic
+  // totals with no atomic contention. Chunk indices are `unsigned` from the
+  // pool; buffers are std::size_t-indexed, so every access goes through one
+  // explicit widening cast (the repo-wide idiom for pool chunk buffers).
+  struct Partial {
+    wgt_t remote = 0;
+    wgt_t sent = 0;
+    wgt_t candidates = 0;
+  };
+  std::vector<Partial> partial(
+      std::max<unsigned>(1u, ThreadPool::global().num_threads()));
   ThreadPool::global().parallel_for_chunks(
-      nf, [&](unsigned, idx_t begin, idx_t end) {
+      nf, [&](unsigned chunk, idx_t begin, idx_t end) {
+        assert(static_cast<std::size_t>(chunk) < partial.size());
         std::vector<idx_t> parts;
-        wgt_t local_remote = 0, local_sent = 0, local_candidates = 0;
+        Partial local;
         for (idx_t f = begin; f < end; ++f) {
           parts.clear();
           const BBox box =
               face_bbox(mesh, surface.faces[static_cast<std::size_t>(f)], margin);
           filter(box, parts);
-          local_candidates += to_idx(parts.size());
+          local.candidates += to_idx(parts.size());
           idx_t remote_here = 0;
           for (idx_t p : parts) {
             if (p != owner[static_cast<std::size_t>(f)]) ++remote_here;
           }
-          local_remote += remote_here;
-          if (remote_here > 0) ++local_sent;
+          local.remote += remote_here;
+          if (remote_here > 0) ++local.sent;
         }
-        remote += local_remote;
-        sent += local_sent;
-        candidates += local_candidates;
+        partial[static_cast<std::size_t>(chunk)] = local;
       });
   GlobalSearchStats stats;
-  stats.remote_sends = remote.load();
-  stats.elements_sent = static_cast<idx_t>(sent.load());
-  stats.candidates = candidates.load();
+  for (const Partial& p : partial) {
+    stats.remote_sends += p.remote;
+    stats.elements_sent += static_cast<idx_t>(p.sent);
+    stats.candidates += p.candidates;
+  }
   return stats;
 }
 

@@ -162,9 +162,10 @@ std::vector<ContactEvent> local_contact_search(
       std::max<unsigned>(1, ThreadPool::global().num_threads()));
   ThreadPool::global().parallel_for_chunks(
       num_contact, [&](unsigned chunk, idx_t begin, idx_t end) {
+        assert(static_cast<std::size_t>(chunk) < per_chunk.size());
         std::vector<idx_t> candidates;
         std::vector<std::array<Vec3, 3>> scratch;
-        auto& events = per_chunk[chunk];
+        auto& events = per_chunk[static_cast<std::size_t>(chunk)];
         for (idx_t i = begin; i < end; ++i) {
           const idx_t node = surface.contact_nodes[static_cast<std::size_t>(i)];
           const Vec3 p = mesh.node(node);

@@ -1,6 +1,7 @@
 #include "graph/graph_metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "parallel/thread_pool.hpp"
 
@@ -75,11 +76,32 @@ std::vector<wgt_t> partition_weights(const CsrGraph& g,
   require(part.size() == static_cast<std::size_t>(g.num_vertices()),
           "partition_weights: partition size mismatch");
   require(k > 0, "partition_weights: k must be positive");
+  auto& pool = ThreadPool::global();
+  // Per-chunk weight histograms combined in chunk order: deterministic for
+  // any thread count. Range errors are flagged, not thrown, inside workers
+  // (throwing on a pool thread would terminate) and re-raised afterwards.
+  std::vector<std::vector<wgt_t>> partial(
+      std::max<unsigned>(1u, pool.num_threads()));
+  std::atomic<bool> out_of_range{false};
+  pool.parallel_for_chunks(
+      g.num_vertices(), [&](unsigned chunk, idx_t begin, idx_t end) {
+        assert(static_cast<std::size_t>(chunk) < partial.size());
+        auto& w = partial[static_cast<std::size_t>(chunk)];
+        w.assign(static_cast<std::size_t>(k), 0);
+        for (idx_t v = begin; v < end; ++v) {
+          const idx_t p = part[static_cast<std::size_t>(v)];
+          if (p < 0 || p >= k) {
+            out_of_range.store(true, std::memory_order_relaxed);
+            continue;
+          }
+          w[static_cast<std::size_t>(p)] += g.vertex_weight(v, c);
+        }
+      });
+  require(!out_of_range.load(),
+          "partition_weights: partition id out of range");
   std::vector<wgt_t> w(static_cast<std::size_t>(k), 0);
-  for (idx_t v = 0; v < g.num_vertices(); ++v) {
-    const idx_t p = part[static_cast<std::size_t>(v)];
-    require(p >= 0 && p < k, "partition_weights: partition id out of range");
-    w[static_cast<std::size_t>(p)] += g.vertex_weight(v, c);
+  for (const auto& pw : partial) {
+    for (std::size_t p = 0; p < pw.size(); ++p) w[p] += pw[p];
   }
   return w;
 }

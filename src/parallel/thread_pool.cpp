@@ -71,6 +71,9 @@ void ThreadPool::parallel_for_chunks(
   task.n = n;
   task.num_chunks = std::min<unsigned>(nt, static_cast<unsigned>(
       ceil_div<idx_t>(n, kInlineThreshold / 2)));
+  // Callers size per-chunk scratch buffers by num_threads(); the chunk index
+  // handed to fn must stay below that.
+  assert(task.num_chunks <= nt);
   task.chunk_size = ceil_div<idx_t>(n, static_cast<idx_t>(task.num_chunks));
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -114,9 +117,33 @@ void ThreadPool::parallel_tasks(idx_t n,
   }
 }
 
-ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+namespace {
+
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(unsigned num_threads) {
+  // Build the replacement first so the old pool's workers are joined only
+  // after the swap; callers guarantee no parallel work is in flight.
+  auto fresh = std::make_unique<ThreadPool>(num_threads);
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  global_pool_slot().swap(fresh);
 }
 
 }  // namespace cpart

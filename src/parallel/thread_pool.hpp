@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -57,17 +58,58 @@ class ThreadPool {
   T parallel_reduce(idx_t n, T init, Body&& body) {
     std::vector<T> partial(std::max<unsigned>(1u, num_threads()), T{});
     parallel_for_chunks(n, [&](unsigned chunk, idx_t begin, idx_t end) {
+      assert(static_cast<std::size_t>(chunk) < partial.size());
       T local{};
       for (idx_t i = begin; i < end; ++i) local += body(i);
-      partial[chunk] = local;
+      partial[static_cast<std::size_t>(chunk)] = local;
     });
     T total = init;
     for (const T& p : partial) total += p;
     return total;
   }
 
+  /// In-place parallel exclusive prefix scan: data[i] becomes the sum of all
+  /// elements before i; returns the grand total. Two passes over the same
+  /// chunking (per-chunk sums, ordered combine, per-chunk rewrite). For
+  /// integral T the result is bit-identical regardless of thread count
+  /// (integer addition is associative), which is what the partitioner's
+  /// deterministic contraction relies on.
+  template <typename T>
+  T parallel_exclusive_scan(std::span<T> data) {
+    const idx_t n = to_idx(data.size());
+    std::vector<T> chunk_sum(std::max<unsigned>(1u, num_threads()), T{});
+    parallel_for_chunks(n, [&](unsigned chunk, idx_t begin, idx_t end) {
+      assert(static_cast<std::size_t>(chunk) < chunk_sum.size());
+      T local{};
+      for (idx_t i = begin; i < end; ++i) {
+        local += data[static_cast<std::size_t>(i)];
+      }
+      chunk_sum[static_cast<std::size_t>(chunk)] = local;
+    });
+    T running{};
+    for (T& cs : chunk_sum) {
+      const T next = running + cs;
+      cs = running;
+      running = next;
+    }
+    parallel_for_chunks(n, [&](unsigned chunk, idx_t begin, idx_t end) {
+      T prefix = chunk_sum[static_cast<std::size_t>(chunk)];
+      for (idx_t i = begin; i < end; ++i) {
+        const T value = data[static_cast<std::size_t>(i)];
+        data[static_cast<std::size_t>(i)] = prefix;
+        prefix += value;
+      }
+    });
+    return running;
+  }
+
   /// Process-wide default pool (lazily constructed, hardware concurrency).
   static ThreadPool& global();
+
+  /// Replaces the process-wide pool with one of `num_threads` workers
+  /// (0 = hardware concurrency). Used by benches and tests that sweep
+  /// thread counts. Must not be called while parallel work is in flight.
+  static void set_global_threads(unsigned num_threads);
 
  private:
   struct Task {

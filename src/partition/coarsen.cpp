@@ -1,14 +1,22 @@
 #include "partition/coarsen.hpp"
 
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/thread_pool.hpp"
+
 namespace cpart {
 
-Coarsening coarsen_once(const CsrGraph& g, Rng& rng) {
-  const idx_t n = g.num_vertices();
-  const idx_t ncon = g.ncon();
-  std::vector<idx_t> match(static_cast<std::size_t>(n), kInvalidIndex);
-  const std::vector<idx_t> order = random_permutation(n, rng);
+namespace {
 
-  // Heavy-edge matching.
+/// Greedy serial heavy-edge matching in permutation order: each unmatched
+/// vertex grabs its heaviest unmatched neighbour (first maximum in adjacency
+/// order). Writes into `match`; vertices left without a partner match
+/// themselves. Skips vertices already matched on entry, so the parallel path
+/// reuses it to finish off its leftovers deterministically.
+void match_serial(const CsrGraph& g, std::span<const idx_t> order,
+                  std::vector<idx_t>& match) {
+  const idx_t n = g.num_vertices();
   for (idx_t oi = 0; oi < n; ++oi) {
     const idx_t v = order[static_cast<std::size_t>(oi)];
     if (match[static_cast<std::size_t>(v)] != kInvalidIndex) continue;
@@ -31,6 +39,14 @@ Coarsening coarsen_once(const CsrGraph& g, Rng& rng) {
       match[static_cast<std::size_t>(v)] = v;  // stays single
     }
   }
+}
+
+/// The original single-buffer contraction: number coarse vertices in
+/// permutation order, group members, aggregate edges through a slot array.
+Coarsening contract_serial(const CsrGraph& g, std::span<const idx_t> order,
+                           std::span<const idx_t> match) {
+  const idx_t n = g.num_vertices();
+  const idx_t ncon = g.ncon();
 
   // Number coarse vertices: the lower-indexed endpoint of each pair (in the
   // visiting order) claims the id.
@@ -111,6 +127,273 @@ Coarsening coarsen_once(const CsrGraph& g, Rng& rng) {
   result.coarse = CsrGraph(std::move(cxadj), std::move(cadjncy),
                            std::move(cvwgt), std::move(cadjwgt), ncon);
   return result;
+}
+
+/// Round-based parallel heavy-edge matching. Each round over the still
+/// unmatched vertices: (1) every vertex proposes its heaviest unmatched
+/// neighbour, ties resolved toward the earlier vertex in the permutation;
+/// (2) proposers race to claim their target through an atomic CAS-min on
+/// permutation rank, so the earliest-ranked proposer wins no matter how the
+/// threads interleave; (3) a handshake pass forms pairs from mutual
+/// proposals and from uncontested claims. Every decision is a function of
+/// the round-start state and the rank order — never of the thread schedule —
+/// so the matching is bit-identical for any thread count. A bounded number
+/// of rounds matches the bulk of the graph; a serial sweep finishes the
+/// stragglers (deterministic by construction).
+void match_parallel(const CsrGraph& g, std::span<const idx_t> order,
+                    std::span<const idx_t> rank, std::vector<idx_t>& match,
+                    ThreadPool& pool) {
+  const idx_t n = g.num_vertices();
+  const idx_t kUnclaimed = n;  // rank sentinel: beyond every real rank
+  std::vector<idx_t> proposal(static_cast<std::size_t>(n), kInvalidIndex);
+  std::vector<std::atomic<idx_t>> claim(static_cast<std::size_t>(n));
+  std::vector<idx_t> active(static_cast<std::size_t>(n));
+  pool.parallel_for(
+      n, [&](idx_t v) { active[static_cast<std::size_t>(v)] = v; });
+
+  std::vector<idx_t> scan;  // compaction buffer, reused across rounds
+  constexpr int kMaxRounds = 12;
+  for (int round = 0; round < kMaxRounds && !active.empty(); ++round) {
+    const idx_t na = to_idx(active.size());
+
+    // (1) Propose the heaviest unmatched neighbour; reset the claim slot.
+    pool.parallel_for(na, [&](idx_t i) {
+      const idx_t v = active[static_cast<std::size_t>(i)];
+      claim[static_cast<std::size_t>(v)].store(kUnclaimed,
+                                               std::memory_order_relaxed);
+      idx_t best = kInvalidIndex;
+      wgt_t best_w = -1;
+      auto nbrs = g.neighbors(v);
+      for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
+        const idx_t u = nbrs[static_cast<std::size_t>(j)];
+        if (match[static_cast<std::size_t>(u)] != kInvalidIndex) continue;
+        const wgt_t w = g.edge_weight(v, j);
+        if (w > best_w ||
+            (w == best_w && best != kInvalidIndex &&
+             rank[static_cast<std::size_t>(u)] <
+                 rank[static_cast<std::size_t>(best)])) {
+          best_w = w;
+          best = u;
+        }
+      }
+      proposal[static_cast<std::size_t>(v)] = best;
+    });
+
+    // (2) Claim targets: CAS-min on the proposer's rank.
+    pool.parallel_for(na, [&](idx_t i) {
+      const idx_t v = active[static_cast<std::size_t>(i)];
+      const idx_t u = proposal[static_cast<std::size_t>(v)];
+      if (u == kInvalidIndex) return;
+      const idx_t r = rank[static_cast<std::size_t>(v)];
+      auto& slot = claim[static_cast<std::size_t>(u)];
+      idx_t cur = slot.load(std::memory_order_relaxed);
+      while (r < cur &&
+             !slot.compare_exchange_weak(cur, r, std::memory_order_relaxed)) {
+      }
+    });
+
+    // (3) Handshake. Exactly one thread writes each matched slot:
+    //  - mutual proposals always pair; the earlier-ranked endpoint writes;
+    //  - otherwise (v, u) pairs when v holds the winning claim on u, nobody
+    //    proposed v, and u is not bound into a mutual pair of its own.
+    pool.parallel_for(na, [&](idx_t i) {
+      const idx_t v = active[static_cast<std::size_t>(i)];
+      const idx_t u = proposal[static_cast<std::size_t>(v)];
+      if (u == kInvalidIndex) {
+        // No unmatched neighbour remains: v stays single.
+        match[static_cast<std::size_t>(v)] = v;
+        return;
+      }
+      if (proposal[static_cast<std::size_t>(u)] == v) {
+        if (rank[static_cast<std::size_t>(v)] <
+            rank[static_cast<std::size_t>(u)]) {
+          match[static_cast<std::size_t>(v)] = u;
+          match[static_cast<std::size_t>(u)] = v;
+        }
+        return;
+      }
+      const idx_t pu = proposal[static_cast<std::size_t>(u)];
+      const bool u_mutual =
+          pu != kInvalidIndex && proposal[static_cast<std::size_t>(pu)] == u;
+      if (!u_mutual &&
+          claim[static_cast<std::size_t>(u)].load(std::memory_order_relaxed) ==
+              rank[static_cast<std::size_t>(v)] &&
+          claim[static_cast<std::size_t>(v)].load(std::memory_order_relaxed) ==
+              kUnclaimed) {
+        match[static_cast<std::size_t>(v)] = u;
+        match[static_cast<std::size_t>(u)] = v;
+      }
+    });
+
+    // (4) Compact the survivors (exclusive scan keeps their order).
+    scan.assign(static_cast<std::size_t>(na), 0);
+    pool.parallel_for(na, [&](idx_t i) {
+      scan[static_cast<std::size_t>(i)] =
+          match[static_cast<std::size_t>(
+              active[static_cast<std::size_t>(i)])] == kInvalidIndex
+              ? 1
+              : 0;
+    });
+    const idx_t remaining =
+        pool.parallel_exclusive_scan(std::span<idx_t>(scan));
+    if (remaining == na) break;  // theory says impossible; stay safe anyway
+    std::vector<idx_t> next(static_cast<std::size_t>(remaining));
+    pool.parallel_for(na, [&](idx_t i) {
+      const idx_t v = active[static_cast<std::size_t>(i)];
+      if (match[static_cast<std::size_t>(v)] == kInvalidIndex) {
+        next[static_cast<std::size_t>(scan[static_cast<std::size_t>(i)])] = v;
+      }
+    });
+    active = std::move(next);
+  }
+
+  // Serial finish for whatever the rounds left over (a few percent at most):
+  // greedy in permutation order, exactly like the small-graph path.
+  if (!active.empty()) match_serial(g, order, match);
+}
+
+/// Two-pass parallel contraction. Coarse ids follow the permutation order of
+/// pair leaders (the earlier-ranked endpoints) via an exclusive scan — the
+/// same numbering the serial path produces for a given matching. Pass one
+/// counts each coarse vertex's distinct neighbours and aggregates vertex
+/// weights; an exclusive scan turns the counts into CSR offsets; pass two
+/// fills the preallocated ranges. Per-chunk tag/position scratch replaces
+/// the serial slot buffer.
+Coarsening contract_parallel(const CsrGraph& g, std::span<const idx_t> order,
+                             std::span<const idx_t> rank,
+                             std::span<const idx_t> match, ThreadPool& pool) {
+  const idx_t n = g.num_vertices();
+  const idx_t ncon = g.ncon();
+  Coarsening result;
+  result.coarse_of_fine.assign(static_cast<std::size_t>(n), kInvalidIndex);
+
+  const auto is_leader = [&](idx_t v, idx_t u) {
+    return u == v ||
+           rank[static_cast<std::size_t>(v)] < rank[static_cast<std::size_t>(u)];
+  };
+
+  // Number coarse vertices: leaders claim ids in permutation order.
+  std::vector<idx_t> lead(static_cast<std::size_t>(n));
+  pool.parallel_for(n, [&](idx_t oi) {
+    const idx_t v = order[static_cast<std::size_t>(oi)];
+    lead[static_cast<std::size_t>(oi)] =
+        is_leader(v, match[static_cast<std::size_t>(v)]) ? 1 : 0;
+  });
+  const idx_t nc = pool.parallel_exclusive_scan(std::span<idx_t>(lead));
+
+  // Member table: fv0[c] is the leader, fv1[c] the partner (or invalid).
+  std::vector<idx_t> fv0(static_cast<std::size_t>(nc));
+  std::vector<idx_t> fv1(static_cast<std::size_t>(nc));
+  pool.parallel_for(n, [&](idx_t oi) {
+    const idx_t v = order[static_cast<std::size_t>(oi)];
+    const idx_t u = match[static_cast<std::size_t>(v)];
+    if (!is_leader(v, u)) return;
+    const idx_t c = lead[static_cast<std::size_t>(oi)];
+    result.coarse_of_fine[static_cast<std::size_t>(v)] = c;
+    fv0[static_cast<std::size_t>(c)] = v;
+    if (u != v) {
+      result.coarse_of_fine[static_cast<std::size_t>(u)] = c;
+      fv1[static_cast<std::size_t>(c)] = u;
+    } else {
+      fv1[static_cast<std::size_t>(c)] = kInvalidIndex;
+    }
+  });
+
+  // Pass 1: per-coarse-vertex distinct-neighbour counts + vertex weights.
+  std::vector<wgt_t> cvwgt(static_cast<std::size_t>(nc) *
+                               static_cast<std::size_t>(ncon),
+                           0);
+  std::vector<idx_t> cxadj(static_cast<std::size_t>(nc) + 1, 0);
+  pool.parallel_for_chunks(nc, [&](unsigned, idx_t cb, idx_t ce) {
+    std::vector<idx_t> tag(static_cast<std::size_t>(nc), kInvalidIndex);
+    for (idx_t c = cb; c < ce; ++c) {
+      idx_t cnt = 0;
+      for (int s = 0; s < 2; ++s) {
+        const idx_t v = s == 0 ? fv0[static_cast<std::size_t>(c)]
+                               : fv1[static_cast<std::size_t>(c)];
+        if (v == kInvalidIndex) continue;
+        for (idx_t cc = 0; cc < ncon; ++cc) {
+          cvwgt[static_cast<std::size_t>(c) * ncon +
+                static_cast<std::size_t>(cc)] += g.vertex_weight(v, cc);
+        }
+        auto nbrs = g.neighbors(v);
+        for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
+          const idx_t cu = result.coarse_of_fine[static_cast<std::size_t>(
+              nbrs[static_cast<std::size_t>(j)])];
+          if (cu == c) continue;  // internal edge of the contracted pair
+          if (tag[static_cast<std::size_t>(cu)] != c) {
+            tag[static_cast<std::size_t>(cu)] = c;
+            ++cnt;
+          }
+        }
+      }
+      cxadj[static_cast<std::size_t>(c)] = cnt;
+    }
+  });
+  const idx_t nnz = pool.parallel_exclusive_scan(
+      std::span<idx_t>(cxadj.data(), static_cast<std::size_t>(nc)));
+  cxadj[static_cast<std::size_t>(nc)] = nnz;
+
+  // Pass 2: fill each coarse vertex's preallocated CSR range.
+  std::vector<idx_t> cadjncy(static_cast<std::size_t>(nnz));
+  std::vector<wgt_t> cadjwgt(static_cast<std::size_t>(nnz));
+  pool.parallel_for_chunks(nc, [&](unsigned, idx_t cb, idx_t ce) {
+    std::vector<idx_t> tag(static_cast<std::size_t>(nc), kInvalidIndex);
+    std::vector<idx_t> pos(static_cast<std::size_t>(nc));
+    for (idx_t c = cb; c < ce; ++c) {
+      idx_t w = cxadj[static_cast<std::size_t>(c)];
+      for (int s = 0; s < 2; ++s) {
+        const idx_t v = s == 0 ? fv0[static_cast<std::size_t>(c)]
+                               : fv1[static_cast<std::size_t>(c)];
+        if (v == kInvalidIndex) continue;
+        auto nbrs = g.neighbors(v);
+        for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
+          const idx_t cu = result.coarse_of_fine[static_cast<std::size_t>(
+              nbrs[static_cast<std::size_t>(j)])];
+          if (cu == c) continue;
+          const wgt_t ew = g.edge_weight(v, j);
+          if (tag[static_cast<std::size_t>(cu)] != c) {
+            tag[static_cast<std::size_t>(cu)] = c;
+            pos[static_cast<std::size_t>(cu)] = w;
+            cadjncy[static_cast<std::size_t>(w)] = cu;
+            cadjwgt[static_cast<std::size_t>(w)] = ew;
+            ++w;
+          } else {
+            cadjwgt[static_cast<std::size_t>(
+                pos[static_cast<std::size_t>(cu)])] += ew;
+          }
+        }
+      }
+      assert(w == cxadj[static_cast<std::size_t>(c) + 1]);
+    }
+  });
+
+  result.coarse = CsrGraph(std::move(cxadj), std::move(cadjncy),
+                           std::move(cvwgt), std::move(cadjwgt), ncon);
+  return result;
+}
+
+}  // namespace
+
+Coarsening coarsen_once(const CsrGraph& g, Rng& rng,
+                        const CoarsenOptions& options) {
+  const idx_t n = g.num_vertices();
+  const std::vector<idx_t> order = random_permutation(n, rng);
+
+  if (n < options.parallel_threshold) {
+    std::vector<idx_t> match(static_cast<std::size_t>(n), kInvalidIndex);
+    match_serial(g, order, match);
+    return contract_serial(g, order, match);
+  }
+
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<idx_t> rank(static_cast<std::size_t>(n));
+  pool.parallel_for(n, [&](idx_t oi) {
+    rank[static_cast<std::size_t>(order[static_cast<std::size_t>(oi)])] = oi;
+  });
+  std::vector<idx_t> match(static_cast<std::size_t>(n), kInvalidIndex);
+  match_parallel(g, order, rank, match, pool);
+  return contract_parallel(g, order, rank, match, pool);
 }
 
 }  // namespace cpart

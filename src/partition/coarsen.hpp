@@ -1,5 +1,14 @@
 // Graph coarsening via heavy-edge matching (HEM) and contraction — the first
 // phase of the multilevel paradigm (Karypis & Kumar).
+//
+// Two implementations sit behind one entry point: the original serial HEM +
+// slot-buffer contraction (used below a size threshold, where thread fan-out
+// costs more than it saves), and a parallel path for large graphs:
+// round-based propose/claim/handshake matching with atomic CAS claims, and a
+// two-pass contraction (parallel degree counting + exclusive-scan offsets,
+// then parallel CSR fill). Both paths are deterministic for a fixed seed
+// regardless of the thread count — the parallel matching resolves every
+// conflict by permutation rank, never by thread schedule.
 #pragma once
 
 #include <vector>
@@ -15,10 +24,19 @@ struct Coarsening {
   std::vector<idx_t> coarse_of_fine;
 };
 
+struct CoarsenOptions {
+  /// Graphs with at least this many vertices take the parallel matching +
+  /// contraction path; smaller ones use the serial path. The switch depends
+  /// only on the graph, never on the pool size, so results stay bit-identical
+  /// across thread counts.
+  idx_t parallel_threshold = 4096;
+};
+
 /// One coarsening level: computes a heavy-edge matching (vertices visited in
 /// random order, each unmatched vertex matches its heaviest unmatched
 /// neighbour) and contracts matched pairs. Vertex-weight vectors add
 /// component-wise; parallel coarse edges merge with summed weights.
-Coarsening coarsen_once(const CsrGraph& g, Rng& rng);
+Coarsening coarsen_once(const CsrGraph& g, Rng& rng,
+                        const CoarsenOptions& options = {});
 
 }  // namespace cpart

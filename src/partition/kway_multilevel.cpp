@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/thread_pool.hpp"
 #include "partition/coarsen.hpp"
 #include "partition/connectivity.hpp"
 
@@ -20,12 +21,14 @@ std::vector<idx_t> partition_graph_kway(const CsrGraph& g,
   Rng rng(options.seed ^ 0x517cc1b727220a95ULL);
 
   // Coarsen the whole graph down to a small multiple of k.
+  CoarsenOptions copts;
+  copts.parallel_threshold = options.coarsen_parallel_threshold;
   const idx_t coarsest_size =
       std::max<idx_t>(options.coarsen_target / 4, 15) * k;
   std::vector<Coarsening> chain;
   const CsrGraph* cur = &g;
   while (cur->num_vertices() > coarsest_size) {
-    Coarsening c = coarsen_once(*cur, rng);
+    Coarsening c = coarsen_once(*cur, rng, copts);
     if (c.coarse.num_vertices() > cur->num_vertices() * 19 / 20) break;
     chain.push_back(std::move(c));
     cur = &chain.back().coarse;
@@ -51,11 +54,11 @@ std::vector<idx_t> partition_graph_kway(const CsrGraph& g,
   for (std::size_t i = chain.size(); i-- > 0;) {
     const CsrGraph& fine = (i == 0) ? g : chain[i - 1].coarse;
     std::vector<idx_t> fine_part(static_cast<std::size_t>(fine.num_vertices()));
-    for (idx_t v = 0; v < fine.num_vertices(); ++v) {
+    const std::vector<idx_t>& map = chain[i].coarse_of_fine;
+    ThreadPool::global().parallel_for(fine.num_vertices(), [&](idx_t v) {
       fine_part[static_cast<std::size_t>(v)] =
-          part[static_cast<std::size_t>(
-              chain[i].coarse_of_fine[static_cast<std::size_t>(v)])];
-    }
+          part[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])];
+    });
     kway_refine(fine, fine_part, refine, rng);
     part = std::move(fine_part);
   }

@@ -6,9 +6,16 @@
 // The same routine refines the collapsed region graph G' (where vertices
 // are whole rectangular regions), which is what keeps the final partition's
 // boundaries piecewise axes-parallel.
+//
+// Gains come from an incremental cache: per-vertex internal weight and
+// external (partition, weight) tables built once in parallel and patched in
+// O(deg) after every move, instead of rescanning each candidate's
+// neighbourhood at every query. A pass costs O(boundary + moved·deg) rather
+// than O(n·deg).
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/thread_pool.hpp"
 #include "partition/partition.hpp"
 
 namespace cpart {
@@ -110,45 +117,163 @@ class KwayBalance {
   std::vector<double> limit_;
 };
 
-/// Edge weight from v to each adjacent partition. Mesh degrees are tiny,
-/// but collapsed region graphs can touch many partitions, so the lists are
-/// growable (reused across gathers — no steady-state allocation).
-struct Connectivity {
-  std::vector<idx_t> parts;    // adjacent partition ids
-  std::vector<wgt_t> weights;  // accumulated edge weight per entry
-  int count = 0;
-  wgt_t own = 0;
+/// Incremental gain tables. For every vertex: `own` (edge weight into its
+/// current partition) and a compact list of (partition, weight) entries for
+/// the adjacent foreign partitions. A vertex touches at most degree(v)
+/// distinct partitions, so entries live in CSR-parallel ranges indexed by
+/// the graph's own xadj offsets — no hashing, no steady-state allocation.
+/// Built once in parallel (per-vertex, schedule-independent), then patched
+/// serially in O(deg) per move.
+class GainCache {
+ public:
+  GainCache(const CsrGraph& g, std::span<const idx_t> part) : g_(g) {
+    const idx_t n = g.num_vertices();
+    own_.assign(static_cast<std::size_t>(n), 0);
+    nd_.assign(static_cast<std::size_t>(n), 0);
+    parts_.resize(g.adjncy().size());
+    wgts_.resize(g.adjncy().size());
+    ThreadPool::global().parallel_for(n, [&](idx_t v) { rebuild(v, part); });
+  }
 
-  void gather(const CsrGraph& g, std::span<const idx_t> part, idx_t v) {
-    parts.clear();
-    weights.clear();
-    count = 0;
-    own = 0;
+  /// True when v has at least one neighbour in a foreign partition.
+  bool is_boundary(idx_t v) const {
+    return nd_[static_cast<std::size_t>(v)] > 0;
+  }
+  idx_t count(idx_t v) const { return nd_[static_cast<std::size_t>(v)]; }
+  wgt_t own(idx_t v) const { return own_[static_cast<std::size_t>(v)]; }
+
+  idx_t part_at(idx_t v, idx_t i) const {
+    return parts_[entry(v, i)];
+  }
+  wgt_t weight_at(idx_t v, idx_t i) const {
+    return wgts_[entry(v, i)];
+  }
+
+  /// Patches the tables for the move v: from -> to. `part` must already
+  /// reflect the move (only neighbours' labels are read, so the order does
+  /// not matter in practice, but keep the convention tight).
+  void apply_move(idx_t v, idx_t from, idx_t to,
+                  std::span<const idx_t> part) {
+    // v itself: weight toward `to` becomes internal, the old internal weight
+    // becomes the external entry for `from`.
+    const wgt_t old_own = own_[static_cast<std::size_t>(v)];
+    own_[static_cast<std::size_t>(v)] = remove_entry(v, to);
+    if (old_own > 0) add_weight(v, from, old_own);
+
+    // Neighbours: the edge to v switched sides.
+    auto nbrs = g_.neighbors(v);
+    for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
+      const idx_t u = nbrs[static_cast<std::size_t>(j)];
+      const idx_t pu = part[static_cast<std::size_t>(u)];
+      const wgt_t w = g_.edge_weight(v, j);
+      if (pu == from) {
+        own_[static_cast<std::size_t>(u)] -= w;
+        add_weight(u, to, w);
+      } else if (pu == to) {
+        own_[static_cast<std::size_t>(u)] += w;
+        sub_weight(u, from, w);
+      } else {
+        sub_weight(u, from, w);
+        add_weight(u, to, w);
+      }
+    }
+  }
+
+ private:
+  std::size_t base(idx_t v) const {
+    return static_cast<std::size_t>(g_.xadj()[static_cast<std::size_t>(v)]);
+  }
+  std::size_t entry(idx_t v, idx_t i) const {
+    assert(i >= 0 && i < nd_[static_cast<std::size_t>(v)]);
+    return base(v) + static_cast<std::size_t>(i);
+  }
+
+  void rebuild(idx_t v, std::span<const idx_t> part) {
     const idx_t pv = part[static_cast<std::size_t>(v)];
-    auto nbrs = g.neighbors(v);
+    wgt_t own = 0;
+    idx_t cnt = 0;
+    const std::size_t b = base(v);
+    auto nbrs = g_.neighbors(v);
     for (idx_t j = 0; j < to_idx(nbrs.size()); ++j) {
       const idx_t pu =
           part[static_cast<std::size_t>(nbrs[static_cast<std::size_t>(j)])];
-      const wgt_t w = g.edge_weight(v, j);
+      const wgt_t w = g_.edge_weight(v, j);
       if (pu == pv) {
         own += w;
         continue;
       }
-      bool found = false;
-      for (int i = 0; i < count; ++i) {
-        if (parts[static_cast<std::size_t>(i)] == pu) {
-          weights[static_cast<std::size_t>(i)] += w;
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        parts.push_back(pu);
-        weights.push_back(w);
-        ++count;
+      idx_t i = 0;
+      while (i < cnt && parts_[b + static_cast<std::size_t>(i)] != pu) ++i;
+      if (i == cnt) {
+        parts_[b + static_cast<std::size_t>(cnt)] = pu;
+        wgts_[b + static_cast<std::size_t>(cnt)] = w;
+        ++cnt;
+      } else {
+        wgts_[b + static_cast<std::size_t>(i)] += w;
       }
     }
+    own_[static_cast<std::size_t>(v)] = own;
+    nd_[static_cast<std::size_t>(v)] = cnt;
   }
+
+  /// Removes the entry for partition p; returns its weight (0 if absent).
+  wgt_t remove_entry(idx_t v, idx_t p) {
+    const std::size_t b = base(v);
+    idx_t& cnt = nd_[static_cast<std::size_t>(v)];
+    for (idx_t i = 0; i < cnt; ++i) {
+      if (parts_[b + static_cast<std::size_t>(i)] == p) {
+        const wgt_t w = wgts_[b + static_cast<std::size_t>(i)];
+        --cnt;
+        parts_[b + static_cast<std::size_t>(i)] =
+            parts_[b + static_cast<std::size_t>(cnt)];
+        wgts_[b + static_cast<std::size_t>(i)] =
+            wgts_[b + static_cast<std::size_t>(cnt)];
+        return w;
+      }
+    }
+    return 0;
+  }
+
+  void add_weight(idx_t v, idx_t p, wgt_t w) {
+    const std::size_t b = base(v);
+    idx_t& cnt = nd_[static_cast<std::size_t>(v)];
+    for (idx_t i = 0; i < cnt; ++i) {
+      if (parts_[b + static_cast<std::size_t>(i)] == p) {
+        wgts_[b + static_cast<std::size_t>(i)] += w;
+        return;
+      }
+    }
+    assert(static_cast<std::size_t>(cnt) <
+           static_cast<std::size_t>(g_.degree(v)));
+    parts_[b + static_cast<std::size_t>(cnt)] = p;
+    wgts_[b + static_cast<std::size_t>(cnt)] = w;
+    ++cnt;
+  }
+
+  void sub_weight(idx_t v, idx_t p, wgt_t w) {
+    const std::size_t b = base(v);
+    idx_t& cnt = nd_[static_cast<std::size_t>(v)];
+    for (idx_t i = 0; i < cnt; ++i) {
+      if (parts_[b + static_cast<std::size_t>(i)] == p) {
+        wgts_[b + static_cast<std::size_t>(i)] -= w;
+        if (wgts_[b + static_cast<std::size_t>(i)] == 0) {
+          --cnt;
+          parts_[b + static_cast<std::size_t>(i)] =
+              parts_[b + static_cast<std::size_t>(cnt)];
+          wgts_[b + static_cast<std::size_t>(i)] =
+              wgts_[b + static_cast<std::size_t>(cnt)];
+        }
+        return;
+      }
+    }
+    assert(false && "sub_weight: partition entry missing");
+  }
+
+  const CsrGraph& g_;
+  std::vector<wgt_t> own_;
+  std::vector<idx_t> nd_;
+  std::vector<idx_t> parts_;
+  std::vector<wgt_t> wgts_;
 };
 
 wgt_t anchor_adjust(const KwayRefineOptions& o, idx_t v, idx_t from, idx_t to) {
@@ -178,8 +303,14 @@ idx_t kway_refine(const CsrGraph& g, std::span<idx_t> part,
   if (k == 1 || n == 0) return 0;
 
   KwayBalance bal(g, part, k, options.epsilon);
-  Connectivity conn;
+  GainCache cache(g, part);
   idx_t total_moves = 0;
+
+  const auto commit = [&](idx_t v, idx_t from, idx_t to) {
+    bal.move(v, from, to);
+    part[static_cast<std::size_t>(v)] = to;
+    cache.apply_move(v, from, to, part);
+  };
 
   for (int pass = 0; pass < options.passes; ++pass) {
     idx_t pass_moves = 0;
@@ -196,18 +327,18 @@ idx_t kway_refine(const CsrGraph& g, std::span<idx_t> part,
         const idx_t v = order[static_cast<std::size_t>(oi)];
         const idx_t pv = part[static_cast<std::size_t>(v)];
         if (bal.within_limits(pv)) continue;
-        conn.gather(g, part, v);
-        if (boundary_only && conn.count == 0) continue;
+        if (boundary_only && !cache.is_boundary(v)) continue;
         // Candidate targets: adjacent partitions first (cheap boundary),
         // falling back to the globally least-loaded partition when the
         // vertex has no external neighbours (possible on collapsed graphs).
         idx_t best_to = kInvalidIndex;
         double best_delta = 0;
         wgt_t best_gain = 0;
+        const wgt_t own = cache.own(v);
         auto consider = [&](idx_t q, wgt_t w_to_q) {
           const double delta = bal.violation_delta(v, pv, q);
           if (delta >= -1e-12) return;  // must strictly reduce violation
-          const wgt_t gain = w_to_q - conn.own + anchor_adjust(options, v, pv, q);
+          const wgt_t gain = w_to_q - own + anchor_adjust(options, v, pv, q);
           const bool better =
               best_to == kInvalidIndex || delta < best_delta - 1e-15 ||
               (delta <= best_delta + 1e-15 && gain > best_gain);
@@ -217,9 +348,8 @@ idx_t kway_refine(const CsrGraph& g, std::span<idx_t> part,
             best_gain = gain;
           }
         };
-        for (int i = 0; i < conn.count; ++i) {
-          consider(conn.parts[static_cast<std::size_t>(i)],
-                   conn.weights[static_cast<std::size_t>(i)]);
+        for (idx_t i = 0; i < cache.count(v); ++i) {
+          consider(cache.part_at(v, i), cache.weight_at(v, i));
         }
         if (best_to == kInvalidIndex) {
           // No adjacent partition helps; try the least-violating partition
@@ -239,8 +369,7 @@ idx_t kway_refine(const CsrGraph& g, std::span<idx_t> part,
           }
         }
         if (best_to != kInvalidIndex) {
-          bal.move(v, pv, best_to);
-          part[static_cast<std::size_t>(v)] = best_to;
+          commit(v, pv, best_to);
           ++pass_moves;
         }
       }
@@ -249,15 +378,15 @@ idx_t kway_refine(const CsrGraph& g, std::span<idx_t> part,
     // --- Refinement phase: positive-gain boundary moves under balance. -----
     for (idx_t oi = 0; oi < n; ++oi) {
       const idx_t v = order[static_cast<std::size_t>(oi)];
+      if (!cache.is_boundary(v)) continue;  // interior vertex
       const idx_t pv = part[static_cast<std::size_t>(v)];
-      conn.gather(g, part, v);
-      if (conn.count == 0) continue;  // interior vertex
+      const wgt_t own = cache.own(v);
       idx_t best_to = kInvalidIndex;
       wgt_t best_gain = 0;
-      for (int i = 0; i < conn.count; ++i) {
-        const idx_t q = conn.parts[static_cast<std::size_t>(i)];
+      for (idx_t i = 0; i < cache.count(v); ++i) {
+        const idx_t q = cache.part_at(v, i);
         const wgt_t gain =
-            conn.weights[static_cast<std::size_t>(i)] - conn.own + anchor_adjust(options, v, pv, q);
+            cache.weight_at(v, i) - own + anchor_adjust(options, v, pv, q);
         if (gain <= 0) continue;
         if (!bal.fits(v, q)) continue;
         if (best_to == kInvalidIndex || gain > best_gain) {
@@ -266,8 +395,7 @@ idx_t kway_refine(const CsrGraph& g, std::span<idx_t> part,
         }
       }
       if (best_to != kInvalidIndex) {
-        bal.move(v, pv, best_to);
-        part[static_cast<std::size_t>(v)] = best_to;
+        commit(v, pv, best_to);
         ++pass_moves;
       }
     }

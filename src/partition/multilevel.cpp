@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/thread_pool.hpp"
 #include "partition/coarsen.hpp"
 #include "partition/connectivity.hpp"
 #include "partition/initial_partition.hpp"
@@ -18,11 +19,13 @@ std::vector<idx_t> multilevel_bisect(const CsrGraph& g, double left_fraction,
                                      double epsilon,
                                      const PartitionOptions& options,
                                      Rng& rng) {
+  CoarsenOptions copts;
+  copts.parallel_threshold = options.coarsen_parallel_threshold;
   // Coarsening chain: chain[i] maps graph_i -> graph_{i+1}; graph_0 is g.
   std::vector<Coarsening> chain;
   const CsrGraph* cur = &g;
   while (cur->num_vertices() > options.coarsen_target) {
-    Coarsening c = coarsen_once(*cur, rng);
+    Coarsening c = coarsen_once(*cur, rng, copts);
     // Matching collapse stalls on star-like graphs; stop when the graph
     // shrinks by less than 5% to avoid spinning.
     if (c.coarse.num_vertices() > cur->num_vertices() * 19 / 20) break;
@@ -37,11 +40,11 @@ std::vector<idx_t> multilevel_bisect(const CsrGraph& g, double left_fraction,
   for (std::size_t i = chain.size(); i-- > 0;) {
     const CsrGraph& fine = (i == 0) ? g : chain[i - 1].coarse;
     std::vector<idx_t> fine_part(static_cast<std::size_t>(fine.num_vertices()));
-    for (idx_t v = 0; v < fine.num_vertices(); ++v) {
+    const std::vector<idx_t>& map = chain[i].coarse_of_fine;
+    ThreadPool::global().parallel_for(fine.num_vertices(), [&](idx_t v) {
       fine_part[static_cast<std::size_t>(v)] =
-          part[static_cast<std::size_t>(
-              chain[i].coarse_of_fine[static_cast<std::size_t>(v)])];
-    }
+          part[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])];
+    });
     fm_refine_bisection(fine, fine_part, left_fraction, epsilon,
                         options.refine_passes, rng);
     part = std::move(fine_part);

@@ -32,6 +32,12 @@ struct PartitionOptions {
   int refine_passes = 8;
   /// Final k-way polish passes on the full graph (0 disables).
   int kway_passes = 10;
+  /// Graphs with at least this many vertices coarsen through the parallel
+  /// matching/contraction path (see CoarsenOptions::parallel_threshold).
+  /// The switch depends only on graph size, never on the pool, so partitions
+  /// are bit-identical across thread counts. Set huge to force the serial
+  /// path (used by quality-regression tests and benches).
+  idx_t coarsen_parallel_threshold = 4096;
 };
 
 /// Computes a k-way partitioning of g balancing all g.ncon() vertex-weight

@@ -131,5 +131,62 @@ TEST(ThreadPool, GlobalPoolUsable) {
   EXPECT_EQ(s, 1000);
 }
 
+TEST(ThreadPool, SetGlobalThreadsSwapsThePool) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().num_threads(), 3u);
+  const wgt_t s = ThreadPool::global().parallel_reduce<wgt_t>(
+      5000, 0, [](idx_t) { return wgt_t{1}; });
+  EXPECT_EQ(s, 5000);
+  ThreadPool::set_global_threads(0);
+  EXPECT_GE(ThreadPool::global().num_threads(), 1u);
+}
+
+TEST(ThreadPool, ExclusiveScanMatchesSerial) {
+  ThreadPool pool(4);
+  const idx_t n = 100000;
+  std::vector<idx_t> data(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) {
+    data[static_cast<std::size_t>(i)] = (i * 7 + 3) % 11;
+  }
+  std::vector<idx_t> expected(data);
+  idx_t running = 0;
+  for (auto& x : expected) {
+    const idx_t v = x;
+    x = running;
+    running += v;
+  }
+  const idx_t total = pool.parallel_exclusive_scan(std::span<idx_t>(data));
+  EXPECT_EQ(total, running);
+  EXPECT_EQ(data, expected);
+}
+
+TEST(ThreadPool, ExclusiveScanIdenticalAcrossThreadCounts) {
+  const idx_t n = 65536;
+  std::vector<std::vector<wgt_t>> results;
+  std::vector<wgt_t> totals;
+  for (unsigned threads : {1u, 2u, 5u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<wgt_t> data(static_cast<std::size_t>(n));
+    for (idx_t i = 0; i < n; ++i) {
+      data[static_cast<std::size_t>(i)] = (i % 13) - 6;  // negatives too
+    }
+    totals.push_back(pool.parallel_exclusive_scan(std::span<wgt_t>(data)));
+    results.push_back(std::move(data));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]);
+    EXPECT_EQ(totals[0], totals[i]);
+  }
+}
+
+TEST(ThreadPool, ExclusiveScanEmptyAndTiny) {
+  ThreadPool pool(4);
+  std::vector<idx_t> empty;
+  EXPECT_EQ(pool.parallel_exclusive_scan(std::span<idx_t>(empty)), 0);
+  std::vector<idx_t> one{5};
+  EXPECT_EQ(pool.parallel_exclusive_scan(std::span<idx_t>(one)), 5);
+  EXPECT_EQ(one[0], 0);
+}
+
 }  // namespace
 }  // namespace cpart
