@@ -1,0 +1,63 @@
+// Provenance stamp shared by every BENCH_*.json writer, so the perf
+// trajectory across commits stays interpretable: which build type,
+// compiler, machine parallelism and source revision produced a number.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace cpart::bench {
+
+/// Short git SHA of the working tree, or "unknown" when git (or the repo)
+/// is unavailable. Resolved at run time so the binary need not be
+/// reconfigured per commit.
+inline std::string git_sha() {
+  std::string sha;
+  if (FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    ::pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+inline std::string build_type() {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+inline std::string compiler() {
+  std::ostringstream out;
+#if defined(__clang__)
+  out << "clang " << __clang_major__ << "." << __clang_minor__ << "."
+      << __clang_patchlevel__;
+#elif defined(__GNUC__)
+  out << "gcc " << __GNUC__ << "." << __GNUC_MINOR__ << "."
+      << __GNUC_PATCHLEVEL__;
+#else
+  out << "unknown";
+#endif
+  return out.str();
+}
+
+/// JSON object describing the recording environment. Embed as the "env"
+/// field of every BENCH_*.json (per-record thread counts stay in the
+/// records; hardware_threads is the machine's concurrency).
+inline std::string env_json() {
+  std::ostringstream out;
+  out << "{\"build_type\": \"" << build_type() << "\", \"compiler\": \""
+      << compiler() << "\", \"git_sha\": \"" << git_sha()
+      << "\", \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << "}";
+  return out.str();
+}
+
+}  // namespace cpart::bench

@@ -1,0 +1,251 @@
+// Steady-state benchmark of the incremental per-timestep contact pipeline.
+//
+// Runs the impact-simulation snapshot sequence twice under a fixed MCML+DT
+// partition:
+//   * cold — every step through the from-scratch path (ImpactSim::snapshot,
+//     McmlDtPartitioner::build_descriptors, face_owners, global_search_tree),
+//     exactly what run_contact_experiment did before StepPipeline existed;
+//   * warm — every step through the persistent StepPipeline (reused
+//     snapshot workspace, warm-started descriptor induction, recycled
+//     buffers, touched-list search scratch).
+// Every step cross-checks the two paths — descriptor-tree shape, NRemote,
+// surface/contact counts must be bit-identical — and the binary fails on
+// any mismatch, so the speedup can never come from computing something
+// different. Steady state is steps >= 1 (step 0 is a cold start for both).
+//
+//   ./bench_pipeline [--resolution 1.0] [--snapshots 20] [--k 25]
+//                    [--threads 1,8] [--stride 1] [--out BENCH_pipeline.json]
+//
+// JSON output: {"env": {...}, "results": [{threads, steps: [...],
+// cold_mean_ms, warm_mean_ms, speedup, ...} ...]}.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_env.hpp"
+#include "contact/global_search.hpp"
+#include "core/mcml_dt.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/step_pipeline.hpp"
+#include "sim/impact_sim.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace cpart;
+
+namespace {
+
+struct StepTimes {
+  double snapshot_ms = 0;
+  double descriptors_ms = 0;
+  double search_ms = 0;
+  double total_ms() const { return snapshot_ms + descriptors_ms + search_ms; }
+};
+
+struct StepProducts {
+  idx_t surface_faces = 0;
+  idx_t contact_nodes = 0;
+  idx_t tree_nodes = 0;
+  idx_t tree_leaves = 0;
+  wgt_t remote_sends = 0;
+  bool operator==(const StepProducts&) const = default;
+};
+
+/// Structural equality of two descriptor trees (same node array, same
+/// geometry, same labels). The warm start must reproduce the cold tree
+/// bit-for-bit.
+bool trees_identical(const DecisionTree& a, const DecisionTree& b) {
+  if (a.num_nodes() != b.num_nodes() || a.root() != b.root()) return false;
+  for (idx_t i = 0; i < a.num_nodes(); ++i) {
+    const TreeNode& x = a.node(i);
+    const TreeNode& y = b.node(i);
+    if (x.axis != y.axis || x.cut != y.cut || x.left != y.left ||
+        x.right != y.right || x.label != y.label || x.pure != y.pure ||
+        x.count != y.count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("resolution", "1.0", "mesh resolution scale factor");
+  flags.define("snapshots", "20", "snapshots to process");
+  flags.define("k", "25", "number of partitions");
+  flags.define("threads", "1,8", "comma-separated thread counts");
+  flags.define("stride", "1", "process every stride-th snapshot");
+  flags.define("out", "BENCH_pipeline.json", "JSON output path");
+  try {
+    flags.parse(argc, argv);
+    const double resolution = flags.get_double("resolution");
+    const idx_t snapshots = static_cast<idx_t>(flags.get_int("snapshots"));
+    const idx_t stride = static_cast<idx_t>(flags.get_int("stride"));
+    const idx_t k = static_cast<idx_t>(flags.get_int("k"));
+    std::vector<unsigned> thread_counts;
+    {
+      std::stringstream ss(flags.get_string("threads"));
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        thread_counts.push_back(static_cast<unsigned>(std::stoul(tok)));
+      }
+      require(!thread_counts.empty(), "empty --threads");
+    }
+
+    ImpactSimConfig sim_config;
+    sim_config.scale_resolution(resolution);
+    sim_config.num_snapshots = std::max<idx_t>(snapshots, 2);
+    const ImpactSim sim(sim_config);
+    const real_t cell = sim_config.plate_width /
+                        static_cast<real_t>(sim_config.plate_cells_xy);
+    const real_t margin = 0.5 * cell;
+
+    std::cout << "Incremental pipeline: "
+              << sim.initial_mesh().num_nodes() << " nodes, "
+              << sim.num_snapshots() << " snapshots, k=" << k << "\n\n";
+
+    // Fixed partition from snapshot 0 (the paper's update strategy), shared
+    // by both paths.
+    McmlDtConfig dt_config;
+    dt_config.k = k;
+    const ImpactSim::Snapshot snap0 = sim.snapshot(0);
+    const McmlDtPartitioner mcml(snap0.mesh, snap0.surface, dt_config);
+
+    Table table({"threads", "cold_ms/step", "warm_ms/step", "speedup",
+                 "snap_x", "tree_x", "search_x"});
+    std::ostringstream json;
+    json << "{\"env\": " << cpart::bench::env_json() << ",\n \"results\": [\n";
+    bool first_record = true;
+    bool all_equal = true;
+
+    for (unsigned t : thread_counts) {
+      ThreadPool::set_global_threads(t);
+      std::ostringstream steps_json;
+      StepTimes cold_sum, warm_sum;  // steady state: steps >= 1
+      idx_t steady_steps = 0;
+
+      StepPipeline pipeline(sim);
+      bool first_step = true;
+      for (idx_t s = 0; s < sim.num_snapshots(); s += stride) {
+        // Cold: from-scratch recomputation.
+        StepTimes cold;
+        StepProducts cold_prod;
+        DecisionTree cold_tree;
+        {
+          Timer timer;
+          const ImpactSim::Snapshot snap = sim.snapshot(s);
+          cold.snapshot_ms = timer.milliseconds();
+          timer.reset();
+          SubdomainDescriptors descriptors =
+              mcml.build_descriptors(snap.mesh, snap.surface);
+          cold.descriptors_ms = timer.milliseconds();
+          timer.reset();
+          const std::vector<idx_t> owners =
+              face_owners(snap.surface, mcml.node_partition(), k);
+          const GlobalSearchStats stats = global_search_tree(
+              snap.mesh, snap.surface, owners, descriptors, margin);
+          cold.search_ms = timer.milliseconds();
+          cold_prod = {snap.surface.num_faces(),
+                       snap.surface.num_contact_nodes(),
+                       descriptors.num_tree_nodes(), descriptors.num_leaves(),
+                       stats.remote_sends};
+          cold_tree = descriptors.release_tree();
+        }
+
+        // Warm: the persistent pipeline.
+        StepTimes warm;
+        StepProducts warm_prod;
+        {
+          Timer timer;
+          const ImpactSim::Snapshot& snap = pipeline.advance(s);
+          warm.snapshot_ms = timer.milliseconds();
+          timer.reset();
+          const SubdomainDescriptors& descriptors =
+              pipeline.build_descriptors(mcml);
+          warm.descriptors_ms = timer.milliseconds();
+          timer.reset();
+          const GlobalSearchStats stats = pipeline.search(mcml, margin);
+          warm.search_ms = timer.milliseconds();
+          warm_prod = {snap.surface.num_faces(),
+                       snap.surface.num_contact_nodes(),
+                       descriptors.num_tree_nodes(), descriptors.num_leaves(),
+                       stats.remote_sends};
+          if (!(warm_prod == cold_prod) ||
+              !trees_identical(cold_tree, descriptors.tree())) {
+            std::cerr << "EQUIVALENCE FAILURE at step " << s << ", threads "
+                      << t << "\n";
+            all_equal = false;
+          }
+        }
+
+        if (s > 0) {
+          cold_sum.snapshot_ms += cold.snapshot_ms;
+          cold_sum.descriptors_ms += cold.descriptors_ms;
+          cold_sum.search_ms += cold.search_ms;
+          warm_sum.snapshot_ms += warm.snapshot_ms;
+          warm_sum.descriptors_ms += warm.descriptors_ms;
+          warm_sum.search_ms += warm.search_ms;
+          ++steady_steps;
+        }
+        if (!first_step) steps_json << ",\n";
+        first_step = false;
+        steps_json << "    {\"step\": " << s << ", \"cold_ms\": {\"snapshot\": "
+                   << cold.snapshot_ms << ", \"descriptors\": "
+                   << cold.descriptors_ms << ", \"search\": " << cold.search_ms
+                   << "}, \"warm_ms\": {\"snapshot\": " << warm.snapshot_ms
+                   << ", \"descriptors\": " << warm.descriptors_ms
+                   << ", \"search\": " << warm.search_ms
+                   << "}, \"tree_nodes\": " << warm_prod.tree_nodes
+                   << ", \"remote\": " << warm_prod.remote_sends << "}";
+      }
+
+      const double ns = static_cast<double>(std::max<idx_t>(steady_steps, 1));
+      const double cold_mean = cold_sum.total_ms() / ns;
+      const double warm_mean = warm_sum.total_ms() / ns;
+      const double speedup = cold_mean / std::max(warm_mean, 1e-9);
+      auto ratio = [](double a, double b) { return a / std::max(b, 1e-9); };
+
+      table.begin_row();
+      table.add_cell(static_cast<long long>(t));
+      table.add_cell(cold_mean, 2);
+      table.add_cell(warm_mean, 2);
+      table.add_cell(speedup, 2);
+      table.add_cell(ratio(cold_sum.snapshot_ms, warm_sum.snapshot_ms), 2);
+      table.add_cell(ratio(cold_sum.descriptors_ms, warm_sum.descriptors_ms),
+                     2);
+      table.add_cell(ratio(cold_sum.search_ms, warm_sum.search_ms), 2);
+
+      if (!first_record) json << ",\n";
+      first_record = false;
+      json << "  {\"threads\": " << t << ", \"nodes\": "
+           << sim.initial_mesh().num_nodes() << ", \"k\": " << k
+           << ", \"steady_steps\": " << steady_steps
+           << ",\n   \"cold_mean_ms\": " << cold_mean
+           << ", \"warm_mean_ms\": " << warm_mean
+           << ", \"speedup\": " << speedup
+           << ", \"equivalent\": " << (all_equal ? "true" : "false")
+           << ",\n   \"steps\": [\n" << steps_json.str() << "\n   ]}";
+    }
+    json << "\n]}\n";
+    ThreadPool::set_global_threads(0);
+
+    table.print(std::cout);
+    const std::string out_path = flags.get_string("out");
+    std::ofstream out(out_path);
+    require(static_cast<bool>(out), "cannot open --out for writing");
+    out << json.str();
+    std::cout << "\nWrote " << out_path << ".\n";
+    if (!all_equal) {
+      std::cerr << "warm/cold products differ — failing.\n";
+      return 1;
+    }
+    std::cout << "Warm and cold products are bit-identical at every step.\n";
+    return 0;
+  } catch (const InputError& e) {
+    std::cerr << "error: " << e.what() << "\n" << flags.usage("bench_pipeline");
+    return 1;
+  }
+}

@@ -34,7 +34,15 @@ void BBoxFilter::query_box(const BBox& query, std::vector<idx_t>& parts) const {
 std::vector<idx_t> face_owners(const Surface& surface,
                                std::span<const idx_t> node_labels,
                                idx_t num_parts) {
-  std::vector<idx_t> owners(surface.faces.size(), kInvalidIndex);
+  std::vector<idx_t> owners;
+  face_owners_into(surface, node_labels, num_parts, owners);
+  return owners;
+}
+
+void face_owners_into(const Surface& surface,
+                      std::span<const idx_t> node_labels, idx_t num_parts,
+                      std::vector<idx_t>& owners) {
+  owners.assign(surface.faces.size(), kInvalidIndex);
   std::vector<idx_t> votes(static_cast<std::size_t>(num_parts), 0);
   std::vector<idx_t> touched;
   for (std::size_t f = 0; f < surface.faces.size(); ++f) {
@@ -53,7 +61,6 @@ std::vector<idx_t> face_owners(const Surface& surface,
     owners[f] = best;
     for (idx_t l : touched) votes[static_cast<std::size_t>(l)] = 0;
   }
-  return owners;
 }
 
 GlobalSearchStats global_search(
@@ -117,18 +124,26 @@ GlobalSearchStats global_search_tree(const Mesh& mesh, const Surface& surface,
                                      const SubdomainDescriptors& descriptors,
                                      real_t margin) {
   // SubdomainDescriptors::query_box uses a shared scratch mask, so each
-  // worker thread keeps its own reusable mask instead.
+  // worker thread keeps its own persistent mask instead. The mask stays
+  // all-zero between queries and only the entries recorded in the touched
+  // list are reset, so a query costs O(|result|) rather than O(k).
   const DecisionTree& tree = descriptors.tree();
   const idx_t k = descriptors.num_parts();
   return global_search(
       mesh, surface, owner, margin,
       [&tree, k](const BBox& box, std::vector<idx_t>& parts) {
         thread_local std::vector<char> mask;
-        mask.assign(static_cast<std::size_t>(k), 0);
-        tree.collect_box_labels(box, mask);
-        for (idx_t p = 0; p < k; ++p) {
-          if (mask[static_cast<std::size_t>(p)]) parts.push_back(p);
+        thread_local std::vector<idx_t> touched;
+        if (mask.size() < static_cast<std::size_t>(k)) {
+          mask.assign(static_cast<std::size_t>(k), 0);
         }
+        tree.collect_box_labels(box, mask, touched);
+        std::sort(touched.begin(), touched.end());
+        for (idx_t p : touched) {
+          parts.push_back(p);
+          mask[static_cast<std::size_t>(p)] = 0;
+        }
+        touched.clear();
       });
 }
 

@@ -5,6 +5,7 @@
 #include "contact/search_metrics.hpp"
 #include "graph/graph_metrics.hpp"
 #include "mesh/mesh_graphs.hpp"
+#include "runtime/step_pipeline.hpp"
 #include "util/timer.hpp"
 
 namespace cpart {
@@ -48,7 +49,11 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
   const real_t margin = static_cast<real_t>(config.margin_cell_fraction) * cell;
 
   // --- Build both partitioners on snapshot 0. ------------------------------
-  ImpactSim::Snapshot snap0 = sim.snapshot(0);
+  // The pipeline owns the cross-snapshot state (snapshot workspace, warm
+  // descriptor-induction orders, search scratch); every product is
+  // bit-identical to cold recomputation.
+  StepPipeline pipeline(sim);
+  const ImpactSim::Snapshot& snap0 = pipeline.advance(0);
 
   McmlDtConfig dt_config;
   dt_config.k = config.k;
@@ -73,7 +78,8 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
   std::vector<idx_t> prev_dt_partition = mcml.node_partition();
 
   for (idx_t s = 0; s < sim.num_snapshots(); s += config.snapshot_stride) {
-    const ImpactSim::Snapshot snap = (s == 0) ? std::move(snap0) : sim.snapshot(s);
+    const ImpactSim::Snapshot& snap =
+        (s == 0) ? pipeline.current() : pipeline.advance(s);
     const CsrGraph graph = nodal_graph(snap.mesh);
 
     SnapshotMetrics m;
@@ -105,16 +111,9 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
     }
 
     m.dt_fe_comm = total_comm_volume(graph, mcml.node_partition());
-    const SubdomainDescriptors descriptors =
-        mcml.build_descriptors(snap.mesh, snap.surface);
+    const SubdomainDescriptors& descriptors = pipeline.build_descriptors(mcml);
     m.dt_tree_nodes = descriptors.num_tree_nodes();
-    {
-      const std::vector<idx_t> owners =
-          face_owners(snap.surface, mcml.node_partition(), config.k);
-      m.dt_remote = global_search_tree(snap.mesh, snap.surface, owners,
-                                       descriptors, margin)
-                        .remote_sends;
-    }
+    m.dt_remote = pipeline.search(mcml, margin).remote_sends;
     {
       const std::vector<idx_t> contact_labels =
           gather_contact_labels(snap.surface, mcml.node_partition());

@@ -7,6 +7,8 @@
 // surface must be re-extracted per snapshot.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "mesh/mesh.hpp"
@@ -34,12 +36,41 @@ struct Surface {
 /// element).
 Surface extract_surface(const Mesh& mesh);
 
+/// Reusable scratch for extract_surface_into: a flat open-addressing
+/// face-occurrence table (power-of-two capacity, linear probing) plus a
+/// per-face-instance slot memo so the second pass is an array scan instead
+/// of a re-hash. Buffers grow to the largest mesh seen and never shrink, so
+/// steady-state re-extraction allocates nothing.
+class SurfaceWorkspace {
+ public:
+  SurfaceWorkspace() = default;
+
+ private:
+  friend void extract_surface_into(const Mesh& mesh, SurfaceWorkspace& ws,
+                                   Surface& out);
+  std::vector<std::array<idx_t, 4>> keys_;
+  std::vector<std::int32_t> counts_;
+  std::vector<std::uint32_t> slots_;  // face instance → table slot
+};
+
+/// extract_surface() writing into `out` (whose storage is reused) with all
+/// scratch drawn from `ws`. The result — face order, node order, contact
+/// arrays — is identical to extract_surface(mesh).
+void extract_surface_into(const Mesh& mesh, SurfaceWorkspace& ws,
+                          Surface& out);
+
 /// Restricts a surface to the faces with keep[f] != 0, rebuilding the
 /// contact-node arrays. Models the application designating which boundary
 /// faces are contact surfaces (paper Section 2: "we assume that these
 /// elements have been identified as such by the application").
 Surface filter_surface(const Surface& surface, std::span<const char> keep,
                        idx_t num_nodes);
+
+/// filter_surface() writing into `out`, whose storage (including per-face
+/// node vectors) is reused. `out` must not alias `surface`. The result is
+/// identical to filter_surface(surface, keep, num_nodes).
+void filter_surface_into(const Surface& surface, std::span<const char> keep,
+                         idx_t num_nodes, Surface& out);
 
 /// Bounding box of one surface face, inflated by `margin` (contact
 /// tolerance).

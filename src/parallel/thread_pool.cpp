@@ -5,9 +5,14 @@
 namespace cpart {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  // Requests are clamped to the hardware concurrency: a CPU-bound pool gains
+  // nothing from oversubscription, which only adds wake-up and context-switch
+  // overhead to every dispatch. Results are unaffected — every parallel
+  // computation in this library is bit-identical at any pool size (see
+  // docs/parallelism.md), which is also what lets the clamp change the
+  // chunking without changing any output.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (num_threads == 0 || num_threads > hw) num_threads = hw;
   workers_.reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t); });

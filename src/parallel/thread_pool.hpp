@@ -24,6 +24,9 @@ namespace cpart {
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  /// Requests above the hardware concurrency are clamped to it — a CPU-bound
+  /// pool gains nothing from oversubscription (results are identical at any
+  /// pool size, so the clamp is observable only in num_threads() and speed).
   explicit ThreadPool(unsigned num_threads = 0);
   ~ThreadPool();
 
@@ -107,8 +110,9 @@ class ThreadPool {
   static ThreadPool& global();
 
   /// Replaces the process-wide pool with one of `num_threads` workers
-  /// (0 = hardware concurrency). Used by benches and tests that sweep
-  /// thread counts. Must not be called while parallel work is in flight.
+  /// (0 = hardware concurrency, larger requests clamped to it). Used by
+  /// benches and tests that sweep thread counts. Must not be called while
+  /// parallel work is in flight.
   static void set_global_threads(unsigned num_threads);
 
  private:

@@ -151,7 +151,10 @@ void match_parallel(const CsrGraph& g, std::span<const idx_t> order,
   pool.parallel_for(
       n, [&](idx_t v) { active[static_cast<std::size_t>(v)] = v; });
 
-  std::vector<idx_t> scan;  // compaction buffer, reused across rounds
+  // Compaction buffers, reused across rounds (`next` swaps with `active`
+  // instead of reallocating every round).
+  std::vector<idx_t> scan;
+  std::vector<idx_t> next;
   constexpr int kMaxRounds = 12;
   for (int round = 0; round < kMaxRounds && !active.empty(); ++round) {
     const idx_t na = to_idx(active.size());
@@ -237,14 +240,14 @@ void match_parallel(const CsrGraph& g, std::span<const idx_t> order,
     const idx_t remaining =
         pool.parallel_exclusive_scan(std::span<idx_t>(scan));
     if (remaining == na) break;  // theory says impossible; stay safe anyway
-    std::vector<idx_t> next(static_cast<std::size_t>(remaining));
+    next.resize(static_cast<std::size_t>(remaining));
     pool.parallel_for(na, [&](idx_t i) {
       const idx_t v = active[static_cast<std::size_t>(i)];
       if (match[static_cast<std::size_t>(v)] == kInvalidIndex) {
         next[static_cast<std::size_t>(scan[static_cast<std::size_t>(i)])] = v;
       }
     });
-    active = std::move(next);
+    std::swap(active, next);
   }
 
   // Serial finish for whatever the rounds left over (a few percent at most):
@@ -299,13 +302,36 @@ Coarsening contract_parallel(const CsrGraph& g, std::span<const idx_t> order,
     }
   });
 
+  // Per-chunk dedup scratch shared by both passes, allocated (and
+  // sentinel-initialized) once per contraction instead of once per chunk
+  // per pass — the O(nc)-per-chunk init was what made coarsening slower at
+  // high thread counts than serial. Pass 1 stamps tag entries with c, pass
+  // 2 with nc + c: the stamp ranges are disjoint, so pass 2 reuses pass 1's
+  // tags without clearing them.
+  struct ChunkScratch {
+    std::vector<idx_t> tag;
+    std::vector<idx_t> pos;
+  };
+  std::vector<ChunkScratch> scratch(
+      std::max<unsigned>(1u, pool.num_threads()));
+  const auto chunk_scratch = [&](unsigned chunk, bool want_pos) -> ChunkScratch& {
+    ChunkScratch& cs = scratch[static_cast<std::size_t>(chunk)];
+    if (to_idx(cs.tag.size()) < nc) {
+      cs.tag.assign(static_cast<std::size_t>(nc), kInvalidIndex);
+    }
+    if (want_pos && to_idx(cs.pos.size()) < nc) {
+      cs.pos.resize(static_cast<std::size_t>(nc));
+    }
+    return cs;
+  };
+
   // Pass 1: per-coarse-vertex distinct-neighbour counts + vertex weights.
   std::vector<wgt_t> cvwgt(static_cast<std::size_t>(nc) *
                                static_cast<std::size_t>(ncon),
                            0);
   std::vector<idx_t> cxadj(static_cast<std::size_t>(nc) + 1, 0);
-  pool.parallel_for_chunks(nc, [&](unsigned, idx_t cb, idx_t ce) {
-    std::vector<idx_t> tag(static_cast<std::size_t>(nc), kInvalidIndex);
+  pool.parallel_for_chunks(nc, [&](unsigned chunk, idx_t cb, idx_t ce) {
+    std::vector<idx_t>& tag = chunk_scratch(chunk, false).tag;
     for (idx_t c = cb; c < ce; ++c) {
       idx_t cnt = 0;
       for (int s = 0; s < 2; ++s) {
@@ -337,10 +363,12 @@ Coarsening contract_parallel(const CsrGraph& g, std::span<const idx_t> order,
   // Pass 2: fill each coarse vertex's preallocated CSR range.
   std::vector<idx_t> cadjncy(static_cast<std::size_t>(nnz));
   std::vector<wgt_t> cadjwgt(static_cast<std::size_t>(nnz));
-  pool.parallel_for_chunks(nc, [&](unsigned, idx_t cb, idx_t ce) {
-    std::vector<idx_t> tag(static_cast<std::size_t>(nc), kInvalidIndex);
-    std::vector<idx_t> pos(static_cast<std::size_t>(nc));
+  pool.parallel_for_chunks(nc, [&](unsigned chunk, idx_t cb, idx_t ce) {
+    ChunkScratch& cs = chunk_scratch(chunk, true);
+    std::vector<idx_t>& tag = cs.tag;
+    std::vector<idx_t>& pos = cs.pos;
     for (idx_t c = cb; c < ce; ++c) {
+      const idx_t stamp = nc + c;  // disjoint from pass 1's stamps
       idx_t w = cxadj[static_cast<std::size_t>(c)];
       for (int s = 0; s < 2; ++s) {
         const idx_t v = s == 0 ? fv0[static_cast<std::size_t>(c)]
@@ -352,8 +380,8 @@ Coarsening contract_parallel(const CsrGraph& g, std::span<const idx_t> order,
               nbrs[static_cast<std::size_t>(j)])];
           if (cu == c) continue;
           const wgt_t ew = g.edge_weight(v, j);
-          if (tag[static_cast<std::size_t>(cu)] != c) {
-            tag[static_cast<std::size_t>(cu)] = c;
+          if (tag[static_cast<std::size_t>(cu)] != stamp) {
+            tag[static_cast<std::size_t>(cu)] = stamp;
             pos[static_cast<std::size_t>(cu)] = w;
             cadjncy[static_cast<std::size_t>(w)] = cu;
             cadjwgt[static_cast<std::size_t>(w)] = ew;

@@ -1,0 +1,49 @@
+#include "runtime/step_pipeline.hpp"
+
+namespace cpart {
+
+StepPipeline::StepPipeline(const ImpactSim& sim) : sim_(sim) {}
+
+const ImpactSim::Snapshot& StepPipeline::advance(idx_t s) {
+  sim_.snapshot_into(s, snapshot_ws_, snapshot_);
+  return snapshot_;
+}
+
+const SubdomainDescriptors& StepPipeline::build_descriptors(
+    const McmlDtPartitioner& partitioner) {
+  const Mesh& mesh = snapshot_.mesh;
+  const Surface& surface = snapshot_.surface;
+  const std::vector<idx_t>& partition = partitioner.node_partition();
+  require(mesh.num_nodes() == to_idx(partition.size()),
+          "StepPipeline::build_descriptors: mesh/partition size mismatch");
+
+  points_.clear();
+  labels_.clear();
+  points_.reserve(surface.contact_nodes.size());
+  labels_.reserve(surface.contact_nodes.size());
+  for (idx_t id : surface.contact_nodes) {
+    points_.push_back(mesh.node(id));
+    labels_.push_back(partition[static_cast<std::size_t>(id)]);
+  }
+
+  DescriptorOptions dopts = partitioner.config().descriptor;
+  dopts.dim = mesh.dim();
+  if (descriptors_.has_value()) {
+    // Return the retired tree's node storage to the induction pool.
+    tree_ws_.recycle(descriptors_->release_tree());
+  }
+  descriptors_.emplace(points_, labels_, partitioner.k(), dopts, &tree_ws_);
+  return *descriptors_;
+}
+
+GlobalSearchStats StepPipeline::search(const McmlDtPartitioner& partitioner,
+                                       real_t margin) {
+  require(descriptors_.has_value(),
+          "StepPipeline::search: build_descriptors not called");
+  face_owners_into(snapshot_.surface, partitioner.node_partition(),
+                   partitioner.k(), owners_);
+  return global_search_tree(snapshot_.mesh, snapshot_.surface, owners_,
+                            *descriptors_, margin);
+}
+
+}  // namespace cpart

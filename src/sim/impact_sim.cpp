@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "mesh/generators.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace cpart {
 
@@ -181,6 +182,65 @@ Mesh ImpactSim::snapshot_mesh(idx_t s, idx_t* eroded) const {
   const idx_t removed = mesh.remove_elements(keep);
   if (eroded != nullptr) *eroded = removed;
   return mesh;
+}
+
+void ImpactSim::snapshot_into(idx_t s, SnapshotWorkspace& ws,
+                              Snapshot& out) const {
+  const real_t nose = nose_z(s);
+  out.step = s;
+  out.nose_z = nose;
+
+  // Deformed mesh: copy-assign reuses out.mesh's storage, then displace
+  // every node in parallel (displaced() is a pure function of the node).
+  out.mesh = initial_;
+  const auto nodes = out.mesh.mutable_nodes();
+  ThreadPool::global().parallel_for_chunks(
+      out.mesh.num_nodes(), [&](unsigned, idx_t begin, idx_t end) {
+        for (idx_t v = begin; v < end; ++v) {
+          nodes[static_cast<std::size_t>(v)] = displaced(v, nose);
+        }
+      });
+
+  // Erosion mask in parallel; the compaction itself stays serial.
+  ws.keep_elements.resize(static_cast<std::size_t>(out.mesh.num_elements()));
+  ThreadPool::global().parallel_for_chunks(
+      out.mesh.num_elements(), [&](unsigned, idx_t begin, idx_t end) {
+        for (idx_t e = begin; e < end; ++e) {
+          ws.keep_elements[static_cast<std::size_t>(e)] =
+              element_eroded(e, nose) ? 0 : 1;
+        }
+      });
+  out.eroded_elements = out.mesh.remove_elements(ws.keep_elements);
+
+  if (config_.contact_zone_factor <= 0) {
+    extract_surface_into(out.mesh, ws.surface_ws, out.surface);
+    return;
+  }
+  extract_surface_into(out.mesh, ws.surface_ws, ws.raw_surface);
+  // Contact-zone designation (see snapshot()): projectile surface plus
+  // plate boundary faces near the impact axis. Pure per-face predicate.
+  const real_t zone = config_.contact_zone_factor * config_.proj_radius;
+  ws.keep_faces.resize(ws.raw_surface.faces.size());
+  ThreadPool::global().parallel_for_chunks(
+      ws.raw_surface.num_faces(), [&](unsigned, idx_t begin, idx_t end) {
+        for (idx_t f = begin; f < end; ++f) {
+          const SurfaceFace& face =
+              ws.raw_surface.faces[static_cast<std::size_t>(f)];
+          if (node_body_[static_cast<std::size_t>(face.nodes.front())] ==
+              Body::kProjectile) {
+            ws.keep_faces[static_cast<std::size_t>(f)] = 1;
+            continue;
+          }
+          Vec3 c{};
+          for (idx_t id : face.nodes) c = c + out.mesh.node(id);
+          c = (1.0 / static_cast<real_t>(face.nodes.size())) * c;
+          const real_t axis_x = config_.obliquity * (nose_start_ - c.z);
+          ws.keep_faces[static_cast<std::size_t>(f)] =
+              std::hypot(c.x - axis_x, c.y) <= zone;
+        }
+      });
+  filter_surface_into(ws.raw_surface, ws.keep_faces, out.mesh.num_nodes(),
+                      out.surface);
 }
 
 ImpactSim::Snapshot ImpactSim::snapshot(idx_t s) const {

@@ -91,6 +91,22 @@ class ImpactSim {
   /// the surface is not needed).
   Mesh snapshot_mesh(idx_t s, idx_t* eroded = nullptr) const;
 
+  /// Reusable cross-snapshot scratch for snapshot_into. Buffers grow to
+  /// the mesh size on first use and are reused afterwards.
+  struct SnapshotWorkspace {
+    SurfaceWorkspace surface_ws;
+    Surface raw_surface;  // pre-contact-zone boundary surface
+    std::vector<char> keep_elements;
+    std::vector<char> keep_faces;
+  };
+
+  /// snapshot() writing into `out` (mesh/surface storage reused) with all
+  /// scratch drawn from `ws`. The displacement, erosion, and contact-zone
+  /// loops run in parallel over ThreadPool chunks; each is a pure function
+  /// of its element, so the result is identical to snapshot(s) at any
+  /// thread count.
+  void snapshot_into(idx_t s, SnapshotWorkspace& ws, Snapshot& out) const;
+
  private:
   Vec3 displaced(idx_t node, real_t nose) const;
   bool element_eroded(idx_t element, real_t nose) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <numeric>
 
 #include "parallel/thread_pool.hpp"
@@ -81,6 +82,34 @@ void DecisionTree::collect_box_labels(const BBox& box,
   }
 }
 
+void DecisionTree::collect_box_labels(const BBox& box, std::vector<char>& mask,
+                                      std::vector<idx_t>& touched) const {
+  if (empty() || box.empty()) return;
+  auto set_label = [&](idx_t l) {
+    char& bit = mask[static_cast<std::size_t>(l)];
+    if (!bit) {
+      bit = 1;
+      touched.push_back(l);
+    }
+  };
+  std::vector<idx_t> stack{root_};
+  while (!stack.empty()) {
+    const idx_t id = stack.back();
+    stack.pop_back();
+    const TreeNode& nd = node(id);
+    if (!box.intersects(nd.bounds)) continue;
+    if (nd.axis < 0) {
+      if (nd.label != kInvalidIndex) set_label(nd.label);
+      if (!nd.pure) {
+        for (idx_t l : minority_labels(id)) set_label(l);
+      }
+      continue;
+    }
+    stack.push_back(nd.left);
+    stack.push_back(nd.right);
+  }
+}
+
 std::span<const idx_t> DecisionTree::minority_labels(idx_t id) const {
   if (minority_offsets_.empty()) return {};
   const auto b = static_cast<std::size_t>(
@@ -94,6 +123,87 @@ std::span<const idx_t> DecisionTree::minority_labels(idx_t id) const {
 // Induction
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Pending subtree: node id within its context plus the point range.
+struct InduceItem {
+  idx_t node;
+  idx_t lo, hi;
+};
+
+/// Per-worker build state, pooled in the workspace. Node ids are local to
+/// the context.
+struct InduceContext {
+  std::vector<TreeNode> nodes;
+  std::vector<InduceItem> stack;
+  std::vector<std::pair<idx_t, std::vector<idx_t>>> minorities;  // local ids
+  std::vector<wgt_t> counts;
+  std::vector<wgt_t> left_counts;
+  std::vector<idx_t> scratch;
+  idx_t leaves = 0;
+
+  idx_t new_node() {
+    nodes.emplace_back();
+    return to_idx(nodes.size()) - 1;
+  }
+
+  void reset(idx_t num_labels) {
+    nodes.clear();
+    stack.clear();
+    minorities.clear();
+    counts.assign(static_cast<std::size_t>(num_labels), 0);
+    left_counts.assign(static_cast<std::size_t>(num_labels), 0);
+    leaves = 0;
+  }
+};
+
+/// Per-axis scratch for the warm-start repair sort (one per axis so cold
+/// parallel sorts of the three axes don't share state).
+struct RepairBuffers {
+  std::vector<idx_t> scratch;
+  std::vector<idx_t> runs;
+  std::vector<idx_t> runs_next;
+};
+
+}  // namespace
+
+struct TreeInduceWorkspace::Impl {
+  /// Globally-sorted per-axis orders saved by the previous induction.
+  std::array<std::vector<idx_t>, 3> orders;
+  std::size_t num_points = 0;
+  int dim = 0;
+  bool valid = false;
+  /// Working copies consumed (leaf-partitioned) by the build.
+  std::array<std::vector<idx_t>, 3> work;
+  std::vector<char> side;
+  std::array<RepairBuffers, 3> repair;
+  /// Context pool: a deque so growing it for task contexts never
+  /// invalidates the reference to the main context (slot 0).
+  std::deque<InduceContext> contexts;
+  std::vector<TreeNode> node_pool;  // retired tree storage (recycle())
+};
+
+TreeInduceWorkspace::TreeInduceWorkspace() : impl_(std::make_unique<Impl>()) {}
+TreeInduceWorkspace::~TreeInduceWorkspace() = default;
+TreeInduceWorkspace::TreeInduceWorkspace(TreeInduceWorkspace&&) noexcept =
+    default;
+TreeInduceWorkspace& TreeInduceWorkspace::operator=(
+    TreeInduceWorkspace&&) noexcept = default;
+
+void TreeInduceWorkspace::invalidate() { impl_->valid = false; }
+
+bool TreeInduceWorkspace::warm(std::size_t num_points) const {
+  return impl_->valid && impl_->num_points == num_points;
+}
+
+void TreeInduceWorkspace::recycle(DecisionTree&& tree) {
+  if (tree.nodes_.capacity() > impl_->node_pool.capacity()) {
+    impl_->node_pool = std::move(tree.nodes_);
+    impl_->node_pool.clear();
+  }
+  tree = DecisionTree();
+}
+
 /// Implements induce_tree(). Keeps one index array per axis, each sorted by
 /// that axis's coordinate; every tree node owns the same contiguous
 /// subrange [lo, hi) of all arrays, and splits stable-partition each array
@@ -106,62 +216,48 @@ std::span<const idx_t> DecisionTree::minority_labels(idx_t id) const {
 /// per-axis sorted arrays are shared — subranges are disjoint — while
 /// histograms and scratch are per-worker) and spliced into the final tree
 /// with deterministic offsets.
+///
+/// All build state lives in a TreeInduceWorkspace::Impl (a local one when
+/// the caller passed no workspace): sorted orders saved there seed the next
+/// call's orders via the adaptive repair pass instead of three full sorts,
+/// and contexts/buffers keep their capacity across calls.
 class TreeInducer {
  public:
   TreeInducer(std::span<const Vec3> points, std::span<const idx_t> labels,
-              idx_t num_labels, const TreeInduceOptions& options)
+              idx_t num_labels, const TreeInduceOptions& options,
+              TreeInduceWorkspace::Impl& ws)
       : points_(points),
         labels_(labels),
         num_labels_(num_labels),
-        options_(options) {}
+        options_(options),
+        ws_(ws),
+        sorted_(ws.work),
+        side_(ws.side) {}
 
-  /// Pending subtree: node id within its context plus the point range.
-  struct Item {
-    idx_t node;
-    idx_t lo, hi;
-  };
-
-  /// Per-worker build state. Node ids are local to the context.
-  struct Context {
-    std::vector<TreeNode> nodes;
-    std::vector<Item> stack;
-    std::vector<std::pair<idx_t, std::vector<idx_t>>> minorities;  // local ids
-    std::vector<wgt_t> counts;
-    std::vector<wgt_t> left_counts;
-    std::vector<idx_t> scratch;
-    idx_t leaves = 0;
-
-    explicit Context(idx_t num_labels)
-        : counts(static_cast<std::size_t>(num_labels), 0),
-          left_counts(static_cast<std::size_t>(num_labels), 0) {}
-
-    idx_t new_node() {
-      nodes.emplace_back();
-      return to_idx(nodes.size()) - 1;
-    }
-  };
+  using Item = InduceItem;
+  using Context = InduceContext;
 
   InducedTree run() {
     const idx_t n = to_idx(points_.size());
     InducedTree result;
     result.num_labels = num_labels_;
-    result.point_leaf.assign(points_.size(), kInvalidIndex);
+    if (options_.want_point_leaf) {
+      result.point_leaf.assign(points_.size(), kInvalidIndex);
+      point_leaf_ = result.point_leaf.data();
+    }
     if (n == 0) return result;
 
-    for (int a = 0; a < options_.dim; ++a) {
-      sorted_[a].resize(points_.size());
-      std::iota(sorted_[a].begin(), sorted_[a].end(), idx_t{0});
-      std::sort(sorted_[a].begin(), sorted_[a].end(), [&](idx_t x, idx_t y) {
-        const real_t cx = points_[static_cast<std::size_t>(x)][a];
-        const real_t cy = points_[static_cast<std::size_t>(y)][a];
-        if (cx != cy) return cx < cy;
-        return x < y;
-      });
-    }
-    side_.assign(points_.size(), 0);
-    point_leaf_ = result.point_leaf.data();
+    prepare_orders(n);
+    // side_ entries are fully (re)written by apply_split before being read,
+    // so the buffer only needs the right size, not a cleared state.
+    side_.resize(points_.size());
 
-    Context main_ctx(num_labels_);
+    Context& main_ctx = context(0);
+    if (main_ctx.nodes.capacity() < ws_.node_pool.capacity()) {
+      main_ctx.nodes = std::move(ws_.node_pool);
+      main_ctx.nodes.clear();
+    }
+    ws_.node_pool.clear();
     const idx_t root = main_ctx.new_node();
     main_ctx.stack.push_back({root, 0, n});
 
@@ -199,18 +295,18 @@ class TreeInducer {
       }
     }
 
-    std::vector<Context> task_ctx;
     std::vector<Item> frontier;
+    std::size_t num_tasks = 0;
     if (go_parallel && !main_ctx.stack.empty()) {
       frontier = std::move(main_ctx.stack);
       main_ctx.stack.clear();
-      task_ctx.reserve(frontier.size());
-      for (std::size_t t = 0; t < frontier.size(); ++t) {
-        task_ctx.emplace_back(num_labels_);
-      }
+      num_tasks = frontier.size();
+      // Acquire (and reset) the pooled task contexts up front: the pool is
+      // a deque, so later growth never invalidates main_ctx.
+      for (std::size_t t = 0; t < num_tasks; ++t) context(t + 1);
       ThreadPool::global().parallel_tasks(
-          to_idx(frontier.size()), [&](idx_t t) {
-            Context& ctx = task_ctx[static_cast<std::size_t>(t)];
+          to_idx(num_tasks), [&](idx_t t) {
+            Context& ctx = ws_.contexts[static_cast<std::size_t>(t) + 1];
             const Item top = frontier[static_cast<std::size_t>(t)];
             const idx_t local_root = ctx.new_node();
             ctx.stack.push_back({local_root, top.lo, top.hi});
@@ -231,15 +327,15 @@ class TreeInducer {
     std::vector<std::pair<idx_t, std::vector<idx_t>>> all_minorities =
         std::move(main_ctx.minorities);
 
-    std::vector<idx_t> base(task_ctx.size());
+    std::vector<idx_t> base(num_tasks);
     idx_t next = to_idx(tree.nodes_.size());
-    for (std::size_t t = 0; t < task_ctx.size(); ++t) {
+    for (std::size_t t = 0; t < num_tasks; ++t) {
       base[t] = next;
-      next += std::max<idx_t>(0, to_idx(task_ctx[t].nodes.size()) - 1);
+      next += std::max<idx_t>(0, to_idx(ws_.contexts[t + 1].nodes.size()) - 1);
     }
     tree.nodes_.resize(static_cast<std::size_t>(next));
-    for (std::size_t t = 0; t < task_ctx.size(); ++t) {
-      Context& ctx = task_ctx[t];
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      Context& ctx = ws_.contexts[t + 1];
       const Item top = frontier[t];
       auto remap = [&](idx_t local) {
         return local == 0 ? top.node : base[t] + local - 1;
@@ -254,10 +350,12 @@ class TreeInducer {
       }
       // Point-leaf entries of this subtree hold local ids; the subtree's
       // points are exactly sorted_[0][top.lo .. top.hi).
-      for (idx_t i = top.lo; i < top.hi; ++i) {
-        idx_t& slot = result.point_leaf[static_cast<std::size_t>(
-            sorted_[0][static_cast<std::size_t>(i)])];
-        slot = remap(slot);
+      if (point_leaf_ != nullptr) {
+        for (idx_t i = top.lo; i < top.hi; ++i) {
+          idx_t& slot = result.point_leaf[static_cast<std::size_t>(
+              sorted_[0][static_cast<std::size_t>(i)])];
+          slot = remap(slot);
+        }
       }
       for (auto& [local_id, labels] : ctx.minorities) {
         all_minorities.emplace_back(remap(local_id), std::move(labels));
@@ -464,9 +562,11 @@ class TreeInducer {
     nd.pure = pure;
     nd.count = hi - lo;
     ++ctx.leaves;
-    for (idx_t i = lo; i < hi; ++i) {
-      point_leaf_[static_cast<std::size_t>(
-          sorted_[0][static_cast<std::size_t>(i)])] = id;
+    if (point_leaf_ != nullptr) {
+      for (idx_t i = lo; i < hi; ++i) {
+        point_leaf_[static_cast<std::size_t>(
+            sorted_[0][static_cast<std::size_t>(i)])] = id;
+      }
     }
     if (!pure) {
       std::vector<idx_t> minorities;
@@ -490,6 +590,116 @@ class TreeInducer {
       box.hi[a] = coord(sorted_[a][static_cast<std::size_t>(hi - 1)], a);
     }
     return box;
+  }
+
+  /// Pooled context `i`, reset for this induction. The pool is a deque, so
+  /// growing it never invalidates references to earlier contexts.
+  Context& context(std::size_t i) {
+    while (ws_.contexts.size() <= i) ws_.contexts.emplace_back();
+    Context& ctx = ws_.contexts[i];
+    ctx.reset(num_labels_);
+    return ctx;
+  }
+
+  bool order_less(idx_t x, idx_t y, int axis) const {
+    const real_t cx = coord(x, axis);
+    const real_t cy = coord(y, axis);
+    if (cx != cy) return cx < cy;
+    return x < y;  // tie-break: makes the order a strict total order
+  }
+
+  /// Fills sorted_[a] (a < dim) with indices 0..n-1 ordered by
+  /// (coordinate, index). The index tie-break makes the comparator a
+  /// strict total order, so the sorted array is *unique*: whether it is
+  /// produced by a full std::sort or by the warm repair pass, the result
+  /// is bit-identical — the warm start can never change the tree.
+  void prepare_orders(idx_t n) {
+    // Warm only when the saved orders cover this point count and at least
+    // as many axes. A stale seed would still sort correctly (the repair
+    // pass is a real sort), just slower; the checks are perf gates.
+    const bool warm = ws_.valid && ws_.num_points == points_.size() &&
+                      ws_.dim >= options_.dim;
+    auto build_axis = [&](int a) {
+      auto& arr = sorted_[static_cast<std::size_t>(a)];
+      auto& saved = ws_.orders[static_cast<std::size_t>(a)];
+      if (warm) {
+        // After coherent motion the previous order is nearly sorted:
+        // repair it instead of sorting from scratch.
+        std::swap(arr, saved);
+        repair_sort(arr, a);
+      } else {
+        arr.resize(points_.size());
+        std::iota(arr.begin(), arr.end(), idx_t{0});
+        std::sort(arr.begin(), arr.end(),
+                  [&](idx_t x, idx_t y) { return order_less(x, y, a); });
+      }
+      // Save the globally-sorted order now, before the build
+      // leaf-partitions the work copy in place.
+      saved = arr;
+    };
+    if (options_.parallel && n >= 4096 && options_.dim > 1) {
+      // Axes are independent (separate work/order/repair buffers).
+      ThreadPool::global().parallel_tasks(
+          static_cast<idx_t>(options_.dim),
+          [&](idx_t a) { build_axis(static_cast<int>(a)); });
+    } else {
+      for (int a = 0; a < options_.dim; ++a) build_axis(a);
+    }
+    ws_.valid = true;
+    ws_.num_points = points_.size();
+    ws_.dim = options_.dim;
+  }
+
+  /// Adaptive re-sort of a nearly-sorted order array: finds the maximal
+  /// ascending runs and merges them pairwise (natural bottom-up merge
+  /// sort). O(n) when already sorted, O(n log r) for r runs; falls back to
+  /// std::sort when the array is too disordered for merging to pay off.
+  void repair_sort(std::vector<idx_t>& arr, int axis) {
+    const idx_t n = to_idx(arr.size());
+    auto less = [&](idx_t x, idx_t y) { return order_less(x, y, axis); };
+    RepairBuffers& rb = ws_.repair[static_cast<std::size_t>(axis)];
+    rb.runs.clear();
+    rb.runs.push_back(0);
+    for (idx_t i = 1; i < n; ++i) {
+      if (less(arr[static_cast<std::size_t>(i)],
+               arr[static_cast<std::size_t>(i - 1)])) {
+        rb.runs.push_back(i);
+      }
+    }
+    rb.runs.push_back(n);
+    std::size_t num_runs = rb.runs.size() - 1;
+    if (num_runs <= 1) return;  // already sorted
+    if (num_runs > static_cast<std::size_t>(n / 8) + 1) {
+      std::sort(arr.begin(), arr.end(), less);
+      return;
+    }
+    rb.scratch.resize(arr.size());
+    std::vector<idx_t>* src = &arr;
+    std::vector<idx_t>* dst = &rb.scratch;
+    while (num_runs > 1) {
+      rb.runs_next.clear();
+      rb.runs_next.push_back(rb.runs.front());
+      std::size_t r = 0;
+      while (r + 1 < num_runs) {
+        const auto a = static_cast<std::ptrdiff_t>(rb.runs[r]);
+        const auto b = static_cast<std::ptrdiff_t>(rb.runs[r + 1]);
+        const auto c = static_cast<std::ptrdiff_t>(rb.runs[r + 2]);
+        std::merge(src->begin() + a, src->begin() + b, src->begin() + b,
+                   src->begin() + c, dst->begin() + a, less);
+        rb.runs_next.push_back(rb.runs[r + 2]);
+        r += 2;
+      }
+      if (r < num_runs) {  // odd run count: carry the last run over
+        const auto a = static_cast<std::ptrdiff_t>(rb.runs[r]);
+        const auto b = static_cast<std::ptrdiff_t>(rb.runs[r + 1]);
+        std::copy(src->begin() + a, src->begin() + b, dst->begin() + a);
+        rb.runs_next.push_back(rb.runs[r + 1]);
+      }
+      std::swap(rb.runs, rb.runs_next);
+      std::swap(src, dst);
+      num_runs = rb.runs.size() - 1;
+    }
+    if (src != &arr) std::copy(src->begin(), src->end(), arr.begin());
   }
 
   void process(Context& ctx, const Item& item) {
@@ -538,14 +748,24 @@ class TreeInducer {
   idx_t num_labels_;
   TreeInduceOptions options_;
 
-  std::array<std::vector<idx_t>, 3> sorted_;
-  std::vector<char> side_;
+  TreeInduceWorkspace::Impl& ws_;
+  // References into the workspace: the per-axis orders consumed
+  // (leaf-partitioned) by the build, and the shared point→side scratch.
+  std::array<std::vector<idx_t>, 3>& sorted_;
+  std::vector<char>& side_;
   idx_t* point_leaf_ = nullptr;
 };
 
 InducedTree induce_tree(std::span<const Vec3> points,
                         std::span<const idx_t> labels, idx_t num_labels,
                         const TreeInduceOptions& options) {
+  return induce_tree(points, labels, num_labels, options, nullptr);
+}
+
+InducedTree induce_tree(std::span<const Vec3> points,
+                        std::span<const idx_t> labels, idx_t num_labels,
+                        const TreeInduceOptions& options,
+                        TreeInduceWorkspace* workspace) {
   require(points.size() == labels.size(),
           "induce_tree: points/labels size mismatch");
   require(num_labels >= 1, "induce_tree: need at least one label");
@@ -554,7 +774,9 @@ InducedTree induce_tree(std::span<const Vec3> points,
   for (idx_t l : labels) {
     require(l >= 0 && l < num_labels, "induce_tree: label out of range");
   }
-  TreeInducer inducer(points, labels, num_labels, options);
+  TreeInduceWorkspace local;
+  TreeInduceWorkspace& ws = workspace != nullptr ? *workspace : local;
+  TreeInducer inducer(points, labels, num_labels, options, *ws.impl_);
   return inducer.run();
 }
 

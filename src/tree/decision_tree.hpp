@@ -18,6 +18,7 @@
 // pre-sorted coordinate orders (O(|A| * dim) per node).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -25,6 +26,10 @@
 #include "util/common.hpp"
 
 namespace cpart {
+
+class TreeInduceWorkspace;
+struct InducedTree;
+struct TreeInduceOptions;
 
 struct TreeNode {
   int axis = -1;                 // -1 for leaves
@@ -72,11 +77,18 @@ class DecisionTree {
   /// label and all minority labels recorded at build time.
   void collect_box_labels(const BBox& box, std::vector<char>& mask) const;
 
+  /// Touched-list variant: also appends each label to `touched` the first
+  /// time its mask bit is set, so the caller can reset only those entries
+  /// (O(|touched|)) instead of clearing the whole mask (O(num_labels)).
+  void collect_box_labels(const BBox& box, std::vector<char>& mask,
+                          std::vector<idx_t>& touched) const;
+
   /// Labels present in the (impure) leaf `id` beyond the majority label.
   std::span<const idx_t> minority_labels(idx_t id) const;
 
  private:
   friend class TreeInducer;
+  friend class TreeInduceWorkspace;
   friend DecisionTree assemble_tree(std::vector<TreeNode> nodes, idx_t root,
                                     std::vector<idx_t> minority_offsets,
                                     std::vector<idx_t> minority_labels);
@@ -109,6 +121,49 @@ struct TreeInduceOptions {
   /// Section 4.1.1 / ScalParC). The resulting tree is geometrically
   /// identical to the sequential one; only node numbering differs.
   bool parallel = false;
+  /// When false, InducedTree::point_leaf is left empty (and the per-point
+  /// leaf writes are skipped). Descriptor builds never read it.
+  bool want_point_leaf = true;
+};
+
+/// Reusable cross-call state for induce_tree(). Holds the previous call's
+/// globally-sorted per-axis orders — when the same point set is re-induced
+/// after coherent motion the orders are nearly sorted, and an adaptive
+/// natural-merge repair pass replaces the three full sorts — plus pooled
+/// build buffers (per-worker contexts, retired node storage). The warm
+/// start is an optimization only: induce_tree() with a workspace returns a
+/// result bit-identical to the cold call for the same inputs and options,
+/// whatever state the workspace is in. One workspace serves one logical
+/// sequence of inductions and must not be shared across threads.
+class TreeInduceWorkspace {
+ public:
+  TreeInduceWorkspace();
+  ~TreeInduceWorkspace();
+  TreeInduceWorkspace(TreeInduceWorkspace&&) noexcept;
+  TreeInduceWorkspace& operator=(TreeInduceWorkspace&&) noexcept;
+
+  /// Drops the saved orders so the next induction sorts from scratch
+  /// (pooled buffer capacity is kept). Call when the point set changes
+  /// identity, e.g. erosion added contact nodes; a stale seed is never
+  /// incorrect, only slower, so this is a performance hint.
+  void invalidate();
+
+  /// True when the saved orders will seed the next induction over
+  /// `num_points` points.
+  bool warm(std::size_t num_points) const;
+
+  /// Returns a retired tree's node storage to the pool so the next
+  /// induction reuses its capacity. Leaves `tree` empty.
+  void recycle(DecisionTree&& tree);
+
+  struct Impl;
+
+ private:
+  friend class TreeInducer;
+  friend InducedTree induce_tree(std::span<const Vec3>, std::span<const idx_t>,
+                                 idx_t, const TreeInduceOptions&,
+                                 TreeInduceWorkspace*);
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Induction result: the tree plus the leaf id assigned to every input point.
@@ -123,5 +178,13 @@ struct InducedTree {
 InducedTree induce_tree(std::span<const Vec3> points,
                         std::span<const idx_t> labels, idx_t num_labels,
                         const TreeInduceOptions& options = {});
+
+/// Warm-started variant: `workspace` carries the per-axis sorted orders and
+/// recycled buffers across calls (nullptr behaves like the cold overload).
+/// The result is bit-identical to the cold call for the same inputs.
+InducedTree induce_tree(std::span<const Vec3> points,
+                        std::span<const idx_t> labels, idx_t num_labels,
+                        const TreeInduceOptions& options,
+                        TreeInduceWorkspace* workspace);
 
 }  // namespace cpart

@@ -6,16 +6,19 @@ namespace cpart {
 
 SubdomainDescriptors::SubdomainDescriptors(
     std::span<const Vec3> contact_points, std::span<const idx_t> part_of_point,
-    idx_t num_parts, const DescriptorOptions& options)
+    idx_t num_parts, const DescriptorOptions& options,
+    TreeInduceWorkspace* workspace)
     : num_parts_(num_parts) {
   TreeInduceOptions induce;
   induce.dim = options.dim;
   induce.gap_alpha = options.gap_alpha;
+  // The per-point leaf map is never consulted here; skip producing it.
+  induce.want_point_leaf = false;
   // Descriptor trees terminate exactly at purity: max_pure = 0 (pure nodes
   // are always leaves), max_impure = 0 (impure nodes split until no
   // separating hyperplane exists).
   InducedTree induced =
-      induce_tree(contact_points, part_of_point, num_parts, induce);
+      induce_tree(contact_points, part_of_point, num_parts, induce, workspace);
   tree_ = std::move(induced.tree);
   domain_ = bbox_of(contact_points);
 
@@ -36,11 +39,15 @@ idx_t SubdomainDescriptors::num_regions(idx_t p) const {
 
 void SubdomainDescriptors::query_box(const BBox& box,
                                      std::vector<idx_t>& parts) const {
-  std::fill(mask_.begin(), mask_.end(), 0);
-  tree_.collect_box_labels(box, mask_);
-  for (idx_t p = 0; p < num_parts_; ++p) {
-    if (mask_[static_cast<std::size_t>(p)]) parts.push_back(p);
+  // mask_ is all-zero on entry; collect records each label it sets in
+  // touched_, and only those entries are cleared afterwards.
+  tree_.collect_box_labels(box, mask_, touched_);
+  std::sort(touched_.begin(), touched_.end());
+  for (idx_t p : touched_) {
+    parts.push_back(p);
+    mask_[static_cast<std::size_t>(p)] = 0;
   }
+  touched_.clear();
 }
 
 std::vector<BBox> SubdomainDescriptors::region_boxes(idx_t p) const {

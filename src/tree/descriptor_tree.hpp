@@ -27,7 +27,8 @@ class SubdomainDescriptors {
   /// positions and their partition labels.
   SubdomainDescriptors(std::span<const Vec3> contact_points,
                        std::span<const idx_t> part_of_point, idx_t num_parts,
-                       const DescriptorOptions& options = {});
+                       const DescriptorOptions& options = {},
+                       TreeInduceWorkspace* workspace = nullptr);
 
   idx_t num_parts() const { return num_parts_; }
 
@@ -45,6 +46,11 @@ class SubdomainDescriptors {
 
   const DecisionTree& tree() const { return tree_; }
 
+  /// Moves the descriptor tree out — e.g. into
+  /// TreeInduceWorkspace::recycle() before rebuilding descriptors for the
+  /// next snapshot. Leaves the descriptors empty.
+  DecisionTree release_tree() { return std::move(tree_); }
+
   /// Leaf boxes of partition p clipped to the overall domain box; used by
   /// visualization and tests (region/partition correspondence).
   std::vector<BBox> region_boxes(idx_t p) const;
@@ -54,7 +60,10 @@ class SubdomainDescriptors {
   idx_t num_parts_ = 0;
   std::vector<idx_t> regions_per_part_;
   BBox domain_;
-  mutable std::vector<char> mask_;  // scratch for query_box
+  // query_box scratch: mask_ is all-zero between calls and reset via the
+  // touched-list, so a query costs O(|result|), not O(num_parts).
+  mutable std::vector<char> mask_;
+  mutable std::vector<idx_t> touched_;
 };
 
 }  // namespace cpart
