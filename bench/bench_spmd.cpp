@@ -1,0 +1,213 @@
+// Benchmark of the SPMD rank/exchange contact pipeline against the retained
+// centralized reference implementation.
+//
+// For each thread count, every snapshot is processed twice by one
+// ContactPipeline instance:
+//   * reference — run_step_reference, the centralized pre-refactor step
+//     (serial; descriptor queries and local searches run on one thread and
+//     traffic is accounted analytically);
+//   * spmd — run_step, k rank programs executing the same four phases
+//     concurrently on the thread pool, moving real payloads through the
+//     exchange.
+// Every step cross-checks the two flavors — merged events, per-rank event
+// counts, per-processor traffic, and broadcast bytes must be bit-identical —
+// and the binary exits nonzero on any divergence, so a speedup can never
+// come from computing something different.
+//
+//   ./bench_spmd [--resolution 1.0] [--snapshots 20] [--k 25]
+//                [--threads 1,2,4,8] [--stride 1] [--out BENCH_spmd.json]
+//
+// JSON output: {"env": {...}, "results": [{threads, reference_mean_ms,
+// spmd_mean_ms, speedup, steps: [{..., phase_ms: {descriptor: [per rank],
+// ...}, bytes: {halo, faces, descriptor}}]}]}, steady state = steps >= 1.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_env.hpp"
+#include "core/pipeline.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/impact_sim.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace cpart;
+
+namespace {
+
+bool reports_identical(const PipelineStepReport& a,
+                       const PipelineStepReport& b) {
+  if (a.events.size() != b.events.size()) return false;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const ContactEvent& x = a.events[i];
+    const ContactEvent& y = b.events[i];
+    if (x.node != y.node || x.face != y.face || x.distance != y.distance ||
+        x.signed_distance != y.signed_distance) {
+      return false;
+    }
+  }
+  return a.events_per_processor == b.events_per_processor &&
+         a.fe_exchange == b.fe_exchange &&
+         a.search_exchange == b.search_exchange &&
+         a.descriptor_tree_nodes == b.descriptor_tree_nodes &&
+         a.descriptor_broadcast_bytes == b.descriptor_broadcast_bytes;
+}
+
+void json_array(std::ostream& os, const std::vector<double>& v) {
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << v[i];
+  }
+  os << "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("resolution", "1.0", "mesh resolution scale factor");
+  flags.define("snapshots", "20", "snapshots to process");
+  flags.define("k", "25", "number of ranks/partitions");
+  flags.define("threads", "1,2,4,8", "comma-separated thread counts");
+  flags.define("stride", "1", "process every stride-th snapshot");
+  flags.define("out", "BENCH_spmd.json", "JSON output path");
+  try {
+    flags.parse(argc, argv);
+    const double resolution = flags.get_double("resolution");
+    const idx_t snapshots = static_cast<idx_t>(flags.get_int("snapshots"));
+    const idx_t stride = static_cast<idx_t>(flags.get_int("stride"));
+    const idx_t k = static_cast<idx_t>(flags.get_int("k"));
+    std::vector<unsigned> thread_counts;
+    {
+      std::stringstream ss(flags.get_string("threads"));
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        thread_counts.push_back(static_cast<unsigned>(std::stoul(tok)));
+      }
+      require(!thread_counts.empty(), "empty --threads");
+    }
+
+    ImpactSimConfig sim_config;
+    sim_config.scale_resolution(resolution);
+    sim_config.num_snapshots = std::max<idx_t>(snapshots, 2);
+    const ImpactSim sim(sim_config);
+    const real_t cell = sim_config.plate_width /
+                        static_cast<real_t>(sim_config.plate_cells_xy);
+
+    PipelineConfig config;
+    config.decomposition.k = k;
+    config.search.search_margin = 0.5 * cell;
+    config.search.contact_tolerance = 0.25 * cell;
+
+    std::vector<int> body(
+        static_cast<std::size_t>(sim.initial_mesh().num_nodes()));
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      body[i] = static_cast<int>(sim.node_body()[i]);
+    }
+
+    std::cout << "SPMD contact pipeline: " << sim.initial_mesh().num_nodes()
+              << " nodes, " << sim.num_snapshots() << " snapshots, k=" << k
+              << "\n\n";
+
+    const ImpactSim::Snapshot snap0 = sim.snapshot(0);
+    Table table({"threads", "reference_ms/step", "spmd_ms/step", "speedup"});
+    std::ostringstream json;
+    json << "{\"env\": " << cpart::bench::env_json() << ",\n \"results\": [\n";
+    bool first_record = true;
+    bool all_equal = true;
+
+    for (unsigned t : thread_counts) {
+      ThreadPool::set_global_threads(t);
+      ContactPipeline pipeline(snap0.mesh, snap0.surface, config);
+      std::ostringstream steps_json;
+      double ref_sum = 0, spmd_sum = 0;  // steady state: steps >= 1
+      idx_t steady_steps = 0;
+      bool first_step = true;
+
+      for (idx_t s = 0; s < sim.num_snapshots(); s += stride) {
+        const ImpactSim::Snapshot snap = sim.snapshot(s);
+
+        Timer timer;
+        const PipelineStepReport ref =
+            pipeline.run_step_reference(snap.mesh, snap.surface, body);
+        const double ref_ms = timer.milliseconds();
+
+        timer.reset();
+        const PipelineStepReport spmd =
+            pipeline.run_step(snap.mesh, snap.surface, body);
+        const double spmd_ms = timer.milliseconds();
+
+        if (!reports_identical(spmd, ref)) {
+          std::cerr << "EQUIVALENCE FAILURE at step " << s << ", threads " << t
+                    << "\n";
+          all_equal = false;
+        }
+
+        if (s > 0) {
+          ref_sum += ref_ms;
+          spmd_sum += spmd_ms;
+          ++steady_steps;
+        }
+        if (!first_step) steps_json << ",\n";
+        first_step = false;
+        steps_json << "    {\"step\": " << s << ", \"reference_ms\": " << ref_ms
+                   << ", \"spmd_ms\": " << spmd_ms
+                   << ", \"events\": " << spmd.contact_events
+                   << ", \"bytes\": {\"descriptor\": "
+                   << spmd.descriptor_broadcast_bytes
+                   << ", \"halo\": " << spmd.halo_payload_bytes
+                   << ", \"faces\": " << spmd.face_payload_bytes
+                   << "},\n     \"phase_ms\": {\"descriptor\": ";
+        json_array(steps_json, spmd.phase.descriptor_ms);
+        steps_json << ", \"halo\": ";
+        json_array(steps_json, spmd.phase.halo_ms);
+        steps_json << ", \"ship\": ";
+        json_array(steps_json, spmd.phase.ship_ms);
+        steps_json << ", \"search\": ";
+        json_array(steps_json, spmd.phase.search_ms);
+        steps_json << "}}";
+      }
+
+      const double ns = static_cast<double>(std::max<idx_t>(steady_steps, 1));
+      const double ref_mean = ref_sum / ns;
+      const double spmd_mean = spmd_sum / ns;
+      const double speedup = ref_mean / std::max(spmd_mean, 1e-9);
+
+      table.begin_row();
+      table.add_cell(static_cast<long long>(t));
+      table.add_cell(ref_mean, 2);
+      table.add_cell(spmd_mean, 2);
+      table.add_cell(speedup, 2);
+
+      if (!first_record) json << ",\n";
+      first_record = false;
+      json << "  {\"threads\": " << t << ", \"nodes\": "
+           << sim.initial_mesh().num_nodes() << ", \"k\": " << k
+           << ", \"steady_steps\": " << steady_steps
+           << ",\n   \"reference_mean_ms\": " << ref_mean
+           << ", \"spmd_mean_ms\": " << spmd_mean << ", \"speedup\": " << speedup
+           << ", \"equivalent\": " << (all_equal ? "true" : "false")
+           << ",\n   \"steps\": [\n" << steps_json.str() << "\n   ]}";
+    }
+    json << "\n]}\n";
+    ThreadPool::set_global_threads(0);
+
+    table.print(std::cout);
+    const std::string out_path = flags.get_string("out");
+    std::ofstream out(out_path);
+    require(static_cast<bool>(out), "cannot open --out for writing");
+    out << json.str();
+    std::cout << "\nWrote " << out_path << ".\n";
+    if (!all_equal) {
+      std::cerr << "SPMD and reference reports differ — failing.\n";
+      return 1;
+    }
+    std::cout << "SPMD and reference reports are bit-identical at every step.\n";
+    return 0;
+  } catch (const InputError& e) {
+    std::cerr << "error: " << e.what() << "\n" << flags.usage("bench_spmd");
+    return 1;
+  }
+}

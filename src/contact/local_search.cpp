@@ -228,10 +228,24 @@ std::vector<ContactEvent> local_contact_search_subset(
     const Mesh& mesh, const Surface& surface,
     std::span<const idx_t> node_ids, std::span<const idx_t> face_ids,
     const LocalSearchOptions& opts) {
+  SubsetSearchScratch scratch;
+  std::vector<ContactEvent> events;
+  local_contact_search_subset_into(mesh, surface, node_ids, face_ids, opts,
+                                   scratch, events);
+  return events;
+}
+
+void local_contact_search_subset_into(const Mesh& mesh, const Surface& surface,
+                                      std::span<const idx_t> node_ids,
+                                      std::span<const idx_t> face_ids,
+                                      const LocalSearchOptions& opts,
+                                      SubsetSearchScratch& scratch,
+                                      std::vector<ContactEvent>& out) {
   require(opts.tolerance > 0,
           "local_contact_search_subset: tolerance must be > 0");
+  out.clear();
   // kd-tree over the face subset's centroids.
-  std::vector<Vec3> centroids(face_ids.size());
+  scratch.centroids.assign(face_ids.size(), Vec3{});
   real_t max_radius = 0;
   for (std::size_t i = 0; i < face_ids.size(); ++i) {
     const idx_t f = face_ids[i];
@@ -241,27 +255,24 @@ std::vector<ContactEvent> local_contact_search_subset(
     Vec3 c{};
     for (idx_t id : face.nodes) c = c + mesh.node(id);
     c = (1.0 / static_cast<real_t>(face.nodes.size())) * c;
-    centroids[i] = c;
+    scratch.centroids[i] = c;
     for (idx_t id : face.nodes) {
       max_radius = std::max(max_radius, norm(mesh.node(id) - c));
     }
   }
-  const KdTree tree(centroids, mesh.dim());
+  const KdTree tree(scratch.centroids, mesh.dim());
   const real_t reach = opts.tolerance + max_radius;
 
-  std::vector<ContactEvent> events;
-  std::vector<idx_t> candidates;
-  std::vector<std::array<Vec3, 3>> scratch;
   for (idx_t node : node_ids) {
     const Vec3 p = mesh.node(node);
     BBox box;
     box.expand(p);
     box.inflate(reach);
-    candidates.clear();
-    tree.query_box(box, candidates);
+    scratch.candidates.clear();
+    tree.query_box(box, scratch.candidates);
     ContactEvent best;
     bool have_best = false;
-    for (idx_t local : candidates) {
+    for (idx_t local : scratch.candidates) {
       const idx_t f = face_ids[static_cast<std::size_t>(local)];
       const SurfaceFace& face = surface.faces[static_cast<std::size_t>(f)];
       if (std::find(face.nodes.begin(), face.nodes.end(), node) !=
@@ -273,7 +284,7 @@ std::vector<ContactEvent> local_contact_search_subset(
               opts.body_of_node[static_cast<std::size_t>(face.nodes.front())]) {
         continue;
       }
-      const FaceTest t = test_face(mesh, face, p, &scratch);
+      const FaceTest t = test_face(mesh, face, p, &scratch.triangles);
       if (t.distance > opts.tolerance) continue;
       ContactEvent e;
       e.node = node;
@@ -287,17 +298,16 @@ std::vector<ContactEvent> local_contact_search_subset(
           have_best = true;
         }
       } else {
-        events.push_back(e);
+        out.push_back(e);
       }
     }
-    if (opts.closest_only && have_best) events.push_back(best);
+    if (opts.closest_only && have_best) out.push_back(best);
   }
-  std::sort(events.begin(), events.end(),
+  std::sort(out.begin(), out.end(),
             [](const ContactEvent& a, const ContactEvent& b) {
               if (a.node != b.node) return a.node < b.node;
               return a.distance < b.distance;
             });
-  return events;
 }
 
 std::vector<ContactEvent> local_contact_search_candidates(

@@ -14,6 +14,7 @@
 //     penetration.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -71,5 +72,25 @@ std::vector<ContactEvent> local_contact_search_subset(
     const Mesh& mesh, const Surface& surface,
     std::span<const idx_t> node_ids, std::span<const idx_t> face_ids,
     const LocalSearchOptions& opts);
+
+/// Reusable buffers for local_contact_search_subset_into. Each SPMD rank
+/// owns one instance: the buffers grow to the rank's largest step and make
+/// the steady-state per-step search allocation-light. Never share one
+/// scratch between concurrently searching ranks.
+struct SubsetSearchScratch {
+  std::vector<Vec3> centroids;
+  std::vector<idx_t> candidates;
+  std::vector<std::array<Vec3, 3>> triangles;
+};
+
+/// local_contact_search_subset() writing into `out` (cleared first) with
+/// all scratch drawn from `scratch`. The events — order included — are
+/// identical to the allocating overload.
+void local_contact_search_subset_into(const Mesh& mesh, const Surface& surface,
+                                      std::span<const idx_t> node_ids,
+                                      std::span<const idx_t> face_ids,
+                                      const LocalSearchOptions& opts,
+                                      SubsetSearchScratch& scratch,
+                                      std::vector<ContactEvent>& out);
 
 }  // namespace cpart

@@ -77,10 +77,14 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
 
   std::vector<idx_t> prev_dt_partition = mcml.node_partition();
 
+  // The nodal graph only changes when erosion removes elements, so cache it
+  // across snapshots instead of rebuilding every step.
+  NodalGraphCache graph_cache;
+
   for (idx_t s = 0; s < sim.num_snapshots(); s += config.snapshot_stride) {
     const ImpactSim::Snapshot& snap =
         (s == 0) ? pipeline.current() : pipeline.advance(s);
-    const CsrGraph graph = nodal_graph(snap.mesh);
+    const CsrGraph& graph = graph_cache.get(snap.mesh);
 
     SnapshotMetrics m;
     m.step = s;

@@ -4,20 +4,205 @@
 
 #include "contact/global_search.hpp"
 #include "contact/search_metrics.hpp"
-#include "mesh/mesh_graphs.hpp"
 #include "tree/tree_io.hpp"
 
 namespace cpart {
 
-ContactPipeline::ContactPipeline(const Mesh& mesh0, const Surface& surface0,
-                                 const PipelineConfig& config)
-    : config_(config), partitioner_(mesh0, surface0, config.decomposition) {
-  require(config_.search_margin >= config_.contact_tolerance,
-          "ContactPipeline: search_margin must cover contact_tolerance, or "
-          "remote contacts could be missed");
+void SearchConfig::validate(const char* who) const {
+  require(search_margin >= contact_tolerance,
+          std::string(who) +
+              ": search_margin must cover contact_tolerance, or remote "
+              "contacts could be missed");
 }
 
-PipelineStepReport ContactPipeline::run_step(
+LocalSearchOptions SearchConfig::local_options(
+    std::span<const int> body_of_node) const {
+  LocalSearchOptions local;
+  local.tolerance = contact_tolerance;
+  local.body_of_node = body_of_node;
+  local.closest_only = closest_only;
+  return local;
+}
+
+namespace {
+
+bool event_order(const ContactEvent& a, const ContactEvent& b) {
+  if (a.node != b.node) return a.node < b.node;
+  return a.distance < b.distance;
+}
+
+/// The face shipment payload: ids plus the coordinates the receiver's
+/// search needs.
+FaceShipMsg make_face_msg(const Mesh& mesh, const SurfaceFace& face, idx_t f) {
+  FaceShipMsg m;
+  m.face = f;
+  m.element = face.element;
+  m.num_nodes = static_cast<std::int32_t>(face.nodes.size());
+  for (std::size_t i = 0; i < face.nodes.size() && i < m.nodes.size(); ++i) {
+    m.nodes[i] = face.nodes[i];
+    m.coords[i] = mesh.node(face.nodes[i]);
+  }
+  return m;
+}
+
+/// Deterministic merge: per-rank events concatenated in rank order, then
+/// one global sort by (node, distance) — the identical input sequence and
+/// comparison the centralized implementation sorts, hence bit-identical
+/// output.
+template <typename Report>
+void merge_rank_events(const std::vector<Rank>& ranks, Report& report) {
+  report.events_per_processor.assign(ranks.size(), 0);
+  report.events.clear();
+  for (std::size_t q = 0; q < ranks.size(); ++q) {
+    report.events_per_processor[q] = to_idx(ranks[q].events.size());
+    report.events.insert(report.events.end(), ranks[q].events.begin(),
+                         ranks[q].events.end());
+  }
+  std::sort(report.events.begin(), report.events.end(), event_order);
+  report.contact_events = to_idx(report.events.size());
+  report.penetrating_events = 0;
+  for (const ContactEvent& e : report.events) {
+    if (e.signed_distance < 0) ++report.penetrating_events;
+  }
+}
+
+void init_phase(RankPhaseBreakdown& phase, idx_t k) {
+  phase.descriptor_ms.assign(static_cast<std::size_t>(k), 0.0);
+  phase.halo_ms.assign(static_cast<std::size_t>(k), 0.0);
+  phase.ship_ms.assign(static_cast<std::size_t>(k), 0.0);
+  phase.search_ms.assign(static_cast<std::size_t>(k), 0.0);
+}
+
+}  // namespace
+
+ContactPipeline::ContactPipeline(const Mesh& mesh0, const Surface& surface0,
+                                 const PipelineConfig& config)
+    : config_(config),
+      partitioner_(mesh0, surface0, config.decomposition),
+      exchange_(config.decomposition.k),
+      executor_(config.decomposition.k) {
+  config_.search.validate("ContactPipeline");
+  ranks_.resize(static_cast<std::size_t>(k()));
+  for (idx_t r = 0; r < k(); ++r) {
+    ranks_[static_cast<std::size_t>(r)].id = r;
+  }
+}
+
+PipelineStepReport ContactPipeline::run_step(const Mesh& mesh,
+                                             const Surface& surface,
+                                             std::span<const int> body_of_node) {
+  const idx_t num_parts = k();
+  PipelineStepReport report;
+  init_phase(report.phase, num_parts);
+
+  // Per-step ownership views. The nodal graph is cached across snapshots
+  // (rebuilt only when erosion changed the topology) and the halo send
+  // lists follow its version.
+  const CsrGraph& graph = graph_cache_.get(mesh);
+  const std::vector<idx_t>& part = partitioner_.node_partition();
+  contact_labels_.clear();
+  contact_labels_.reserve(surface.contact_nodes.size());
+  for (idx_t id : surface.contact_nodes) {
+    contact_labels_.push_back(part[static_cast<std::size_t>(id)]);
+  }
+  face_owners_into(surface, part, num_parts, face_owner_);
+  build_subdomain_views(surface.contact_nodes, contact_labels_, face_owner_,
+                        num_parts, views_);
+  if (halo_version_ != graph_cache_.version()) {
+    build_halo_sends(graph, part, num_parts, views_);
+    halo_version_ = graph_cache_.version();
+  }
+
+  // --- Superstep 1: rank 0 induces this snapshot's descriptors and
+  // broadcasts the serialized tree. -----------------------------------------
+  executor_.superstep_timed(
+      [&](idx_t r) {
+        Rank& rank = ranks_[static_cast<std::size_t>(r)];
+        rank.begin_step();
+        if (r != 0) return;
+        std::vector<Vec3> points;
+        points.reserve(surface.contact_nodes.size());
+        for (idx_t id : surface.contact_nodes) points.push_back(mesh.node(id));
+        DescriptorOptions dopts = partitioner_.config().descriptor;
+        dopts.dim = mesh.dim();
+        rank.descriptors.emplace(points, contact_labels_, num_parts, dopts);
+        exchange_.descriptors().broadcast(
+            0, DescriptorTreeMsg{tree_to_string(rank.descriptors->tree())});
+      },
+      report.phase.descriptor_ms);
+  exchange_.deliver();
+  report.descriptor_tree_nodes = ranks_[0].descriptors->num_tree_nodes();
+  report.descriptor_broadcast_bytes = exchange_.take_descriptor_bytes();
+
+  // Every other rank parses its own copy off the wire (the format round-
+  // trips doubles exactly, so all k copies answer queries identically).
+  if (num_parts > 1) {
+    executor_.superstep_timed(
+        [&](idx_t r) {
+          if (r == 0) return;
+          const auto& in = exchange_.descriptors().inbox(r);
+          require(in.size() == 1, "ContactPipeline: descriptor broadcast lost");
+          ranks_[static_cast<std::size_t>(r)].descriptors.emplace(
+              tree_from_string(in.front().wire), num_parts);
+        },
+        report.phase.descriptor_ms);
+  }
+
+  // --- Superstep 2: FE halo exchange. --------------------------------------
+  executor_.superstep_timed(
+      [&](idx_t r) {
+        for (const HaloSend& hs :
+             views_[static_cast<std::size_t>(r)].halo_sends) {
+          exchange_.halo().send(r, hs.dst,
+                                HaloNodeMsg{hs.node, mesh.node(hs.node)});
+        }
+      },
+      report.phase.halo_ms);
+  exchange_.deliver();
+  report.fe_exchange = exchange_.take_fe_traffic();
+  report.halo_payload_bytes = exchange_.take_halo_bytes();
+
+  // --- Superstep 3: ghost intake + element shipping. -----------------------
+  executor_.superstep_timed(
+      [&](idx_t r) {
+        Rank& rank = ranks_[static_cast<std::size_t>(r)];
+        const auto& ghosts_in = exchange_.halo().inbox(r);
+        rank.ghosts.assign(ghosts_in.begin(), ghosts_in.end());
+        for (idx_t f : views_[static_cast<std::size_t>(r)].owned_faces) {
+          const SurfaceFace& face = surface.faces[static_cast<std::size_t>(f)];
+          const BBox box = face_bbox(mesh, face, config_.search.search_margin);
+          rank.query_parts.clear();
+          rank.descriptors->query_box(box, rank.query_parts);
+          for (idx_t q : rank.query_parts) {
+            if (q == r) continue;
+            exchange_.faces().send(r, q, make_face_msg(mesh, face, f));
+          }
+        }
+      },
+      report.phase.ship_ms);
+  exchange_.deliver();
+  report.search_exchange = exchange_.take_search_traffic();
+  report.face_payload_bytes = exchange_.take_face_bytes();
+
+  // --- Superstep 4: per-rank local search over owned + received faces. -----
+  const LocalSearchOptions local = config_.search.local_options(body_of_node);
+  executor_.superstep_timed(
+      [&](idx_t r) {
+        Rank& rank = ranks_[static_cast<std::size_t>(r)];
+        const SubdomainView& view = views_[static_cast<std::size_t>(r)];
+        rank.merge_faces(view.owned_faces, exchange_.faces().inbox(r));
+        if (view.contact_nodes.empty() || rank.local_faces.empty()) return;
+        local_contact_search_subset_into(mesh, surface, view.contact_nodes,
+                                         rank.local_faces, local,
+                                         rank.search_scratch, rank.events);
+      },
+      report.phase.search_ms);
+
+  merge_rank_events(ranks_, report);
+  return report;
+}
+
+PipelineStepReport ContactPipeline::run_step_reference(
     const Mesh& mesh, const Surface& surface,
     std::span<const int> body_of_node) const {
   const idx_t num_parts = k();
@@ -50,7 +235,7 @@ PipelineStepReport ContactPipeline::run_step(
       faces_on[static_cast<std::size_t>(home)].push_back(f);
       parts.clear();
       const BBox box = face_bbox(mesh, surface.faces[static_cast<std::size_t>(f)],
-                                 config_.search_margin);
+                                 config_.search.search_margin);
       descriptors.query_box(box, parts);
       for (idx_t q : parts) {
         if (q == home) continue;
@@ -69,10 +254,7 @@ PipelineStepReport ContactPipeline::run_step(
                  partitioner_.node_partition()[static_cast<std::size_t>(id)])]
         .push_back(id);
   }
-  LocalSearchOptions local;
-  local.tolerance = config_.contact_tolerance;
-  local.body_of_node = body_of_node;
-  local.closest_only = config_.closest_only;
+  const LocalSearchOptions local = config_.search.local_options(body_of_node);
   report.events_per_processor.assign(static_cast<std::size_t>(num_parts), 0);
   for (idx_t q = 0; q < num_parts; ++q) {
     if (nodes_on[static_cast<std::size_t>(q)].empty() ||
@@ -87,11 +269,7 @@ PipelineStepReport ContactPipeline::run_step(
     report.events.insert(report.events.end(), local_events.begin(),
                          local_events.end());
   }
-  std::sort(report.events.begin(), report.events.end(),
-            [](const ContactEvent& a, const ContactEvent& b) {
-              if (a.node != b.node) return a.node < b.node;
-              return a.distance < b.distance;
-            });
+  std::sort(report.events.begin(), report.events.end(), event_order);
   report.contact_events = to_idx(report.events.size());
   for (const ContactEvent& e : report.events) {
     if (e.signed_distance < 0) ++report.penetrating_events;
@@ -105,17 +283,19 @@ PipelineStepReport ContactPipeline::run_step(
 
 MlRcbPipeline::MlRcbPipeline(const Mesh& mesh0, const Surface& surface0,
                              const MlRcbPipelineConfig& config)
-    : config_(config), partitioner_(mesh0, surface0, config.decomposition) {
-  require(config_.search_margin >= config_.contact_tolerance,
-          "MlRcbPipeline: search_margin must cover contact_tolerance");
+    : config_(config),
+      partitioner_(mesh0, surface0, config.decomposition),
+      exchange_(config.decomposition.k),
+      executor_(config.decomposition.k) {
+  config_.search.validate("MlRcbPipeline");
+  ranks_.resize(static_cast<std::size_t>(k()));
+  for (idx_t r = 0; r < k(); ++r) {
+    ranks_[static_cast<std::size_t>(r)].id = r;
+  }
 }
 
-MlRcbStepReport MlRcbPipeline::run_step(const Mesh& mesh,
-                                        const Surface& surface,
-                                        std::span<const int> body_of_node) {
-  const idx_t num_parts = k();
-  MlRcbStepReport report;
-
+void MlRcbPipeline::advance_partition(const Mesh& mesh, const Surface& surface,
+                                      MlRcbStepReport& report) {
   // Advance the incremental RCB (UpdComm). Updating on the very first step
   // re-balances against the snapshot the caller actually passed (which may
   // not be the snapshot the pipeline was built on); its movement is not
@@ -126,6 +306,135 @@ MlRcbStepReport MlRcbPipeline::run_step(const Mesh& mesh,
   } else {
     report.upd_comm = moved;
   }
+}
+
+MlRcbStepReport MlRcbPipeline::run_step(const Mesh& mesh,
+                                        const Surface& surface,
+                                        std::span<const int> body_of_node) {
+  const idx_t num_parts = k();
+  MlRcbStepReport report;
+  init_phase(report.phase, num_parts);
+  advance_partition(mesh, surface, report);
+
+  const CsrGraph& graph = graph_cache_.get(mesh);
+  const std::vector<idx_t>& fe_part = partitioner_.node_partition();
+
+  // FE labels of the current contact nodes (index-aligned with
+  // partitioner_.contact_ids()/contact_labels()).
+  fe_labels_.clear();
+  fe_labels_.reserve(surface.contact_nodes.size());
+  for (idx_t id : surface.contact_nodes) {
+    fe_labels_.push_back(fe_part[static_cast<std::size_t>(id)]);
+  }
+  const std::vector<idx_t>& cids = partitioner_.contact_ids();
+  const std::vector<idx_t>& clabels = partitioner_.contact_labels();
+  const M2MResult m2m = m2m_comm(fe_labels_, clabels, num_parts);
+
+  // Ownership in the RCB decomposition: per-node labels -> face owners.
+  rcb_node_labels_.assign(static_cast<std::size_t>(mesh.num_nodes()), 0);
+  for (std::size_t i = 0; i < cids.size(); ++i) {
+    rcb_node_labels_[static_cast<std::size_t>(cids[i])] = clabels[i];
+  }
+  face_owners_into(surface, rcb_node_labels_, num_parts, face_owner_);
+  build_subdomain_views(cids, clabels, face_owner_, num_parts, views_);
+  if (halo_version_ != graph_cache_.version()) {
+    build_halo_sends(graph, fe_part, num_parts, views_);
+    halo_version_ = graph_cache_.version();
+  }
+
+  // One shared filter: BBoxFilter queries are pure (no mutable scratch), so
+  // unlike the descriptor copies all ranks can read the same instance.
+  const BBoxFilter filter = partitioner_.make_bbox_filter(mesh);
+
+  // --- Superstep 1: halo posts, coupling forward, box allgather. -----------
+  executor_.superstep_timed(
+      [&](idx_t r) {
+        Rank& rank = ranks_[static_cast<std::size_t>(r)];
+        rank.begin_step();
+        for (const HaloSend& hs :
+             views_[static_cast<std::size_t>(r)].halo_sends) {
+          exchange_.halo().send(r, hs.dst,
+                                HaloNodeMsg{hs.node, mesh.node(hs.node)});
+        }
+        // Forward coupling: this FE rank ships each of its contact points
+        // whose (relabelled) RCB owner is elsewhere.
+        for (std::size_t i = 0; i < fe_labels_.size(); ++i) {
+          if (fe_labels_[i] != r) continue;
+          const idx_t contact_as_fe =
+              m2m.relabel[static_cast<std::size_t>(clabels[i])];
+          if (contact_as_fe == r) continue;
+          exchange_.coupling_forward().send(
+              r, contact_as_fe,
+              ContactPointMsg{cids[i], mesh.node(cids[i])});
+        }
+        // RCB subdomain-box allgather (bytes only — the centralized step
+        // reports no traffic for it either).
+        exchange_.boxes().broadcast(r, SubdomainBoxMsg{r, filter.box(r)});
+      },
+      report.phase.halo_ms);
+  exchange_.deliver();
+  report.fe_exchange = exchange_.take_fe_traffic();
+  report.halo_payload_bytes = exchange_.take_halo_bytes();
+
+  // --- Superstep 2: coupling return, ghost intake, element shipping. -------
+  executor_.superstep_timed(
+      [&](idx_t r) {
+        Rank& rank = ranks_[static_cast<std::size_t>(r)];
+        // Return trip: each received contact point goes back to its source
+        // after the search (the "twice the M2MComm value" of Section 5.2).
+        const auto& coupling_in = exchange_.coupling_forward().inbox(r);
+        for (const SourceRange& sr :
+             exchange_.coupling_forward().inbox_sources(r)) {
+          for (idx_t i = sr.begin; i < sr.end; ++i) {
+            exchange_.coupling_return().send(
+                r, sr.from, coupling_in[static_cast<std::size_t>(i)]);
+          }
+        }
+        const auto& ghosts_in = exchange_.halo().inbox(r);
+        rank.ghosts.assign(ghosts_in.begin(), ghosts_in.end());
+        for (idx_t f : views_[static_cast<std::size_t>(r)].owned_faces) {
+          const SurfaceFace& face = surface.faces[static_cast<std::size_t>(f)];
+          const BBox box = face_bbox(mesh, face, config_.search.search_margin);
+          rank.query_parts.clear();
+          filter.query_box(box, rank.query_parts);
+          for (idx_t q : rank.query_parts) {
+            if (q == r) continue;
+            exchange_.faces().send(r, q, make_face_msg(mesh, face, f));
+          }
+        }
+      },
+      report.phase.ship_ms);
+  exchange_.deliver();
+  report.search_exchange = exchange_.take_search_traffic();
+  report.coupling_exchange = exchange_.take_coupling_traffic();
+  report.face_payload_bytes = exchange_.take_face_bytes();
+  report.coupling_payload_bytes = exchange_.take_coupling_bytes();
+  report.box_allgather_bytes = exchange_.take_box_bytes();
+
+  // --- Superstep 3: per-rank local search in the RCB decomposition. --------
+  const LocalSearchOptions local = config_.search.local_options(body_of_node);
+  executor_.superstep_timed(
+      [&](idx_t r) {
+        Rank& rank = ranks_[static_cast<std::size_t>(r)];
+        const SubdomainView& view = views_[static_cast<std::size_t>(r)];
+        rank.merge_faces(view.owned_faces, exchange_.faces().inbox(r));
+        if (view.contact_nodes.empty() || rank.local_faces.empty()) return;
+        local_contact_search_subset_into(mesh, surface, view.contact_nodes,
+                                         rank.local_faces, local,
+                                         rank.search_scratch, rank.events);
+      },
+      report.phase.search_ms);
+
+  merge_rank_events(ranks_, report);
+  return report;
+}
+
+MlRcbStepReport MlRcbPipeline::run_step_reference(
+    const Mesh& mesh, const Surface& surface,
+    std::span<const int> body_of_node) {
+  const idx_t num_parts = k();
+  MlRcbStepReport report;
+  advance_partition(mesh, surface, report);
 
   // FE halo exchange in the graph decomposition.
   const CsrGraph graph = nodal_graph(mesh);
@@ -163,7 +472,7 @@ MlRcbStepReport MlRcbPipeline::run_step(const Mesh& mesh,
       faces_on[static_cast<std::size_t>(home)].push_back(f);
       parts.clear();
       const BBox box = face_bbox(mesh, surface.faces[static_cast<std::size_t>(f)],
-                                 config_.search_margin);
+                                 config_.search.search_margin);
       filter.query_box(box, parts);
       for (idx_t q : parts) {
         if (q == home) continue;
@@ -180,10 +489,8 @@ MlRcbStepReport MlRcbPipeline::run_step(const Mesh& mesh,
     nodes_on[static_cast<std::size_t>(partitioner_.contact_labels()[i])]
         .push_back(partitioner_.contact_ids()[i]);
   }
-  LocalSearchOptions local;
-  local.tolerance = config_.contact_tolerance;
-  local.body_of_node = body_of_node;
-  local.closest_only = config_.closest_only;
+  const LocalSearchOptions local = config_.search.local_options(body_of_node);
+  report.events_per_processor.assign(static_cast<std::size_t>(num_parts), 0);
   for (idx_t q = 0; q < num_parts; ++q) {
     if (nodes_on[static_cast<std::size_t>(q)].empty() ||
         faces_on[static_cast<std::size_t>(q)].empty()) {
@@ -192,14 +499,12 @@ MlRcbStepReport MlRcbPipeline::run_step(const Mesh& mesh,
     const auto local_events = local_contact_search_subset(
         mesh, surface, nodes_on[static_cast<std::size_t>(q)],
         faces_on[static_cast<std::size_t>(q)], local);
+    report.events_per_processor[static_cast<std::size_t>(q)] =
+        to_idx(local_events.size());
     report.events.insert(report.events.end(), local_events.begin(),
                          local_events.end());
   }
-  std::sort(report.events.begin(), report.events.end(),
-            [](const ContactEvent& a, const ContactEvent& b) {
-              if (a.node != b.node) return a.node < b.node;
-              return a.distance < b.distance;
-            });
+  std::sort(report.events.begin(), report.events.end(), event_order);
   report.contact_events = to_idx(report.events.size());
   for (const ContactEvent& e : report.events) {
     if (e.signed_distance < 0) ++report.penetrating_events;

@@ -1,40 +1,78 @@
-// End-to-end parallel contact pipeline on the virtual cluster.
+// End-to-end parallel contact pipeline, executed SPMD on the rank/exchange
+// runtime.
 //
-// Orchestrates one full time step the way a production MPI integration of
-// MCML+DT would (paper Sections 2 and 4):
-//   1. descriptor update — induce this snapshot's descriptor tree from the
-//      moved contact points and broadcast it to all k processors
-//      (serialized size x (k-1) = the NTNodes setup cost, in bytes);
-//   2. FE halo exchange — boundary-node data to adjacent partitions;
-//   3. global search — every surface element shipped to the partitions
-//      whose descriptor regions its (inflated) bounding box intersects;
-//   4. local search — each processor tests its own contact nodes against
-//      its local + received elements.
-// The union of the per-processor local searches must equal a serial local
-// search over the whole surface whenever the search margin covers the
-// contact tolerance — the integration tests assert exactly that, which
-// validates the conservativeness of the descriptor filter end-to-end.
+// One full time step the way a production MPI integration of MCML+DT would
+// run it (paper Sections 2 and 4), as k concurrent per-rank programs over
+// typed exchange channels (runtime/exchange.hpp):
+//   1. descriptor update — rank 0 induces this snapshot's descriptor tree
+//      from the moved contact points and broadcasts the serialized tree to
+//      the other k-1 ranks (bytes x (k-1) = the NTNodes setup cost); every
+//      receiver parses its own copy;
+//   2. FE halo exchange — each rank posts its boundary-node positions to
+//      the adjacent partitions;
+//   3. global search — each rank filters its own surface faces through its
+//      descriptor copy and ships each face (ids + coordinates) to every
+//      candidate rank;
+//   4. local search — each rank tests its own contact nodes against its
+//      owned + received faces.
+// The per-rank events are merged deterministically (rank order, then sorted
+// by (node, distance)) — bit-identical to the centralized implementation,
+// which is retained as run_step_reference() and serves as the equivalence
+// oracle for tests and benches. The union of the per-rank local searches
+// must also equal a serial search over the whole surface whenever the
+// search margin covers the contact tolerance — the integration tests assert
+// exactly that, which validates the conservativeness of the descriptor
+// filter end-to-end.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "contact/local_search.hpp"
 #include "core/mcml_dt.hpp"
 #include "core/ml_rcb.hpp"
+#include "mesh/mesh_graphs.hpp"
+#include "mesh/subdomain.hpp"
+#include "runtime/exchange.hpp"
+#include "runtime/rank.hpp"
+#include "runtime/rank_executor.hpp"
 #include "runtime/virtual_cluster.hpp"
 
 namespace cpart {
 
-struct PipelineConfig {
-  McmlDtConfig decomposition{};
+/// Contact-search knobs shared by both pipelines (deduplicated — they used
+/// to be copy-pasted fields with the margin/tolerance check in two places).
+struct SearchConfig {
   /// Global-search inflation of surface-element boxes. Must be at least the
-  /// local tolerance for the pipeline to be exact (checked).
+  /// local tolerance for the pipeline to be exact (checked by validate()).
   real_t search_margin = 0.1;
   /// Local-search proximity tolerance.
   real_t contact_tolerance = 0.1;
   /// Report every face within tolerance (false) or only the closest per
   /// node (true).
   bool closest_only = true;
+
+  /// Throws InputError unless search_margin >= contact_tolerance (`who`
+  /// prefixes the message).
+  void validate(const char* who) const;
+
+  /// The LocalSearchOptions these knobs describe.
+  LocalSearchOptions local_options(std::span<const int> body_of_node) const;
+};
+
+struct PipelineConfig {
+  McmlDtConfig decomposition{};
+  SearchConfig search{};
+};
+
+/// Per-rank wall milliseconds of each SPMD phase of the last run_step
+/// (empty after run_step_reference, which has no per-rank execution).
+struct RankPhaseBreakdown {
+  std::vector<double> descriptor_ms;  // induce/serialize (rank 0), parse
+  std::vector<double> halo_ms;        // halo posting
+  std::vector<double> ship_ms;        // ghost intake + element shipping
+  std::vector<double> search_ms;      // merge + local search
 };
 
 struct PipelineStepReport {
@@ -42,11 +80,16 @@ struct PipelineStepReport {
   StepTraffic search_exchange;   // phase 3
   wgt_t descriptor_tree_nodes = 0;
   wgt_t descriptor_broadcast_bytes = 0;  // phase 1 cost
+  /// Measured payload bytes the exchange actually carried (SPMD path only;
+  /// the reference path models units, not bytes, and leaves these 0).
+  wgt_t halo_payload_bytes = 0;
+  wgt_t face_payload_bytes = 0;
   idx_t contact_events = 0;
   idx_t penetrating_events = 0;
   std::vector<ContactEvent> events;  // merged, sorted by (node, distance)
   /// Contact events found by each processor (sums to contact_events).
   std::vector<idx_t> events_per_processor;
+  RankPhaseBreakdown phase;  // SPMD path only
 };
 
 class ContactPipeline {
@@ -59,14 +102,33 @@ class ContactPipeline {
   idx_t k() const { return config_.decomposition.k; }
   const McmlDtPartitioner& partitioner() const { return partitioner_; }
 
-  /// Executes one full step on the given snapshot. `body_of_node` (size
-  /// num_nodes) enables the standard same-body contact exclusion.
+  /// Executes one full step SPMD: k rank programs run concurrently on the
+  /// global ThreadPool, exchanging real payloads. `body_of_node` (size
+  /// num_nodes) enables the standard same-body contact exclusion. Snapshots
+  /// must come from one simulation sequence (the nodal-graph cache keys on
+  /// monotone erosion — see NodalGraphCache).
   PipelineStepReport run_step(const Mesh& mesh, const Surface& surface,
-                              std::span<const int> body_of_node = {}) const;
+                              std::span<const int> body_of_node = {});
+
+  /// The pre-refactor centralized implementation, kept as the equivalence
+  /// oracle: run_step must match it bit for bit (events, per-rank counts,
+  /// traffic), which the spmd tests assert at 1 and 8 threads.
+  PipelineStepReport run_step_reference(
+      const Mesh& mesh, const Surface& surface,
+      std::span<const int> body_of_node = {}) const;
 
  private:
   PipelineConfig config_;
   McmlDtPartitioner partitioner_;
+  // SPMD state, reused across steps.
+  NodalGraphCache graph_cache_;
+  std::uint64_t halo_version_ = 0;  // views_ halo lists match this version
+  std::vector<SubdomainView> views_;
+  std::vector<Rank> ranks_;
+  Exchange exchange_;
+  RankExecutor executor_;
+  std::vector<idx_t> contact_labels_;  // per-step gather scratch
+  std::vector<idx_t> face_owner_;
 };
 
 // ---------------------------------------------------------------------------
@@ -75,9 +137,7 @@ class ContactPipeline {
 
 struct MlRcbPipelineConfig {
   MlRcbConfig decomposition{};
-  real_t search_margin = 0.1;
-  real_t contact_tolerance = 0.1;
-  bool closest_only = true;
+  SearchConfig search{};
 };
 
 struct MlRcbStepReport {
@@ -85,9 +145,16 @@ struct MlRcbStepReport {
   StepTraffic coupling_exchange;  // mesh-to-mesh, both directions
   StepTraffic search_exchange;
   wgt_t upd_comm = 0;  // incremental-RCB redistribution this step
+  /// Measured payload bytes (SPMD path only, like PipelineStepReport).
+  wgt_t halo_payload_bytes = 0;
+  wgt_t face_payload_bytes = 0;
+  wgt_t coupling_payload_bytes = 0;
+  wgt_t box_allgather_bytes = 0;  // RCB subdomain-box allgather
   idx_t contact_events = 0;
   idx_t penetrating_events = 0;
   std::vector<ContactEvent> events;
+  std::vector<idx_t> events_per_processor;
+  RankPhaseBreakdown phase;  // SPMD path only (descriptor_ms stays 0)
 };
 
 /// ML+RCB's step: FE halo on the graph decomposition, transfer of contact
@@ -103,15 +170,37 @@ class MlRcbPipeline {
   idx_t k() const { return config_.decomposition.k; }
   const MlRcbPartitioner& partitioner() const { return partitioner_; }
 
-  /// Advances the incremental RCB and executes the step. Must be called in
-  /// snapshot order (the RCB update is stateful).
+  /// Advances the incremental RCB and executes the step SPMD. Must be
+  /// called in snapshot order (the RCB update is stateful).
   MlRcbStepReport run_step(const Mesh& mesh, const Surface& surface,
                            std::span<const int> body_of_node = {});
 
+  /// The pre-refactor centralized step (also advances the RCB — drive a
+  /// given pipeline instance through exactly one of run_step /
+  /// run_step_reference; the equivalence tests compare two identically
+  /// seeded instances).
+  MlRcbStepReport run_step_reference(const Mesh& mesh, const Surface& surface,
+                                     std::span<const int> body_of_node = {});
+
  private:
+  /// Shared stateful preamble of both step flavors: RCB advance + UpdComm
+  /// bookkeeping.
+  void advance_partition(const Mesh& mesh, const Surface& surface,
+                         MlRcbStepReport& report);
+
   MlRcbPipelineConfig config_;
   MlRcbPartitioner partitioner_;
   bool first_step_ = true;
+  // SPMD state, reused across steps.
+  NodalGraphCache graph_cache_;
+  std::uint64_t halo_version_ = 0;
+  std::vector<SubdomainView> views_;
+  std::vector<Rank> ranks_;
+  Exchange exchange_;
+  RankExecutor executor_;
+  std::vector<idx_t> fe_labels_;  // per-step gather scratch
+  std::vector<idx_t> rcb_node_labels_;
+  std::vector<idx_t> face_owner_;
 };
 
 }  // namespace cpart

@@ -39,6 +39,16 @@ CsrGraph nodal_graph(const Mesh& mesh) {
   return builder.build();
 }
 
+const CsrGraph& NodalGraphCache::get(const Mesh& mesh) {
+  if (mesh.num_nodes() != num_nodes_ || mesh.num_elements() != num_elements_) {
+    graph_ = nodal_graph(mesh);
+    num_nodes_ = mesh.num_nodes();
+    num_elements_ = mesh.num_elements();
+    ++version_;
+  }
+  return graph_;
+}
+
 namespace {
 
 struct FaceKey {

@@ -5,6 +5,8 @@
 // The paper's partitioning algorithm operates on the nodal graph.
 #pragma once
 
+#include <cstdint>
+
 #include "graph/csr_graph.hpp"
 #include "mesh/mesh.hpp"
 
@@ -16,6 +18,32 @@ CsrGraph nodal_graph(const Mesh& mesh);
 
 /// Builds the dual graph of the mesh.
 CsrGraph dual_graph(const Mesh& mesh);
+
+/// Caches the nodal graph across the snapshots of one simulation sequence.
+///
+/// Rebuilding nodal_graph() every step is pure waste on the (common) steps
+/// where no element eroded. The cache is keyed on (num_nodes, num_elements):
+/// within one sequence node ids are stable and elements only ever disappear
+/// (erosion is monotone), so equal counts imply the identical element set
+/// and therefore the identical graph. Do NOT feed unrelated meshes through
+/// one cache — two different meshes with equal counts would alias.
+class NodalGraphCache {
+ public:
+  /// Returns the nodal graph of `mesh`, rebuilding only when the key
+  /// changed. The reference stays valid until the next get() call.
+  const CsrGraph& get(const Mesh& mesh);
+
+  /// Increments every time get() actually rebuilt; lets dependents (halo
+  /// send lists, partition-boundary structures) refresh exactly when the
+  /// topology changed.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  CsrGraph graph_;
+  idx_t num_nodes_ = kInvalidIndex;
+  idx_t num_elements_ = kInvalidIndex;
+  std::uint64_t version_ = 0;
+};
 
 /// Node index pairs of each edge of the reference element.
 std::span<const std::pair<int, int>> element_edges(ElementType type);

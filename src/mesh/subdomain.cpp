@@ -1,0 +1,57 @@
+#include "mesh/subdomain.hpp"
+
+namespace cpart {
+
+void build_subdomain_views(std::span<const idx_t> contact_ids,
+                           std::span<const idx_t> contact_labels,
+                           std::span<const idx_t> face_owner, idx_t k,
+                           std::vector<SubdomainView>& views) {
+  require(k >= 1, "build_subdomain_views: k must be >= 1");
+  require(contact_ids.size() == contact_labels.size(),
+          "build_subdomain_views: contact id/label size mismatch");
+  views.resize(static_cast<std::size_t>(k));
+  for (SubdomainView& v : views) {
+    v.contact_nodes.clear();
+    v.owned_faces.clear();
+  }
+  for (std::size_t i = 0; i < contact_ids.size(); ++i) {
+    const idx_t p = contact_labels[i];
+    require(p >= 0 && p < k, "build_subdomain_views: label out of range");
+    views[static_cast<std::size_t>(p)].contact_nodes.push_back(contact_ids[i]);
+  }
+  for (std::size_t f = 0; f < face_owner.size(); ++f) {
+    const idx_t p = face_owner[f];
+    require(p >= 0 && p < k, "build_subdomain_views: face owner out of range");
+    views[static_cast<std::size_t>(p)].owned_faces.push_back(to_idx(f));
+  }
+}
+
+void build_halo_sends(const CsrGraph& graph,
+                      std::span<const idx_t> node_partition, idx_t k,
+                      std::vector<SubdomainView>& views) {
+  require(k >= 1, "build_halo_sends: k must be >= 1");
+  require(node_partition.size() == static_cast<std::size_t>(graph.num_vertices()),
+          "build_halo_sends: partition size mismatch");
+  views.resize(static_cast<std::size_t>(k));
+  for (SubdomainView& v : views) v.halo_sends.clear();
+  // Same distinct-adjacent-partition enumeration as fe_halo_traffic, with
+  // the same O(|result|) mask reset.
+  std::vector<char> seen(static_cast<std::size_t>(k), 0);
+  std::vector<idx_t> touched;
+  for (idx_t v = 0; v < graph.num_vertices(); ++v) {
+    const idx_t pv = node_partition[static_cast<std::size_t>(v)];
+    touched.clear();
+    for (idx_t u : graph.neighbors(v)) {
+      const idx_t pu = node_partition[static_cast<std::size_t>(u)];
+      if (pu == pv || seen[static_cast<std::size_t>(pu)]) continue;
+      seen[static_cast<std::size_t>(pu)] = 1;
+      touched.push_back(pu);
+    }
+    for (idx_t p : touched) {
+      views[static_cast<std::size_t>(pv)].halo_sends.push_back({v, p});
+      seen[static_cast<std::size_t>(p)] = 0;
+    }
+  }
+}
+
+}  // namespace cpart

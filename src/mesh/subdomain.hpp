@@ -1,0 +1,59 @@
+// Per-rank subdomain views for the SPMD contact pipeline.
+//
+// A k-processor SPMD execution starts from ownership: every rank owns the
+// contact nodes and surface faces its partition label assigns to it, plus a
+// halo send list describing which of its FE boundary nodes must be shipped
+// to which adjacent partitions each step. This module extracts those views
+// from the global mesh products (partition labels, face owners, nodal
+// graph) in single deterministic passes, preserving exactly the orders the
+// centralized pipeline iterates in — the per-rank programs built on top of
+// these views reproduce its output bit for bit.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/common.hpp"
+
+namespace cpart {
+
+/// One FE halo post: `node`'s data goes to partition `dst` this step.
+struct HaloSend {
+  idx_t node = kInvalidIndex;
+  idx_t dst = kInvalidIndex;
+};
+
+/// What one rank owns. `contact_nodes` and `owned_faces` are per-step
+/// (the surface changes under erosion); `halo_sends` depends only on the
+/// nodal graph and the node partition, so it is rebuilt only when the mesh
+/// topology version changes (see NodalGraphCache::version).
+struct SubdomainView {
+  /// Owned contact nodes, in the global contact-node gather order (the
+  /// order the centralized pipeline fills nodes_on[rank] in).
+  std::vector<idx_t> contact_nodes;
+  /// Owned surface faces, ascending face index.
+  std::vector<idx_t> owned_faces;
+  /// Halo posts; posting each entry as one unit reproduces the
+  /// fe_halo_traffic matrix exactly.
+  std::vector<HaloSend> halo_sends;
+};
+
+/// Rebuilds contact_nodes/owned_faces of views[0..k) from this step's
+/// labels: `contact_labels[i]` owns node `contact_ids[i]`, `face_owner[f]`
+/// owns face f. Resizes `views` to k; halo_sends are left untouched.
+void build_subdomain_views(std::span<const idx_t> contact_ids,
+                           std::span<const idx_t> contact_labels,
+                           std::span<const idx_t> face_owner, idx_t k,
+                           std::vector<SubdomainView>& views);
+
+/// Rebuilds halo_sends of views[0..k) from the FE nodal graph: for every
+/// vertex (ascending) one post per distinct adjacent remote partition —
+/// the same enumeration fe_halo_traffic charges, so executing these posts
+/// through the exchange yields an identical traffic matrix. Resizes
+/// `views` to k; the per-step ownership lists are left untouched.
+void build_halo_sends(const CsrGraph& graph,
+                      std::span<const idx_t> node_partition, idx_t k,
+                      std::vector<SubdomainView>& views);
+
+}  // namespace cpart

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace cpart {
 
@@ -31,7 +32,24 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run_task(const Task& task, unsigned chunk) {
   const idx_t begin = static_cast<idx_t>(chunk) * task.chunk_size;
   const idx_t end = std::min<idx_t>(task.n, begin + task.chunk_size);
-  if (begin < end) task.fn(chunk, begin, end);
+  if (begin >= end) return;
+  try {
+    task.fn(chunk, begin, end);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::wait_and_rethrow() {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop(unsigned worker_id) {
@@ -87,11 +105,7 @@ void ThreadPool::parallel_for_chunks(
     ++generation_;
   }
   cv_start_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return pending_ == 0; });
-    task_ = nullptr;
-  }
+  wait_and_rethrow();
 }
 
 void ThreadPool::parallel_tasks(idx_t n,
@@ -115,11 +129,7 @@ void ThreadPool::parallel_tasks(idx_t n,
     ++generation_;
   }
   cv_start_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return pending_ == 0; });
-    task_ = nullptr;
-  }
+  wait_and_rethrow();
 }
 
 namespace {

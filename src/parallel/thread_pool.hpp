@@ -11,6 +11,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -37,7 +38,8 @@ class ThreadPool {
 
   /// Runs fn(chunk_index, begin, end) on every chunk of [0, n), blocked into
   /// one contiguous range per worker, and waits for completion. Runs inline
-  /// when n is small or the pool has one thread.
+  /// when n is small or the pool has one thread. If a chunk throws, the
+  /// remaining chunks still run and the first exception is rethrown here.
   void parallel_for_chunks(
       idx_t n, const std::function<void(unsigned, idx_t, idx_t)>& fn);
 
@@ -52,7 +54,9 @@ class ThreadPool {
   /// Runs task(i) for each i in [0, n) with one dispatch per index,
   /// distributed across workers (static stride). For small counts of
   /// coarse-grained tasks where parallel_for's inline threshold would
-  /// serialize them.
+  /// serialize them. The first exception thrown by any task is rethrown on
+  /// the calling thread after all tasks finish — this is what lets rank
+  /// programs use require() and have failures surface to the step driver.
   void parallel_tasks(idx_t n, const std::function<void(idx_t)>& task);
 
   /// Parallel sum-reduction: combines per-chunk partial results in chunk
@@ -125,6 +129,7 @@ class ThreadPool {
 
   void worker_loop(unsigned worker_id);
   void run_task(const Task& task, unsigned chunk);
+  void wait_and_rethrow();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -134,6 +139,10 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   unsigned pending_ = 0;
   bool stop_ = false;
+  // First exception thrown by any chunk of the current dispatch; rethrown on
+  // the calling thread once all workers have checked in (an exception never
+  // cancels sibling chunks — they run to completion first).
+  std::exception_ptr first_error_;
 };
 
 }  // namespace cpart

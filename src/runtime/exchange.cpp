@@ -1,0 +1,27 @@
+#include "runtime/exchange.hpp"
+
+namespace cpart {
+
+Exchange::Exchange(idx_t k)
+    : k_(k), fe_cluster_(k), search_cluster_(k), coupling_cluster_(k) {
+  descriptors_.resize(k);
+  halo_.resize(k);
+  faces_.resize(k);
+  coupling_forward_.resize(k);
+  coupling_return_.resize(k);
+  boxes_.resize(k);
+}
+
+void Exchange::deliver() {
+  descriptor_bytes_ += descriptors_.deliver(nullptr);
+  halo_bytes_ += halo_.deliver(&fe_cluster_);
+  face_bytes_ += faces_.deliver(&search_cluster_);
+  // Forward and return share one cluster finished once per step: a rank
+  // pair exchanging coupling data in both directions must count on the
+  // combined matrix exactly as m2m_traffic counts it.
+  coupling_bytes_ += coupling_forward_.deliver(&coupling_cluster_);
+  coupling_bytes_ += coupling_return_.deliver(&coupling_cluster_);
+  box_bytes_ += boxes_.deliver(nullptr);
+}
+
+}  // namespace cpart

@@ -1,0 +1,259 @@
+// Typed message exchange between SPMD ranks — the transport layer of the
+// per-rank contact pipeline.
+//
+// The pre-refactor pipelines computed every phase globally and *accounted*
+// traffic through VirtualCluster as a parallel bookkeeping path. Here the
+// ranks actually move typed payloads (halo node coordinates, serialized
+// descriptor trees, shipped surface faces, contact-point round-trips)
+// through channels, and VirtualCluster sits underneath as the transport:
+// the per-processor traffic matrices fall out of carrying the messages.
+//
+// Execution model is BSP: during a superstep every rank writes only its own
+// outbox row of each channel (rank-private cells — no locks), then the
+// step driver calls Exchange::deliver() as the barrier, which routes every
+// cell into the destination inboxes in ascending source order (the
+// deterministic delivery order) and charges the phase clusters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "runtime/virtual_cluster.hpp"
+
+namespace cpart {
+
+// ---------------------------------------------------------------------------
+// Message types. wire_bytes() is the size an MPI encoding of the message
+// would put on the wire; it feeds the measured payload-byte reports.
+// ---------------------------------------------------------------------------
+
+/// FE halo exchange: one boundary node's current position.
+struct HaloNodeMsg {
+  idx_t node = kInvalidIndex;
+  Vec3 position{};
+};
+
+inline wgt_t wire_bytes(const HaloNodeMsg&) {
+  return static_cast<wgt_t>(sizeof(idx_t) + 3 * sizeof(real_t));
+}
+
+/// Descriptor broadcast: the serialized descriptor tree (tree_io wire
+/// format — 17 significant digits, exact double round-trip).
+struct DescriptorTreeMsg {
+  std::string wire;
+};
+
+inline wgt_t wire_bytes(const DescriptorTreeMsg& m) {
+  return static_cast<wgt_t>(m.wire.size());
+}
+
+/// Element shipping: one surface face with its node ids and coordinates.
+struct FaceShipMsg {
+  idx_t face = kInvalidIndex;     // global surface-face index
+  idx_t element = kInvalidIndex;  // owning mesh element
+  std::int32_t num_nodes = 0;
+  std::array<idx_t, 4> nodes{kInvalidIndex, kInvalidIndex, kInvalidIndex,
+                             kInvalidIndex};
+  std::array<Vec3, 4> coords{};
+};
+
+inline wgt_t wire_bytes(const FaceShipMsg& m) {
+  return static_cast<wgt_t>(2 * sizeof(idx_t) + sizeof(std::int32_t)) +
+         static_cast<wgt_t>(m.num_nodes) *
+             static_cast<wgt_t>(sizeof(idx_t) + 3 * sizeof(real_t));
+}
+
+/// ML+RCB coupling: one contact point shipped between the FE and the RCB
+/// decompositions (forward before the search, results back after).
+struct ContactPointMsg {
+  idx_t node = kInvalidIndex;
+  Vec3 position{};
+};
+
+inline wgt_t wire_bytes(const ContactPointMsg&) {
+  return static_cast<wgt_t>(sizeof(idx_t) + 3 * sizeof(real_t));
+}
+
+/// ML+RCB subdomain-box allgather: one rank's RCB bounding box.
+struct SubdomainBoxMsg {
+  idx_t rank = kInvalidIndex;
+  BBox box{};
+};
+
+inline wgt_t wire_bytes(const SubdomainBoxMsg&) {
+  return static_cast<wgt_t>(sizeof(idx_t) + 6 * sizeof(real_t));
+}
+
+// ---------------------------------------------------------------------------
+// TypedChannel
+// ---------------------------------------------------------------------------
+
+/// One contiguous run of a rank's inbox that arrived from a single source.
+struct SourceRange {
+  idx_t from = kInvalidIndex;
+  idx_t begin = 0;  // [begin, end) into inbox(rank)
+  idx_t end = 0;
+};
+
+/// A k-rank point-to-point channel for messages of type T.
+///
+/// send() may be called concurrently by different source ranks: the outbox
+/// cells are indexed (from, to), and rank r only ever writes row r. deliver
+/// runs on the step driver between supersteps.
+template <typename T>
+class TypedChannel {
+ public:
+  TypedChannel() = default;
+
+  void resize(idx_t k) {
+    require(k >= 1, "TypedChannel: k must be >= 1");
+    k_ = k;
+    cells_.assign(static_cast<std::size_t>(k) * static_cast<std::size_t>(k),
+                  Cell{});
+    inboxes_.assign(static_cast<std::size_t>(k), {});
+    sources_.assign(static_cast<std::size_t>(k), {});
+  }
+
+  idx_t num_ranks() const { return k_; }
+
+  /// Posts `item` from rank `from` to rank `to`. Self-sends are local data
+  /// and are dropped, matching VirtualCluster::send.
+  void send(idx_t from, idx_t to, T item) {
+    require(from >= 0 && from < k_ && to >= 0 && to < k_,
+            "TypedChannel::send: rank out of range");
+    if (from == to) return;
+    Cell& cell = cells_[static_cast<std::size_t>(from) *
+                            static_cast<std::size_t>(k_) +
+                        static_cast<std::size_t>(to)];
+    cell.bytes += wire_bytes(item);
+    cell.items.push_back(std::move(item));
+  }
+
+  /// Posts `item` from `from` to every other rank.
+  void broadcast(idx_t from, const T& item) {
+    for (idx_t to = 0; to < k_; ++to) {
+      if (to != from) send(from, to, item);
+    }
+  }
+
+  /// Barrier half: routes every outbox cell into the destination inboxes in
+  /// ascending source order, charges `transport` (when non-null) with
+  /// `units_per_item` per message, and returns the payload bytes moved.
+  /// Inboxes from the previous superstep are replaced.
+  wgt_t deliver(VirtualCluster* transport, wgt_t units_per_item = 1) {
+    wgt_t bytes = 0;
+    for (idx_t to = 0; to < k_; ++to) {
+      auto& inbox = inboxes_[static_cast<std::size_t>(to)];
+      auto& sources = sources_[static_cast<std::size_t>(to)];
+      inbox.clear();
+      sources.clear();
+      for (idx_t from = 0; from < k_; ++from) {
+        Cell& cell = cells_[static_cast<std::size_t>(from) *
+                                static_cast<std::size_t>(k_) +
+                            static_cast<std::size_t>(to)];
+        if (cell.items.empty()) continue;
+        const idx_t begin = to_idx(inbox.size());
+        inbox.insert(inbox.end(), std::make_move_iterator(cell.items.begin()),
+                     std::make_move_iterator(cell.items.end()));
+        sources.push_back({from, begin, to_idx(inbox.size())});
+        if (transport != nullptr) {
+          transport->send(from, to,
+                          to_idx(cell.items.size()) * units_per_item);
+        }
+        bytes += cell.bytes;
+        cell.items.clear();
+        cell.bytes = 0;
+      }
+    }
+    return bytes;
+  }
+
+  /// Messages delivered to `rank` last superstep, ascending source order.
+  const std::vector<T>& inbox(idx_t rank) const {
+    return inboxes_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Per-source runs of inbox(rank) — lets a receiver answer each source.
+  std::span<const SourceRange> inbox_sources(idx_t rank) const {
+    return sources_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  struct Cell {
+    std::vector<T> items;
+    wgt_t bytes = 0;
+  };
+
+  idx_t k_ = 0;
+  std::vector<Cell> cells_;  // k*k, row = source rank
+  std::vector<std::vector<T>> inboxes_;
+  std::vector<std::vector<SourceRange>> sources_;
+};
+
+// ---------------------------------------------------------------------------
+// Exchange
+// ---------------------------------------------------------------------------
+
+/// The channel bundle one pipeline step runs over, with the VirtualCluster
+/// transports underneath. Three traffic groups mirror the report fields of
+/// the centralized pipelines:
+///   * halo            -> fe cluster        (units == fe_halo_traffic)
+///   * faces           -> search cluster    (units == NRemote shipping)
+///   * coupling fwd+ret -> one shared coupling cluster, finished once, so a
+///     rank pair active in both directions counts like the centralized
+///     m2m_traffic matrix (messages included);
+/// descriptor and box broadcasts move bytes but are charged to no cluster —
+/// the centralized pipelines report them as byte counts, not StepTraffic.
+class Exchange {
+ public:
+  explicit Exchange(idx_t k);
+
+  idx_t num_ranks() const { return k_; }
+
+  TypedChannel<DescriptorTreeMsg>& descriptors() { return descriptors_; }
+  TypedChannel<HaloNodeMsg>& halo() { return halo_; }
+  TypedChannel<FaceShipMsg>& faces() { return faces_; }
+  TypedChannel<ContactPointMsg>& coupling_forward() { return coupling_forward_; }
+  TypedChannel<ContactPointMsg>& coupling_return() { return coupling_return_; }
+  TypedChannel<SubdomainBoxMsg>& boxes() { return boxes_; }
+
+  /// The superstep barrier: delivers every channel (outboxes -> inboxes),
+  /// charging the phase clusters and accumulating payload bytes.
+  void deliver();
+
+  /// Per-group traffic since the last take (finishing resets the cluster).
+  StepTraffic take_fe_traffic() { return fe_cluster_.finish(); }
+  StepTraffic take_search_traffic() { return search_cluster_.finish(); }
+  StepTraffic take_coupling_traffic() { return coupling_cluster_.finish(); }
+
+  /// Payload bytes accumulated since the last take (reads reset to 0).
+  wgt_t take_descriptor_bytes() { return std::exchange(descriptor_bytes_, 0); }
+  wgt_t take_halo_bytes() { return std::exchange(halo_bytes_, 0); }
+  wgt_t take_face_bytes() { return std::exchange(face_bytes_, 0); }
+  wgt_t take_coupling_bytes() { return std::exchange(coupling_bytes_, 0); }
+  wgt_t take_box_bytes() { return std::exchange(box_bytes_, 0); }
+
+ private:
+  idx_t k_;
+  TypedChannel<DescriptorTreeMsg> descriptors_;
+  TypedChannel<HaloNodeMsg> halo_;
+  TypedChannel<FaceShipMsg> faces_;
+  TypedChannel<ContactPointMsg> coupling_forward_;
+  TypedChannel<ContactPointMsg> coupling_return_;
+  TypedChannel<SubdomainBoxMsg> boxes_;
+  VirtualCluster fe_cluster_;
+  VirtualCluster search_cluster_;
+  VirtualCluster coupling_cluster_;
+  wgt_t descriptor_bytes_ = 0;
+  wgt_t halo_bytes_ = 0;
+  wgt_t face_bytes_ = 0;
+  wgt_t coupling_bytes_ = 0;
+  wgt_t box_bytes_ = 0;
+};
+
+}  // namespace cpart

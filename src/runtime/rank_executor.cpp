@@ -1,0 +1,27 @@
+#include "runtime/rank_executor.hpp"
+
+#include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace cpart {
+
+RankExecutor::RankExecutor(idx_t k) : k_(k) {
+  require(k >= 1, "RankExecutor: k must be >= 1");
+}
+
+void RankExecutor::superstep(const std::function<void(idx_t)>& body) const {
+  ThreadPool::global().parallel_tasks(k_, body);
+}
+
+void RankExecutor::superstep_timed(const std::function<void(idx_t)>& body,
+                                   std::span<double> ms_accum) const {
+  require(ms_accum.size() == static_cast<std::size_t>(k_),
+          "RankExecutor::superstep_timed: accumulator size mismatch");
+  ThreadPool::global().parallel_tasks(k_, [&](idx_t rank) {
+    Timer timer;
+    body(rank);
+    ms_accum[static_cast<std::size_t>(rank)] += timer.milliseconds();
+  });
+}
+
+}  // namespace cpart

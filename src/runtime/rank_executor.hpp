@@ -1,0 +1,44 @@
+// BSP superstep executor: runs k rank programs concurrently on the shared
+// ThreadPool, with Exchange::deliver() as the barrier between supersteps.
+//
+// Rank programs are plain callables body(rank). The executor dispatches
+// them through ThreadPool::parallel_tasks, whose completion wait IS the
+// superstep barrier — there is no blocking barrier inside a rank program,
+// which is what makes k > pool-size safe (a real barrier on a fixed pool
+// would deadlock once more ranks than workers exist). Corollary: a rank
+// program must never block on another rank's output within a superstep;
+// cross-rank data only moves at the deliver() boundary. Rank programs must
+// also not dispatch pool work themselves (no nested parallelism).
+//
+// Exceptions thrown by a rank program (e.g. require()) are rethrown on the
+// calling thread by the pool after the superstep completes.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+class RankExecutor {
+ public:
+  explicit RankExecutor(idx_t k);
+
+  idx_t num_ranks() const { return k_; }
+
+  /// Runs body(rank) for every rank in [0, k) concurrently; returns when
+  /// all finished.
+  void superstep(const std::function<void(idx_t)>& body) const;
+
+  /// superstep() that also adds each rank's wall milliseconds to
+  /// ms_accum[rank] (size k) — the per-rank phase timings bench_spmd
+  /// reports. Each rank writes only its own slot, so no synchronization.
+  void superstep_timed(const std::function<void(idx_t)>& body,
+                       std::span<double> ms_accum) const;
+
+ private:
+  idx_t k_;
+};
+
+}  // namespace cpart

@@ -3,15 +3,19 @@
 //
 // The paper reports aggregate counts (FEComm, NRemote, M2MComm). Those
 // aggregates hide *congestion*: two decompositions with equal totals can
-// load the busiest processor very differently. This module routes every
-// transfer through a VirtualCluster that tracks per-processor send/receive
-// volumes and message counts, and provides drivers that generate the
-// traffic of each phase from the actual data structures:
-//   * fe_halo_traffic      — FE-phase halo exchange (sum == FEComm);
-//   * global_search_traffic — surface-element shipping (sum == NRemote);
-//   * m2m_traffic          — ML+RCB's mesh-to-mesh transfer (sum == M2MComm).
-// The equalities are asserted by the test suite, so the analytic metrics
-// and the executed traffic cross-validate each other.
+// load the busiest processor very differently. VirtualCluster tracks the
+// per-processor send/receive volumes and message counts of every transfer
+// routed through it. It is used two ways:
+//   * as the transport under the SPMD exchange layer (runtime/exchange.hpp):
+//     the typed channels charge it while actually carrying the payloads, so
+//     traffic accounting is a side effect of moving the bytes;
+//   * by the analytic drivers below, which generate each phase's traffic
+//     from the global data structures without executing ranks:
+//       fe_halo_traffic       — FE-phase halo exchange (sum == FEComm);
+//       global_search_traffic — surface-element shipping (sum == NRemote);
+//       m2m_traffic           — ML+RCB mesh-to-mesh (sum == 2 * M2MComm).
+// The test suite asserts that the executed SPMD traffic, the analytic
+// drivers, and the paper metrics all agree, so the three cross-validate.
 #pragma once
 
 #include <functional>
@@ -28,6 +32,8 @@ struct ProcessorTraffic {
   wgt_t sent_units = 0;      // data units sent
   wgt_t received_units = 0;  // data units received
   idx_t messages = 0;        // distinct (src, dst) pairs touched as sender
+
+  bool operator==(const ProcessorTraffic&) const = default;
 };
 
 struct StepTraffic {
@@ -47,6 +53,10 @@ struct StepTraffic {
 
   /// Element-wise sum of two traffic snapshots (same k).
   StepTraffic& operator+=(const StepTraffic& other);
+
+  /// Exact per-processor equality — what the SPMD-vs-centralized
+  /// equivalence tests assert.
+  bool operator==(const StepTraffic&) const = default;
 };
 
 /// Records point-to-point transfers between k virtual processors.

@@ -32,6 +32,22 @@ SubdomainDescriptors::SubdomainDescriptors(
   mask_.assign(static_cast<std::size_t>(num_parts), 0);
 }
 
+SubdomainDescriptors::SubdomainDescriptors(DecisionTree tree, idx_t num_parts)
+    : tree_(std::move(tree)), num_parts_(num_parts) {
+  require(num_parts >= 1, "SubdomainDescriptors: num_parts must be >= 1");
+  domain_ = tree_.empty() ? BBox{} : tree_.node(tree_.root()).bounds;
+  regions_per_part_.assign(static_cast<std::size_t>(num_parts), 0);
+  for (idx_t id = 0; id < tree_.num_nodes(); ++id) {
+    const TreeNode& nd = tree_.node(id);
+    if (nd.axis < 0 && nd.label != kInvalidIndex) {
+      require(nd.label >= 0 && nd.label < num_parts,
+              "SubdomainDescriptors: leaf label out of range for num_parts");
+      ++regions_per_part_[static_cast<std::size_t>(nd.label)];
+    }
+  }
+  mask_.assign(static_cast<std::size_t>(num_parts), 0);
+}
+
 idx_t SubdomainDescriptors::num_regions(idx_t p) const {
   require(p >= 0 && p < num_parts_, "num_regions: partition out of range");
   return regions_per_part_[static_cast<std::size_t>(p)];

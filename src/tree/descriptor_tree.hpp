@@ -30,6 +30,14 @@ class SubdomainDescriptors {
                        const DescriptorOptions& options = {},
                        TreeInduceWorkspace* workspace = nullptr);
 
+  /// Reassembles descriptors around a tree received off the wire (the SPMD
+  /// descriptor broadcast: rank 0 induces, everyone else parses — see
+  /// tree_io.hpp for the exact-round-trip format). The tree must be a
+  /// descriptor tree for `num_parts` subdomains; the domain box is the root
+  /// node's bounds, which induce_tree sets to the bbox of all contact
+  /// points — the same box the inducing constructor computes.
+  SubdomainDescriptors(DecisionTree tree, idx_t num_parts);
+
   idx_t num_parts() const { return num_parts_; }
 
   /// NTNodes: total nodes (interior + leaf) of the descriptor tree.

@@ -1,9 +1,12 @@
 #include "tree/tree_io.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <iomanip>
+#include <iterator>
 #include <sstream>
+#include <string_view>
 
 namespace cpart {
 
@@ -31,35 +34,78 @@ std::string tree_to_string(const DecisionTree& tree) {
   return os.str();
 }
 
-DecisionTree read_tree(std::istream& is) {
-  std::string magic;
-  int version = 0;
-  is >> magic >> version;
-  require(is.good() && magic == "cparttree" && version == 1,
+namespace {
+
+/// Locale-free tokenizer for the wire format. The istream number path goes
+/// through the global locale, whose shared state serializes concurrent
+/// parses — and the SPMD descriptor broadcast has k-1 ranks parsing the
+/// same tree inside one superstep. std::from_chars has no shared state and
+/// reads the same decimal text exactly (17 significant digits round-trip).
+class WireScanner {
+ public:
+  explicit WireScanner(std::string_view text) : text_(text) {}
+
+  std::string_view token() {
+    while (pos_ < text_.size() && is_space(text_[pos_])) ++pos_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && !is_space(text_[pos_])) ++pos_;
+    require(pos_ > start, "read_tree: unexpected end of input");
+    return text_.substr(start, pos_ - start);
+  }
+
+  template <typename T>
+  T number(const char* what) {
+    const std::string_view tok = token();
+    T value{};
+    const auto res =
+        std::from_chars(tok.data(), tok.data() + tok.size(), value);
+    require(res.ec == std::errc{} && res.ptr == tok.data() + tok.size(),
+            std::string("read_tree: bad ") + what);
+    return value;
+  }
+
+ private:
+  static bool is_space(char c) {
+    return c == ' ' || c == '\n' || c == '\r' || c == '\t';
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+DecisionTree parse_tree(std::string_view text) {
+  WireScanner sc(text);
+  require(!text.empty(), "read_tree: not a cparttree v1 stream");
+  const std::string_view magic = sc.token();
+  const int version = sc.number<int>("version");
+  require(magic == "cparttree" && version == 1,
           "read_tree: not a cparttree v1 stream");
-  idx_t count = 0, root = 0;
-  is >> count >> root;
-  require(!is.fail() && count >= 0, "read_tree: bad node count");
+  const idx_t count = sc.number<idx_t>("node count");
+  const idx_t root = sc.number<idx_t>("root");
+  require(count >= 0, "read_tree: bad node count");
   std::vector<TreeNode> nodes(static_cast<std::size_t>(count));
   std::vector<idx_t> offsets{0};
   std::vector<idx_t> labels;
   for (idx_t id = 0; id < count; ++id) {
     TreeNode& nd = nodes[static_cast<std::size_t>(id)];
-    int pure = 0;
-    is >> nd.axis >> nd.cut >> nd.left >> nd.right >> nd.label >> pure >>
-        nd.count;
-    is >> nd.bounds.lo.x >> nd.bounds.lo.y >> nd.bounds.lo.z >>
-        nd.bounds.hi.x >> nd.bounds.hi.y >> nd.bounds.hi.z;
-    nd.pure = pure != 0;
-    idx_t num_minorities = 0;
-    is >> num_minorities;
-    require(!is.fail() && num_minorities >= 0,
+    nd.axis = sc.number<int>("axis");
+    nd.cut = sc.number<real_t>("cut");
+    nd.left = sc.number<idx_t>("left");
+    nd.right = sc.number<idx_t>("right");
+    nd.label = sc.number<idx_t>("label");
+    nd.pure = sc.number<int>("pure flag") != 0;
+    nd.count = sc.number<idx_t>("count");
+    nd.bounds.lo.x = sc.number<real_t>("bounds");
+    nd.bounds.lo.y = sc.number<real_t>("bounds");
+    nd.bounds.lo.z = sc.number<real_t>("bounds");
+    nd.bounds.hi.x = sc.number<real_t>("bounds");
+    nd.bounds.hi.y = sc.number<real_t>("bounds");
+    nd.bounds.hi.z = sc.number<real_t>("bounds");
+    const idx_t num_minorities = sc.number<idx_t>("minority count");
+    require(num_minorities >= 0,
             "read_tree: bad node record " + std::to_string(id));
     for (idx_t i = 0; i < num_minorities; ++i) {
-      idx_t l;
-      is >> l;
-      require(!is.fail(), "read_tree: truncated minority list");
-      labels.push_back(l);
+      labels.push_back(sc.number<idx_t>("minority label"));
     }
     offsets.push_back(to_idx(labels.size()));
   }
@@ -67,9 +113,16 @@ DecisionTree read_tree(std::istream& is) {
                        std::move(labels));
 }
 
+}  // namespace
+
+DecisionTree read_tree(std::istream& is) {
+  const std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  return parse_tree(text);
+}
+
 DecisionTree tree_from_string(const std::string& text) {
-  std::istringstream is(text);
-  return read_tree(is);
+  return parse_tree(text);
 }
 
 DecisionTree assemble_tree(std::vector<TreeNode> nodes, idx_t root,

@@ -29,8 +29,8 @@ class PipelineTest : public ::testing::Test {
   PipelineConfig config(idx_t k) const {
     PipelineConfig c;
     c.decomposition.k = k;
-    c.search_margin = 0.12;
-    c.contact_tolerance = 0.08;
+    c.search.search_margin = 0.12;
+    c.search.contact_tolerance = 0.08;
     return c;
   }
 
@@ -41,7 +41,7 @@ class PipelineTest : public ::testing::Test {
 
 TEST_F(PipelineTest, RejectsMarginSmallerThanTolerance) {
   PipelineConfig c = config(4);
-  c.search_margin = 0.01;
+  c.search.search_margin = 0.01;
   EXPECT_THROW(ContactPipeline(snap0_.mesh, snap0_.surface, c), InputError);
 }
 
@@ -58,7 +58,7 @@ TEST_F(PipelineTest, DistributedSearchMatchesSerial) {
   ASSERT_GT(serial.size(), 0u) << "scenario produced no contacts to verify";
 
   for (idx_t k : {idx_t{2}, idx_t{5}, idx_t{9}}) {
-    const ContactPipeline pipeline(snap0_.mesh, snap0_.surface, config(k));
+    ContactPipeline pipeline(snap0_.mesh, snap0_.surface, config(k));
     const PipelineStepReport report =
         pipeline.run_step(snap.mesh, snap.surface, body_);
     ASSERT_EQ(report.events.size(), serial.size()) << "k=" << k;
@@ -72,7 +72,7 @@ TEST_F(PipelineTest, DistributedSearchMatchesSerial) {
 
 TEST_F(PipelineTest, ReportBookkeepingConsistent) {
   const auto snap = sim_->snapshot(29);
-  const ContactPipeline pipeline(snap0_.mesh, snap0_.surface, config(6));
+  ContactPipeline pipeline(snap0_.mesh, snap0_.surface, config(6));
   const PipelineStepReport r = pipeline.run_step(snap.mesh, snap.surface, body_);
   // Per-processor counts sum to the total.
   idx_t sum = 0;
@@ -90,7 +90,7 @@ TEST_F(PipelineTest, ReportBookkeepingConsistent) {
 
 TEST_F(PipelineTest, QuietSnapshotHasNoEvents) {
   // Snapshot 0: the projectile hovers above the plate beyond tolerance.
-  const ContactPipeline pipeline(snap0_.mesh, snap0_.surface, config(4));
+  ContactPipeline pipeline(snap0_.mesh, snap0_.surface, config(4));
   const PipelineStepReport r =
       pipeline.run_step(snap0_.mesh, snap0_.surface, body_);
   EXPECT_EQ(r.contact_events, 0);
@@ -111,8 +111,8 @@ TEST_F(PipelineTest, MlRcbPipelineMatchesSerialToo) {
 
   MlRcbPipelineConfig config;
   config.decomposition.k = 5;
-  config.search_margin = 0.12;
-  config.contact_tolerance = 0.08;
+  config.search.search_margin = 0.12;
+  config.search.contact_tolerance = 0.08;
   MlRcbPipeline pipeline(snap0_.mesh, snap0_.surface, config);
   // Advance through the snapshots in order (the RCB update is stateful).
   MlRcbStepReport report;
@@ -133,8 +133,8 @@ TEST_F(PipelineTest, MlRcbCouplingIsEvenUnits) {
   const auto snap = sim_->snapshot(20);
   MlRcbPipelineConfig config;
   config.decomposition.k = 4;
-  config.search_margin = 0.12;
-  config.contact_tolerance = 0.08;
+  config.search.search_margin = 0.12;
+  config.search.contact_tolerance = 0.08;
   MlRcbPipeline pipeline(snap0_.mesh, snap0_.surface, config);
   const MlRcbStepReport r = pipeline.run_step(snap.mesh, snap.surface, body_);
   // One unit each way per mismatched point: total units are even.
@@ -143,7 +143,7 @@ TEST_F(PipelineTest, MlRcbCouplingIsEvenUnits) {
 
 TEST_F(PipelineTest, SingleProcessorDegenerates) {
   const auto snap = sim_->snapshot(29);
-  const ContactPipeline pipeline(snap0_.mesh, snap0_.surface, config(1));
+  ContactPipeline pipeline(snap0_.mesh, snap0_.surface, config(1));
   const PipelineStepReport r = pipeline.run_step(snap.mesh, snap.surface, body_);
   EXPECT_EQ(r.fe_exchange.total_units(), 0);
   EXPECT_EQ(r.search_exchange.total_units(), 0);

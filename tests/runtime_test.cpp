@@ -68,6 +68,45 @@ TEST(Traffic, StepTrafficAddition) {
   EXPECT_EQ(a.total_units(), 2 * single);
 }
 
+TEST(Traffic, ImbalanceOfSingleProcessorIsOne) {
+  // k=1: nothing can be uneven, and all traffic is local (zero).
+  VirtualCluster cluster(1);
+  cluster.send(0, 0, 7);  // self-send: dropped
+  const StepTraffic t = cluster.finish();
+  ASSERT_EQ(t.num_processors(), 1);
+  EXPECT_EQ(t.total_units(), 0);
+  EXPECT_DOUBLE_EQ(t.imbalance(), 1.0);
+}
+
+TEST(Traffic, ImbalanceOfAllZeroTrafficIsOne) {
+  // A quiet step must not divide by the zero mean.
+  StepTraffic t;
+  t.processors.resize(5);
+  EXPECT_DOUBLE_EQ(t.imbalance(), 1.0);
+  EXPECT_EQ(t.total_units(), 0);
+  // And the degenerate empty snapshot too.
+  EXPECT_DOUBLE_EQ(StepTraffic{}.imbalance(), 1.0);
+}
+
+TEST(Traffic, AdditionRejectsProcessorCountMismatch) {
+  StepTraffic a;
+  a.processors.resize(3);
+  StepTraffic b;
+  b.processors.resize(4);
+  EXPECT_THROW(a += b, InputError);
+  // The failed addition must not have mutated the target.
+  EXPECT_EQ(a.num_processors(), 3);
+  EXPECT_EQ(a.total_units(), 0);
+}
+
+TEST(Traffic, TotalMessagesOnEmptyClusterIsZero) {
+  VirtualCluster cluster(4);
+  const StepTraffic t = cluster.finish();
+  EXPECT_EQ(t.total_messages(), 0);
+  EXPECT_EQ(t.max_sent(), 0);
+  EXPECT_EQ(t.max_received(), 0);
+}
+
 class EndToEndTraffic : public ::testing::Test {
  protected:
   void SetUp() override {

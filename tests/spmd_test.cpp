@@ -1,0 +1,202 @@
+// SPMD-vs-centralized equivalence: the rank/exchange execution of both
+// pipelines must be bit-identical to the retained centralized reference —
+// merged events, per-rank event counts, and per-processor traffic — at 1
+// worker thread and at 8, and the executed exchange traffic must equal the
+// analytic drivers on the same decomposition.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "mesh/mesh_graphs.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/impact_sim.hpp"
+
+namespace cpart {
+namespace {
+
+void expect_events_identical(const std::vector<ContactEvent>& got,
+                             const std::vector<ContactEvent>& want,
+                             const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].node, want[i].node) << what << " event " << i;
+    EXPECT_EQ(got[i].face, want[i].face) << what << " event " << i;
+    // EXPECT_EQ on doubles is exact comparison — bit-identity, not
+    // tolerance.
+    EXPECT_EQ(got[i].distance, want[i].distance) << what << " event " << i;
+    EXPECT_EQ(got[i].signed_distance, want[i].signed_distance)
+        << what << " event " << i;
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(got[i].closest_point[c], want[i].closest_point[c])
+          << what << " event " << i;
+    }
+  }
+}
+
+class SpmdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ImpactSimConfig sc;
+    sc.plate_cells_xy = 16;
+    sc.plate_cells_z = 2;
+    sc.proj_cells_diameter = 6;
+    sc.proj_cells_z = 6;
+    sc.num_snapshots = 60;
+    sim_ = std::make_unique<ImpactSim>(sc);
+    snap0_ = sim_->snapshot(0);
+    body_.resize(static_cast<std::size_t>(snap0_.mesh.num_nodes()));
+    for (std::size_t i = 0; i < body_.size(); ++i) {
+      body_[i] = static_cast<int>(sim_->node_body()[i]);
+    }
+  }
+
+  void TearDown() override {
+    // Other test binaries assume the default pool; restore it.
+    ThreadPool::set_global_threads(0);
+  }
+
+  PipelineConfig dt_config(idx_t k) const {
+    PipelineConfig c;
+    c.decomposition.k = k;
+    c.search.search_margin = 0.12;
+    c.search.contact_tolerance = 0.08;
+    return c;
+  }
+
+  MlRcbPipelineConfig rcb_config(idx_t k) const {
+    MlRcbPipelineConfig c;
+    c.decomposition.k = k;
+    c.search.search_margin = 0.12;
+    c.search.contact_tolerance = 0.08;
+    return c;
+  }
+
+  // One pipeline instance runs both flavors per snapshot (the reference is
+  // const) and every report field is compared.
+  void check_contact_pipeline(idx_t k) {
+    ContactPipeline pipeline(snap0_.mesh, snap0_.surface, dt_config(k));
+    for (idx_t s : {idx_t{0}, idx_t{10}, idx_t{29}, idx_t{45}}) {
+      const auto snap = sim_->snapshot(s);
+      const PipelineStepReport ref =
+          pipeline.run_step_reference(snap.mesh, snap.surface, body_);
+      const PipelineStepReport got =
+          pipeline.run_step(snap.mesh, snap.surface, body_);
+      expect_events_identical(got.events, ref.events, "contact");
+      EXPECT_EQ(got.events_per_processor, ref.events_per_processor);
+      EXPECT_EQ(got.contact_events, ref.contact_events);
+      EXPECT_EQ(got.penetrating_events, ref.penetrating_events);
+      EXPECT_EQ(got.fe_exchange, ref.fe_exchange) << "s=" << s;
+      EXPECT_EQ(got.search_exchange, ref.search_exchange) << "s=" << s;
+      EXPECT_EQ(got.descriptor_tree_nodes, ref.descriptor_tree_nodes);
+      EXPECT_EQ(got.descriptor_broadcast_bytes, ref.descriptor_broadcast_bytes);
+      // The halo payload is one HaloNodeMsg per analytic halo unit.
+      EXPECT_EQ(got.halo_payload_bytes,
+                got.fe_exchange.total_units() * wire_bytes(HaloNodeMsg{}));
+    }
+  }
+
+  // The RCB update is stateful, so the SPMD and reference flavors each
+  // drive their own identically-seeded instance through the sequence.
+  void check_mlrcb_pipeline(idx_t k) {
+    MlRcbPipeline spmd(snap0_.mesh, snap0_.surface, rcb_config(k));
+    MlRcbPipeline oracle(snap0_.mesh, snap0_.surface, rcb_config(k));
+    for (idx_t s : {idx_t{10}, idx_t{20}, idx_t{29}}) {
+      const auto snap = sim_->snapshot(s);
+      const MlRcbStepReport ref =
+          oracle.run_step_reference(snap.mesh, snap.surface, body_);
+      const MlRcbStepReport got = spmd.run_step(snap.mesh, snap.surface, body_);
+      expect_events_identical(got.events, ref.events, "mlrcb");
+      EXPECT_EQ(got.events_per_processor, ref.events_per_processor);
+      EXPECT_EQ(got.contact_events, ref.contact_events);
+      EXPECT_EQ(got.penetrating_events, ref.penetrating_events);
+      EXPECT_EQ(got.upd_comm, ref.upd_comm) << "s=" << s;
+      EXPECT_EQ(got.fe_exchange, ref.fe_exchange) << "s=" << s;
+      EXPECT_EQ(got.coupling_exchange, ref.coupling_exchange) << "s=" << s;
+      EXPECT_EQ(got.search_exchange, ref.search_exchange) << "s=" << s;
+      EXPECT_EQ(got.coupling_payload_bytes,
+                got.coupling_exchange.total_units() *
+                    wire_bytes(ContactPointMsg{}));
+      EXPECT_EQ(got.box_allgather_bytes, static_cast<wgt_t>(k) * (k - 1) *
+                                             wire_bytes(SubdomainBoxMsg{}));
+    }
+  }
+
+  std::unique_ptr<ImpactSim> sim_;
+  ImpactSim::Snapshot snap0_;
+  std::vector<int> body_;
+};
+
+TEST_F(SpmdTest, ContactPipelineMatchesReferenceSingleThread) {
+  ThreadPool::set_global_threads(1);
+  check_contact_pipeline(2);
+  check_contact_pipeline(6);
+}
+
+TEST_F(SpmdTest, ContactPipelineMatchesReferenceEightThreads) {
+  ThreadPool::set_global_threads(8);
+  check_contact_pipeline(2);
+  check_contact_pipeline(6);
+  check_contact_pipeline(9);  // more ranks than a typical pool — still safe
+}
+
+TEST_F(SpmdTest, MlRcbPipelineMatchesReferenceSingleThread) {
+  ThreadPool::set_global_threads(1);
+  check_mlrcb_pipeline(4);
+}
+
+TEST_F(SpmdTest, MlRcbPipelineMatchesReferenceEightThreads) {
+  ThreadPool::set_global_threads(8);
+  check_mlrcb_pipeline(4);
+  check_mlrcb_pipeline(7);
+}
+
+TEST_F(SpmdTest, SpmdTrafficMatchesAnalyticDrivers) {
+  // The executed exchange must agree with the analytic traffic generators
+  // run on the same decomposition — the third leg of the cross-validation
+  // (SPMD == centralized == analytic).
+  ThreadPool::set_global_threads(8);
+  const idx_t k = 5;
+  ContactPipeline pipeline(snap0_.mesh, snap0_.surface, dt_config(k));
+  const auto snap = sim_->snapshot(29);
+  const PipelineStepReport r = pipeline.run_step(snap.mesh, snap.surface, body_);
+  const CsrGraph graph = nodal_graph(snap.mesh);
+  const StepTraffic analytic =
+      fe_halo_traffic(graph, pipeline.partitioner().node_partition(), k);
+  EXPECT_EQ(r.fe_exchange, analytic);
+}
+
+TEST_F(SpmdTest, SingleRankMovesNoBytes) {
+  ThreadPool::set_global_threads(8);
+  ContactPipeline pipeline(snap0_.mesh, snap0_.surface, dt_config(1));
+  const auto snap = sim_->snapshot(29);
+  const PipelineStepReport r = pipeline.run_step(snap.mesh, snap.surface, body_);
+  EXPECT_EQ(r.descriptor_broadcast_bytes, 0);
+  EXPECT_EQ(r.halo_payload_bytes, 0);
+  EXPECT_EQ(r.face_payload_bytes, 0);
+  EXPECT_EQ(r.fe_exchange.total_units(), 0);
+  EXPECT_EQ(r.search_exchange.total_units(), 0);
+  const PipelineStepReport ref =
+      pipeline.run_step_reference(snap.mesh, snap.surface, body_);
+  expect_events_identical(r.events, ref.events, "k=1");
+}
+
+TEST_F(SpmdTest, PhaseTimingsCoverEveryRank) {
+  ThreadPool::set_global_threads(4);
+  const idx_t k = 6;
+  ContactPipeline pipeline(snap0_.mesh, snap0_.surface, dt_config(k));
+  const auto snap = sim_->snapshot(29);
+  const PipelineStepReport r = pipeline.run_step(snap.mesh, snap.surface, body_);
+  ASSERT_EQ(r.phase.descriptor_ms.size(), static_cast<std::size_t>(k));
+  ASSERT_EQ(r.phase.halo_ms.size(), static_cast<std::size_t>(k));
+  ASSERT_EQ(r.phase.ship_ms.size(), static_cast<std::size_t>(k));
+  ASSERT_EQ(r.phase.search_ms.size(), static_cast<std::size_t>(k));
+  for (idx_t q = 0; q < k; ++q) {
+    EXPECT_GE(r.phase.search_ms[static_cast<std::size_t>(q)], 0.0);
+  }
+  // The reference path has no per-rank execution: its breakdown is empty.
+  const PipelineStepReport ref =
+      pipeline.run_step_reference(snap.mesh, snap.surface, body_);
+  EXPECT_TRUE(ref.phase.search_ms.empty());
+}
+
+}  // namespace
+}  // namespace cpart
