@@ -16,17 +16,25 @@
 //
 //   ./bench_spmd [--resolution 1.0] [--snapshots 20] [--k 25]
 //                [--threads 1,2,4,8] [--stride 1] [--out BENCH_spmd.json]
+//                [--fault_rate 0.0] [--fault_seed 1] [--max_attempts 4]
 //
 // JSON output: {"env": {...}, "results": [{threads, reference_mean_ms,
-// spmd_mean_ms, speedup, steps: [{..., phase_ms: {descriptor: [per rank],
-// ...}, bytes: {halo, faces, descriptor}}]}]}, steady state = steps >= 1.
+// spmd_mean_ms, speedup, health: {...per-channel counters...},
+// steps: [{..., phase_ms: {descriptor: [per rank], ...},
+// bytes: {halo, faces, descriptor}}]}]}, steady state = steps >= 1.
+//
+// --fault_rate > 0 arms the seeded FaultInjector on the exchange, which
+// exercises the checksummed retry path; events must STILL be bit-identical
+// to the reference as long as the schedule stays within --max_attempts.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "bench_env.hpp"
 #include "core/pipeline.hpp"
 #include "parallel/thread_pool.hpp"
+#include "runtime/fault_injector.hpp"
 #include "sim/impact_sim.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -63,6 +71,31 @@ void json_array(std::ostream& os, const std::vector<double>& v) {
   os << "]";
 }
 
+void health_json(std::ostream& os, const PipelineHealth& h) {
+  os << "{\"deliveries\": " << h.deliveries
+     << ", \"attempts\": " << h.delivery_attempts
+     << ", \"retries\": " << h.retries
+     << ", \"corrupt_cells\": " << h.corrupt_cells
+     << ", \"checksum_failures\": " << h.checksum_failures
+     << ", \"count_mismatches\": " << h.count_mismatches
+     << ", \"redelivered_bytes\": " << h.redelivered_bytes
+     << ", \"exhausted_deliveries\": " << h.exhausted_deliveries
+     << ", \"degraded_steps\": " << h.degraded_steps
+     << ", \"wire_parse_failures\": " << h.wire_parse_failures
+     << ", \"failed_ranks\": " << h.failed_ranks
+     << ", \"backoff_ms\": " << h.backoff_ms << ", \"channels\": {";
+  for (int c = 0; c < kNumChannels; ++c) {
+    const ChannelHealth& ch = h.channels[static_cast<std::size_t>(c)];
+    if (c > 0) os << ", ";
+    os << "\"" << channel_name(static_cast<ChannelId>(c))
+       << "\": {\"corrupt_cells\": " << ch.corrupt_cells
+       << ", \"checksum_failures\": " << ch.checksum_failures
+       << ", \"count_mismatches\": " << ch.count_mismatches
+       << ", \"redelivered_bytes\": " << ch.redelivered_bytes << "}";
+  }
+  os << "}}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,12 +106,21 @@ int main(int argc, char** argv) {
   flags.define("threads", "1,2,4,8", "comma-separated thread counts");
   flags.define("stride", "1", "process every stride-th snapshot");
   flags.define("out", "BENCH_spmd.json", "JSON output path");
+  flags.define("fault_rate", "0.0",
+               "per-cell fault probability for the seeded injector (0 = off)");
+  flags.define("fault_seed", "1", "fault schedule seed");
+  flags.define("max_attempts", "4", "delivery attempts per superstep");
   try {
     flags.parse(argc, argv);
     const double resolution = flags.get_double("resolution");
     const idx_t snapshots = static_cast<idx_t>(flags.get_int("snapshots"));
     const idx_t stride = static_cast<idx_t>(flags.get_int("stride"));
     const idx_t k = static_cast<idx_t>(flags.get_int("k"));
+    const double fault_rate = flags.get_double("fault_rate");
+    const std::uint64_t fault_seed =
+        static_cast<std::uint64_t>(flags.get_int("fault_seed"));
+    RetryPolicy retry;
+    retry.max_attempts = static_cast<idx_t>(flags.get_int("max_attempts"));
     std::vector<unsigned> thread_counts;
     {
       std::stringstream ss(flags.get_string("threads"));
@@ -121,6 +163,16 @@ int main(int argc, char** argv) {
     for (unsigned t : thread_counts) {
       ThreadPool::set_global_threads(t);
       ContactPipeline pipeline(snap0.mesh, snap0.surface, config);
+      pipeline.exchange().set_retry_policy(retry);
+      std::optional<FaultInjector> injector;
+      if (fault_rate > 0) {
+        FaultConfig fc;
+        fc.seed = fault_seed;
+        fc.cell_fault_probability = fault_rate;
+        injector.emplace(fc);
+        pipeline.exchange().set_fault_injector(&*injector);
+      }
+      PipelineHealth run_health;
       std::ostringstream steps_json;
       double ref_sum = 0, spmd_sum = 0;  // steady state: steps >= 1
       idx_t steady_steps = 0;
@@ -138,6 +190,8 @@ int main(int argc, char** argv) {
         const PipelineStepReport spmd =
             pipeline.run_step(snap.mesh, snap.surface, body);
         const double spmd_ms = timer.milliseconds();
+
+        run_health += spmd.health;
 
         if (!reports_identical(spmd, ref)) {
           std::cerr << "EQUIVALENCE FAILURE at step " << s << ", threads " << t
@@ -189,7 +243,13 @@ int main(int argc, char** argv) {
            << ",\n   \"reference_mean_ms\": " << ref_mean
            << ", \"spmd_mean_ms\": " << spmd_mean << ", \"speedup\": " << speedup
            << ", \"equivalent\": " << (all_equal ? "true" : "false")
-           << ",\n   \"steps\": [\n" << steps_json.str() << "\n   ]}";
+           << ",\n   \"health\": ";
+      health_json(json, run_health);
+      json << ",\n   \"steps\": [\n" << steps_json.str() << "\n   ]}";
+      if (fault_rate > 0 || !run_health.clean()) {
+        std::cout << "threads " << t << " health: " << run_health.summary()
+                  << "\n";
+      }
     }
     json << "\n]}\n";
     ThreadPool::set_global_threads(0);

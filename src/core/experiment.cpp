@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
+#include <optional>
 #include <ostream>
 
 #include "contact/search_metrics.hpp"
+#include "core/pipeline.hpp"
 #include "graph/graph_metrics.hpp"
 #include "mesh/mesh_graphs.hpp"
 #include "runtime/step_pipeline.hpp"
@@ -71,6 +73,24 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
   rcb_config.epsilon = config.epsilon;
   rcb_config.partitioner.seed = config.seed + 1;
   MlRcbPartitioner mlrcb(snap0.mesh, snap0.surface, rcb_config);
+
+  // Optional SPMD health probe: a real ContactPipeline driven over the same
+  // snapshots, with the configured fault schedule and retry budget armed on
+  // its exchange. The analytic metric sweep below is untouched by it.
+  std::optional<FaultInjector> probe_injector;
+  std::optional<ContactPipeline> probe;
+  if (config.spmd_health_probe) {
+    PipelineConfig probe_config;
+    probe_config.decomposition = dt_config;
+    probe_config.search.search_margin = margin;
+    probe_config.search.contact_tolerance = margin;
+    probe.emplace(snap0.mesh, snap0.surface, probe_config);
+    probe->exchange().set_retry_policy(config.retry);
+    if (config.fault.cell_fault_probability > 0) {
+      probe_injector.emplace(config.fault);
+      probe->exchange().set_fault_injector(&*probe_injector);
+    }
+  }
 
   ExperimentResult result;
   result.k = config.k;
@@ -156,6 +176,12 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
               .remote_sends;
     }
 
+    if (probe) {
+      const PipelineStepReport pr = probe->run_step(snap.mesh, snap.surface);
+      result.spmd_health += pr.health;
+      ++result.spmd_probe_steps;
+    }
+
     result.series.push_back(m);
     if (progress != nullptr) {
       *progress << "snapshot " << s << ": contact_nodes=" << m.contact_nodes
@@ -192,6 +218,10 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
       result.mcml_dt.fe_comm + result.mcml_dt.repart_moved;
   result.ml_rcb.total_step_comm = result.ml_rcb.fe_comm +
                                   2.0 * result.ml_rcb.m2m + result.ml_rcb.upd;
+  if (probe && progress != nullptr) {
+    *progress << "spmd health over " << result.spmd_probe_steps
+              << " probe steps: " << result.spmd_health.summary() << "\n";
+  }
   return result;
 }
 

@@ -16,6 +16,9 @@
 
 #include "core/mcml_dt.hpp"
 #include "core/ml_rcb.hpp"
+#include "runtime/exchange.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/health.hpp"
 #include "sim/impact_sim.hpp"
 
 namespace cpart {
@@ -51,6 +54,15 @@ struct ExperimentConfig {
   /// Process only every `stride`-th snapshot (1 = all). Lets quick checks
   /// subsample the sequence without changing the simulated trajectory.
   idx_t snapshot_stride = 1;
+  /// Opt-in robustness probe: additionally drive the SPMD ContactPipeline
+  /// over the same snapshots and aggregate its transport health into the
+  /// result. Off by default — the metric sweep itself is analytic and runs
+  /// no exchange.
+  bool spmd_health_probe = false;
+  /// Fault schedule for the probe (cell_fault_probability == 0 -> clean
+  /// transport) and its retry budget.
+  FaultConfig fault{};
+  RetryPolicy retry{};
 };
 
 /// Per-snapshot metric record.
@@ -95,6 +107,10 @@ struct ExperimentResult {
   std::vector<SnapshotMetrics> series;
   AlgorithmAverages mcml_dt;
   AlgorithmAverages ml_rcb;
+  /// Aggregated transport health of the SPMD probe; all counters stay zero
+  /// when ExperimentConfig::spmd_health_probe is off.
+  PipelineHealth spmd_health;
+  idx_t spmd_probe_steps = 0;
 };
 
 /// Runs the full experiment. When `progress` is non-null, one line per

@@ -4,6 +4,7 @@
 
 #include "contact/global_search.hpp"
 #include "contact/search_metrics.hpp"
+#include "parallel/thread_pool.hpp"
 #include "tree/tree_io.hpp"
 
 namespace cpart {
@@ -73,6 +74,37 @@ void init_phase(RankPhaseBreakdown& phase, idx_t k) {
   phase.search_ms.assign(static_cast<std::size_t>(k), 0.0);
 }
 
+/// Runs the SPMD step body, degrading on exactly the failure classes the
+/// robustness layer owns: transport retry exhaustion (TransportError),
+/// rejected descriptor wires (TreeParseError), and failing rank programs
+/// (ParallelGroupError). Anything else (config errors, logic bugs) still
+/// propagates — degrading would mask it. On failure, `health` receives the
+/// step's counters (plus what the transport could not record itself) with
+/// degraded_steps == 1, and the exchange is reset for the fallback.
+template <typename Spmd>
+bool try_spmd_step(Exchange& exchange, PipelineHealth& health, Spmd&& spmd) {
+  wgt_t parse_failures = 0;
+  wgt_t failed_ranks = 0;
+  try {
+    spmd();
+    return true;
+  } catch (const TransportError&) {
+    // Retry/exhaustion counters were recorded by the exchange itself.
+  } catch (const TreeParseError&) {
+    // One rank program rejected a descriptor wire off the transport.
+    parse_failures = 1;
+    failed_ranks = 1;
+  } catch (const ParallelGroupError& e) {
+    failed_ranks = to_idx(e.failures().size());
+  }
+  health = exchange.take_health();
+  health.wire_parse_failures += parse_failures;
+  health.failed_ranks += failed_ranks;
+  ++health.degraded_steps;
+  exchange.abort_step();
+  return false;
+}
+
 }  // namespace
 
 ContactPipeline::ContactPipeline(const Mesh& mesh0, const Surface& surface0,
@@ -91,6 +123,23 @@ ContactPipeline::ContactPipeline(const Mesh& mesh0, const Surface& surface0,
 PipelineStepReport ContactPipeline::run_step(const Mesh& mesh,
                                              const Surface& surface,
                                              std::span<const int> body_of_node) {
+  PipelineStepReport report;
+  PipelineHealth health;
+  const bool ok = try_spmd_step(exchange_, health, [&] {
+    report = run_step_spmd(mesh, surface, body_of_node);
+  });
+  if (ok) {
+    report.health = exchange_.take_health();
+    return report;
+  }
+  report = run_step_reference(mesh, surface, body_of_node);
+  report.health = health;
+  return report;
+}
+
+PipelineStepReport ContactPipeline::run_step_spmd(
+    const Mesh& mesh, const Surface& surface,
+    std::span<const int> body_of_node) {
   const idx_t num_parts = k();
   PipelineStepReport report;
   init_phase(report.phase, num_parts);
@@ -311,11 +360,31 @@ void MlRcbPipeline::advance_partition(const Mesh& mesh, const Surface& surface,
 MlRcbStepReport MlRcbPipeline::run_step(const Mesh& mesh,
                                         const Surface& surface,
                                         std::span<const int> body_of_node) {
-  const idx_t num_parts = k();
   MlRcbStepReport report;
-  init_phase(report.phase, num_parts);
+  init_phase(report.phase, k());
+  // The stateful RCB advance runs exactly once per step, before the part
+  // that can fail — the degraded path below must not re-run it.
   advance_partition(mesh, surface, report);
 
+  PipelineHealth health;
+  const bool ok = try_spmd_step(exchange_, health, [&] {
+    run_step_spmd(mesh, surface, body_of_node, report);
+  });
+  if (ok) {
+    report.health = exchange_.take_health();
+    return report;
+  }
+  MlRcbStepReport degraded;
+  degraded.upd_comm = report.upd_comm;
+  run_reference_phases(mesh, surface, body_of_node, degraded);
+  degraded.health = health;
+  return degraded;
+}
+
+void MlRcbPipeline::run_step_spmd(const Mesh& mesh, const Surface& surface,
+                                  std::span<const int> body_of_node,
+                                  MlRcbStepReport& report) {
+  const idx_t num_parts = k();
   const CsrGraph& graph = graph_cache_.get(mesh);
   const std::vector<idx_t>& fe_part = partitioner_.node_partition();
 
@@ -426,15 +495,22 @@ MlRcbStepReport MlRcbPipeline::run_step(const Mesh& mesh,
       report.phase.search_ms);
 
   merge_rank_events(ranks_, report);
-  return report;
 }
 
 MlRcbStepReport MlRcbPipeline::run_step_reference(
     const Mesh& mesh, const Surface& surface,
     std::span<const int> body_of_node) {
-  const idx_t num_parts = k();
   MlRcbStepReport report;
   advance_partition(mesh, surface, report);
+  run_reference_phases(mesh, surface, body_of_node, report);
+  return report;
+}
+
+void MlRcbPipeline::run_reference_phases(const Mesh& mesh,
+                                         const Surface& surface,
+                                         std::span<const int> body_of_node,
+                                         MlRcbStepReport& report) const {
+  const idx_t num_parts = k();
 
   // FE halo exchange in the graph decomposition.
   const CsrGraph graph = nodal_graph(mesh);
@@ -509,7 +585,6 @@ MlRcbStepReport MlRcbPipeline::run_step_reference(
   for (const ContactEvent& e : report.events) {
     if (e.signed_distance < 0) ++report.penetrating_events;
   }
-  return report;
 }
 
 }  // namespace cpart

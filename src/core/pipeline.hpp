@@ -35,6 +35,7 @@
 #include "mesh/mesh_graphs.hpp"
 #include "mesh/subdomain.hpp"
 #include "runtime/exchange.hpp"
+#include "runtime/health.hpp"
 #include "runtime/rank.hpp"
 #include "runtime/rank_executor.hpp"
 #include "runtime/virtual_cluster.hpp"
@@ -90,6 +91,10 @@ struct PipelineStepReport {
   /// Contact events found by each processor (sums to contact_events).
   std::vector<idx_t> events_per_processor;
   RankPhaseBreakdown phase;  // SPMD path only
+  /// Transport detection/recovery counters of this step. clean() on a
+  /// healthy step; degraded() when the step fell back to the reference
+  /// path. run_step_reference leaves it default (no transport ran).
+  PipelineHealth health;
 };
 
 class ContactPipeline {
@@ -107,6 +112,12 @@ class ContactPipeline {
   /// num_nodes) enables the standard same-body contact exclusion. Snapshots
   /// must come from one simulation sequence (the nodal-graph cache keys on
   /// monotone erosion — see NodalGraphCache).
+  ///
+  /// Robustness: delivery validation failures are retried inside the
+  /// exchange (see RetryPolicy); if the transport gives up (TransportError),
+  /// a descriptor wire is rejected (TreeParseError), or rank programs throw
+  /// (ParallelGroupError), the step completes through run_step_reference
+  /// instead of crashing, with health.degraded_steps == 1 on the report.
   PipelineStepReport run_step(const Mesh& mesh, const Surface& surface,
                               std::span<const int> body_of_node = {});
 
@@ -117,7 +128,17 @@ class ContactPipeline {
       const Mesh& mesh, const Surface& surface,
       std::span<const int> body_of_node = {}) const;
 
+  /// The Exchange this pipeline's supersteps run over — exposed so callers
+  /// (tests, benches, the experiment driver) can arm fault injection and
+  /// tune the retry policy.
+  Exchange& exchange() { return exchange_; }
+
  private:
+  /// The SPMD step body; throws on transport/parse/rank-program failure
+  /// (run_step catches and degrades).
+  PipelineStepReport run_step_spmd(const Mesh& mesh, const Surface& surface,
+                                   std::span<const int> body_of_node);
+
   PipelineConfig config_;
   McmlDtPartitioner partitioner_;
   // SPMD state, reused across steps.
@@ -155,6 +176,8 @@ struct MlRcbStepReport {
   std::vector<ContactEvent> events;
   std::vector<idx_t> events_per_processor;
   RankPhaseBreakdown phase;  // SPMD path only (descriptor_ms stays 0)
+  /// Transport health of this step (see PipelineStepReport::health).
+  PipelineHealth health;
 };
 
 /// ML+RCB's step: FE halo on the graph decomposition, transfer of contact
@@ -171,7 +194,9 @@ class MlRcbPipeline {
   const MlRcbPartitioner& partitioner() const { return partitioner_; }
 
   /// Advances the incremental RCB and executes the step SPMD. Must be
-  /// called in snapshot order (the RCB update is stateful).
+  /// called in snapshot order (the RCB update is stateful). Degrades to the
+  /// centralized phases on transport/rank failure exactly like
+  /// ContactPipeline::run_step — the RCB advance runs once either way.
   MlRcbStepReport run_step(const Mesh& mesh, const Surface& surface,
                            std::span<const int> body_of_node = {});
 
@@ -182,11 +207,26 @@ class MlRcbPipeline {
   MlRcbStepReport run_step_reference(const Mesh& mesh, const Surface& surface,
                                      std::span<const int> body_of_node = {});
 
+  /// See ContactPipeline::exchange().
+  Exchange& exchange() { return exchange_; }
+
  private:
   /// Shared stateful preamble of both step flavors: RCB advance + UpdComm
   /// bookkeeping.
   void advance_partition(const Mesh& mesh, const Surface& surface,
                          MlRcbStepReport& report);
+
+  /// The SPMD supersteps after advance_partition; throws on failure.
+  void run_step_spmd(const Mesh& mesh, const Surface& surface,
+                     std::span<const int> body_of_node,
+                     MlRcbStepReport& report);
+
+  /// The centralized phases after advance_partition (shared by
+  /// run_step_reference and the degraded path of run_step, which must not
+  /// advance the stateful RCB a second time).
+  void run_reference_phases(const Mesh& mesh, const Surface& surface,
+                            std::span<const int> body_of_node,
+                            MlRcbStepReport& report) const;
 
   MlRcbPipelineConfig config_;
   MlRcbPartitioner partitioner_;

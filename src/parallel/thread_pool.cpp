@@ -1,9 +1,53 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 namespace cpart {
+
+namespace {
+
+std::string group_message(const std::vector<ParallelGroupError::Failure>& fs) {
+  std::ostringstream os;
+  os << fs.size() << " parallel tasks failed:";
+  for (const auto& f : fs) {
+    os << " [" << f.index << "] " << f.message << ";";
+  }
+  return os.str();
+}
+
+/// Turns the collected (chunk, exception) list into the dispatch's outcome:
+/// nothing, the single original exception, or one aggregated group error.
+[[noreturn]] void raise_collected(
+    std::vector<std::pair<unsigned, std::exception_ptr>>&& errors) {
+  if (errors.size() == 1) {
+    std::rethrow_exception(errors.front().second);
+  }
+  std::sort(errors.begin(), errors.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<ParallelGroupError::Failure> failures;
+  failures.reserve(errors.size());
+  for (auto& [chunk, err] : errors) {
+    ParallelGroupError::Failure f;
+    f.index = static_cast<idx_t>(chunk);
+    try {
+      std::rethrow_exception(err);
+    } catch (const std::exception& e) {
+      f.message = e.what();
+    } catch (...) {
+      f.message = "unknown exception";
+    }
+    failures.push_back(std::move(f));
+  }
+  throw ParallelGroupError(std::move(failures));
+}
+
+}  // namespace
+
+ParallelGroupError::ParallelGroupError(std::vector<Failure> failures)
+    : std::runtime_error(group_message(failures)),
+      failures_(std::move(failures)) {}
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   // Requests are clamped to the hardware concurrency: a CPU-bound pool gains
@@ -37,19 +81,19 @@ void ThreadPool::run_task(const Task& task, unsigned chunk) {
     task.fn(chunk, begin, end);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+    errors_.emplace_back(chunk, std::current_exception());
   }
 }
 
 void ThreadPool::wait_and_rethrow() {
-  std::exception_ptr err;
+  std::vector<std::pair<unsigned, std::exception_ptr>> errors;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [&] { return pending_ == 0; });
     task_ = nullptr;
-    err = std::exchange(first_error_, nullptr);
+    errors = std::exchange(errors_, {});
   }
-  if (err) std::rethrow_exception(err);
+  if (!errors.empty()) raise_collected(std::move(errors));
 }
 
 void ThreadPool::worker_loop(unsigned worker_id) {
@@ -112,7 +156,19 @@ void ThreadPool::parallel_tasks(idx_t n,
                                 const std::function<void(idx_t)>& task) {
   if (n <= 0) return;
   if (num_threads() <= 1 || n == 1) {
-    for (idx_t i = 0; i < n; ++i) task(i);
+    // The inline path keeps the pool's BSP failure semantics: every task
+    // runs even when an earlier one throws, and multiple failures
+    // aggregate exactly as the threaded path would.
+    std::vector<std::pair<unsigned, std::exception_ptr>> errors;
+    for (idx_t i = 0; i < n; ++i) {
+      try {
+        task(i);
+      } catch (...) {
+        errors.emplace_back(static_cast<unsigned>(i),
+                            std::current_exception());
+      }
+    }
+    if (!errors.empty()) raise_collected(std::move(errors));
     return;
   }
   Task t;

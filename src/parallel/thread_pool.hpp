@@ -15,12 +15,36 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/common.hpp"
 
 namespace cpart {
+
+/// Thrown when more than one chunk (or task) of a single dispatch throws.
+/// Carries every failure — for parallel_tasks the index is the task index,
+/// i.e. the rank id of a failing rank program — so a superstep in which
+/// several ranks fail reports all of them, not an arbitrary first one.
+/// A dispatch with exactly one failing chunk rethrows the original
+/// exception unchanged.
+class ParallelGroupError : public std::runtime_error {
+ public:
+  struct Failure {
+    idx_t index = 0;       // chunk/task index, ascending
+    std::string message;   // what() of the original exception
+  };
+
+  explicit ParallelGroupError(std::vector<Failure> failures);
+
+  const std::vector<Failure>& failures() const { return failures_; }
+
+ private:
+  std::vector<Failure> failures_;
+};
 
 class ThreadPool {
  public:
@@ -39,7 +63,8 @@ class ThreadPool {
   /// Runs fn(chunk_index, begin, end) on every chunk of [0, n), blocked into
   /// one contiguous range per worker, and waits for completion. Runs inline
   /// when n is small or the pool has one thread. If a chunk throws, the
-  /// remaining chunks still run and the first exception is rethrown here.
+  /// remaining chunks still run; a single failure is rethrown unchanged, and
+  /// multiple failures are aggregated into one ParallelGroupError.
   void parallel_for_chunks(
       idx_t n, const std::function<void(unsigned, idx_t, idx_t)>& fn);
 
@@ -54,9 +79,13 @@ class ThreadPool {
   /// Runs task(i) for each i in [0, n) with one dispatch per index,
   /// distributed across workers (static stride). For small counts of
   /// coarse-grained tasks where parallel_for's inline threshold would
-  /// serialize them. The first exception thrown by any task is rethrown on
-  /// the calling thread after all tasks finish — this is what lets rank
-  /// programs use require() and have failures surface to the step driver.
+  /// serialize them. Every task runs to completion even when siblings throw
+  /// (BSP semantics: the superstep finishes for every rank). A single
+  /// failing task has its exception rethrown unchanged on the calling
+  /// thread; several failing tasks are aggregated into one
+  /// ParallelGroupError carrying each task index (== rank id for rank
+  /// programs) and message — this is what lets rank programs use require()
+  /// and have every failure surface to the step driver at once.
   void parallel_tasks(idx_t n, const std::function<void(idx_t)>& task);
 
   /// Parallel sum-reduction: combines per-chunk partial results in chunk
@@ -139,10 +168,12 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   unsigned pending_ = 0;
   bool stop_ = false;
-  // First exception thrown by any chunk of the current dispatch; rethrown on
-  // the calling thread once all workers have checked in (an exception never
-  // cancels sibling chunks — they run to completion first).
-  std::exception_ptr first_error_;
+  // Every exception thrown by the current dispatch, tagged with its chunk
+  // index; surfaced on the calling thread once all workers have checked in
+  // (an exception never cancels sibling chunks — they run to completion
+  // first). One failure rethrows the original; several become a single
+  // ParallelGroupError.
+  std::vector<std::pair<unsigned, std::exception_ptr>> errors_;
 };
 
 }  // namespace cpart

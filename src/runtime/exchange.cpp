@@ -1,5 +1,9 @@
 #include "runtime/exchange.hpp"
 
+#include <chrono>
+#include <sstream>
+#include <thread>
+
 namespace cpart {
 
 Exchange::Exchange(idx_t k)
@@ -12,16 +16,81 @@ Exchange::Exchange(idx_t k)
   boxes_.resize(k);
 }
 
+void Exchange::set_retry_policy(const RetryPolicy& policy) {
+  require(policy.max_attempts >= 1,
+          "Exchange: retry policy needs at least one attempt");
+  require(policy.backoff_base_ms >= 0,
+          "Exchange: backoff base must be non-negative");
+  retry_ = policy;
+}
+
 void Exchange::deliver() {
-  descriptor_bytes_ += descriptors_.deliver(nullptr);
-  halo_bytes_ += halo_.deliver(&fe_cluster_);
-  face_bytes_ += faces_.deliver(&search_cluster_);
+  const std::uint64_t superstep = superstep_++;
+  ++health_.deliveries;
+
+  idx_t corrupt = 0;
+  for (idx_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    ++health_.delivery_attempts;
+    corrupt = 0;
+    corrupt += descriptors_.attempt_deliver(injector_, ChannelId::kDescriptors,
+                                            superstep, attempt, health_);
+    corrupt += halo_.attempt_deliver(injector_, ChannelId::kHalo, superstep,
+                                     attempt, health_);
+    corrupt += faces_.attempt_deliver(injector_, ChannelId::kFaces, superstep,
+                                      attempt, health_);
+    corrupt += coupling_forward_.attempt_deliver(
+        injector_, ChannelId::kCouplingForward, superstep, attempt, health_);
+    corrupt += coupling_return_.attempt_deliver(
+        injector_, ChannelId::kCouplingReturn, superstep, attempt, health_);
+    corrupt += boxes_.attempt_deliver(injector_, ChannelId::kBoxes, superstep,
+                                      attempt, health_);
+    if (corrupt == 0) break;
+    if (attempt + 1 >= retry_.max_attempts) {
+      ++health_.exhausted_deliveries;
+      std::ostringstream os;
+      os << "Exchange: superstep " << superstep << " still has " << corrupt
+         << " corrupt cell(s) after " << retry_.max_attempts
+         << " delivery attempt(s)";
+      const idx_t attempts = retry_.max_attempts;
+      abort_step();
+      throw TransportError(os.str(), superstep, attempts, corrupt);
+    }
+    ++health_.retries;
+    const double backoff = retry_.backoff_base_ms * static_cast<double>(
+                               std::uint64_t{1} << attempt);
+    health_.backoff_ms += backoff;
+    if (retry_.sleep_on_backoff) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff));
+    }
+  }
+
+  descriptor_bytes_ += descriptors_.commit(nullptr);
+  halo_bytes_ += halo_.commit(&fe_cluster_);
+  face_bytes_ += faces_.commit(&search_cluster_);
   // Forward and return share one cluster finished once per step: a rank
   // pair exchanging coupling data in both directions must count on the
   // combined matrix exactly as m2m_traffic counts it.
-  coupling_bytes_ += coupling_forward_.deliver(&coupling_cluster_);
-  coupling_bytes_ += coupling_return_.deliver(&coupling_cluster_);
-  box_bytes_ += boxes_.deliver(nullptr);
+  coupling_bytes_ += coupling_forward_.commit(&coupling_cluster_);
+  coupling_bytes_ += coupling_return_.commit(&coupling_cluster_);
+  box_bytes_ += boxes_.commit(nullptr);
+}
+
+void Exchange::abort_step() {
+  descriptors_.abort();
+  halo_.abort();
+  faces_.abort();
+  coupling_forward_.abort();
+  coupling_return_.abort();
+  boxes_.abort();
+  fe_cluster_.finish();
+  search_cluster_.finish();
+  coupling_cluster_.finish();
+  descriptor_bytes_ = 0;
+  halo_bytes_ = 0;
+  face_bytes_ = 0;
+  coupling_bytes_ = 0;
+  box_bytes_ = 0;
 }
 
 }  // namespace cpart

@@ -13,16 +13,29 @@
 // step driver calls Exchange::deliver() as the barrier, which routes every
 // cell into the destination inboxes in ascending source order (the
 // deterministic delivery order) and charges the phase clusters.
+//
+// The transport does not trust the wire. Every cell is framed (message
+// count) and checksummed (FNV-1a over the logical wire fields) at send
+// time; deliver() validates both before anything reaches an inbox. Corrupt
+// cells — whether injected by a seeded FaultInjector or caused by genuine
+// memory corruption — are re-staged from the retained outbox and
+// re-delivered with bounded retries and exponential backoff; only when the
+// budget is exhausted does deliver() throw TransportError, which the
+// pipelines catch to degrade the step to the centralized reference path.
+// All detection and recovery activity is counted in PipelineHealth.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "geom/bbox.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/health.hpp"
 #include "runtime/virtual_cluster.hpp"
 
 namespace cpart {
@@ -30,7 +43,48 @@ namespace cpart {
 // ---------------------------------------------------------------------------
 // Message types. wire_bytes() is the size an MPI encoding of the message
 // would put on the wire; it feeds the measured payload-byte reports.
+// wire_hash() covers the same logical fields and feeds the per-cell
+// delivery checksum. The fault_* overloads are the FaultInjector's
+// customization points (found by ADL) for message-level corruption.
 // ---------------------------------------------------------------------------
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a trivially copyable value's bytes, chained onto `h`.
+template <typename S>
+std::uint64_t fnv1a_value(std::uint64_t h, const S& value) {
+  static_assert(std::is_trivially_copyable_v<S>);
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&value);
+  for (std::size_t i = 0; i < sizeof(S); ++i) {
+    h = (h ^ bytes[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data,
+                                 std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ bytes[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_vec3(std::uint64_t h, const Vec3& v) {
+  h = fnv1a_value(h, v.x);
+  h = fnv1a_value(h, v.y);
+  return fnv1a_value(h, v.z);
+}
+
+/// Flips one bit of a trivially copyable field, chosen by `r`.
+template <typename S>
+void flip_bit_in(S& value, std::uint64_t r) {
+  static_assert(std::is_trivially_copyable_v<S>);
+  auto* bytes = reinterpret_cast<unsigned char*>(&value);
+  const std::uint64_t bit = r % (sizeof(S) * 8);
+  bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+}
 
 /// FE halo exchange: one boundary node's current position.
 struct HaloNodeMsg {
@@ -42,6 +96,24 @@ inline wgt_t wire_bytes(const HaloNodeMsg&) {
   return static_cast<wgt_t>(sizeof(idx_t) + 3 * sizeof(real_t));
 }
 
+inline std::uint64_t wire_hash(const HaloNodeMsg& m) {
+  std::uint64_t h = fnv1a_value(kFnvOffsetBasis, m.node);
+  return fnv1a_vec3(h, m.position);
+}
+
+inline void fault_bitflip(HaloNodeMsg& m, std::uint64_t r) {
+  switch (r % 4) {
+    case 0: flip_bit_in(m.node, r / 4); break;
+    case 1: flip_bit_in(m.position.x, r / 4); break;
+    case 2: flip_bit_in(m.position.y, r / 4); break;
+    default: flip_bit_in(m.position.z, r / 4); break;
+  }
+}
+
+inline bool fault_truncate_payload(HaloNodeMsg&, std::uint64_t) {
+  return false;  // fixed-layout message: truncation cuts the cell tail
+}
+
 /// Descriptor broadcast: the serialized descriptor tree (tree_io wire
 /// format — 17 significant digits, exact double round-trip).
 struct DescriptorTreeMsg {
@@ -50,6 +122,24 @@ struct DescriptorTreeMsg {
 
 inline wgt_t wire_bytes(const DescriptorTreeMsg& m) {
   return static_cast<wgt_t>(m.wire.size());
+}
+
+inline std::uint64_t wire_hash(const DescriptorTreeMsg& m) {
+  std::uint64_t h = fnv1a_value(kFnvOffsetBasis, m.wire.size());
+  return fnv1a_bytes(h, m.wire.data(), m.wire.size());
+}
+
+inline void fault_bitflip(DescriptorTreeMsg& m, std::uint64_t r) {
+  if (m.wire.empty()) return;
+  const std::size_t i = static_cast<std::size_t>(r % m.wire.size());
+  m.wire[i] = static_cast<char>(m.wire[i] ^
+                                static_cast<char>(1 << ((r / 7) % 8)));
+}
+
+inline bool fault_truncate_payload(DescriptorTreeMsg& m, std::uint64_t r) {
+  if (m.wire.empty()) return false;
+  m.wire.resize(static_cast<std::size_t>(r % m.wire.size()));
+  return true;
 }
 
 /// Element shipping: one surface face with its node ids and coordinates.
@@ -68,6 +158,28 @@ inline wgt_t wire_bytes(const FaceShipMsg& m) {
              static_cast<wgt_t>(sizeof(idx_t) + 3 * sizeof(real_t));
 }
 
+inline std::uint64_t wire_hash(const FaceShipMsg& m) {
+  std::uint64_t h = fnv1a_value(kFnvOffsetBasis, m.face);
+  h = fnv1a_value(h, m.element);
+  h = fnv1a_value(h, m.num_nodes);
+  for (idx_t id : m.nodes) h = fnv1a_value(h, id);
+  for (const Vec3& c : m.coords) h = fnv1a_vec3(h, c);
+  return h;
+}
+
+inline void fault_bitflip(FaceShipMsg& m, std::uint64_t r) {
+  switch (r % 4) {
+    case 0: flip_bit_in(m.face, r / 4); break;
+    case 1: flip_bit_in(m.element, r / 4); break;
+    case 2: flip_bit_in(m.nodes[(r / 4) % 4], r / 16); break;
+    default: flip_bit_in(m.coords[(r / 4) % 4].x, r / 16); break;
+  }
+}
+
+inline bool fault_truncate_payload(FaceShipMsg&, std::uint64_t) {
+  return false;
+}
+
 /// ML+RCB coupling: one contact point shipped between the FE and the RCB
 /// decompositions (forward before the search, results back after).
 struct ContactPointMsg {
@@ -79,6 +191,23 @@ inline wgt_t wire_bytes(const ContactPointMsg&) {
   return static_cast<wgt_t>(sizeof(idx_t) + 3 * sizeof(real_t));
 }
 
+inline std::uint64_t wire_hash(const ContactPointMsg& m) {
+  std::uint64_t h = fnv1a_value(kFnvOffsetBasis, m.node);
+  return fnv1a_vec3(h, m.position);
+}
+
+inline void fault_bitflip(ContactPointMsg& m, std::uint64_t r) {
+  if (r % 4 == 0) {
+    flip_bit_in(m.node, r / 4);
+  } else {
+    flip_bit_in(m.position[static_cast<int>(r % 3)], r / 4);
+  }
+}
+
+inline bool fault_truncate_payload(ContactPointMsg&, std::uint64_t) {
+  return false;
+}
+
 /// ML+RCB subdomain-box allgather: one rank's RCB bounding box.
 struct SubdomainBoxMsg {
   idx_t rank = kInvalidIndex;
@@ -88,6 +217,62 @@ struct SubdomainBoxMsg {
 inline wgt_t wire_bytes(const SubdomainBoxMsg&) {
   return static_cast<wgt_t>(sizeof(idx_t) + 6 * sizeof(real_t));
 }
+
+inline std::uint64_t wire_hash(const SubdomainBoxMsg& m) {
+  std::uint64_t h = fnv1a_value(kFnvOffsetBasis, m.rank);
+  h = fnv1a_vec3(h, m.box.lo);
+  return fnv1a_vec3(h, m.box.hi);
+}
+
+inline void fault_bitflip(SubdomainBoxMsg& m, std::uint64_t r) {
+  if (r % 7 == 0) {
+    flip_bit_in(m.rank, r / 7);
+  } else {
+    Vec3& v = (r % 2 == 0) ? m.box.lo : m.box.hi;
+    flip_bit_in(v[static_cast<int>(r % 3)], r / 7);
+  }
+}
+
+inline bool fault_truncate_payload(SubdomainBoxMsg&, std::uint64_t) {
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Errors and retry policy
+// ---------------------------------------------------------------------------
+
+/// Thrown by Exchange::deliver() when a superstep's delivery still has
+/// corrupt cells after the full retry budget. The pipelines catch it and
+/// complete the step through the centralized reference path.
+class TransportError : public std::runtime_error {
+ public:
+  TransportError(const std::string& msg, std::uint64_t superstep,
+                 idx_t attempts, idx_t corrupt_cells)
+      : std::runtime_error(msg),
+        superstep_(superstep),
+        attempts_(attempts),
+        corrupt_cells_(corrupt_cells) {}
+
+  std::uint64_t superstep() const { return superstep_; }
+  idx_t attempts() const { return attempts_; }
+  idx_t corrupt_cells() const { return corrupt_cells_; }
+
+ private:
+  std::uint64_t superstep_;
+  idx_t attempts_;
+  idx_t corrupt_cells_;
+};
+
+struct RetryPolicy {
+  /// Total delivery attempts per superstep (first try + retries).
+  idx_t max_attempts = 4;
+  /// Exponential backoff base applied between attempts; always recorded in
+  /// PipelineHealth::backoff_ms, actually slept only when sleep_on_backoff
+  /// (the in-process transport has no congestion to wait out, so tests and
+  /// benches keep it off).
+  double backoff_base_ms = 0.5;
+  bool sleep_on_backoff = false;
+};
 
 // ---------------------------------------------------------------------------
 // TypedChannel
@@ -103,8 +288,14 @@ struct SourceRange {
 /// A k-rank point-to-point channel for messages of type T.
 ///
 /// send() may be called concurrently by different source ranks: the outbox
-/// cells are indexed (from, to), and rank r only ever writes row r. deliver
-/// runs on the step driver between supersteps.
+/// cells are indexed (from, to), and rank r only ever writes row r. Each
+/// cell carries a frame (message count + running FNV-1a checksum) built at
+/// send time. Delivery is two-phase and runs on the step driver between
+/// supersteps: attempt_deliver() stages each pending cell onto the "wire"
+/// (optionally corrupted by a FaultInjector) and validates it against the
+/// frame — the outbox is retained until its cell validates, so corrupt
+/// cells can be re-staged; commit() then assembles the inboxes from the
+/// validated cells in ascending source order and charges the transport.
 template <typename T>
 class TypedChannel {
  public:
@@ -131,6 +322,8 @@ class TypedChannel {
                             static_cast<std::size_t>(k_) +
                         static_cast<std::size_t>(to)];
     cell.bytes += wire_bytes(item);
+    cell.hash = (cell.hash ^ wire_hash(item)) * kFnvPrime;
+    ++cell.count;
     cell.items.push_back(std::move(item));
   }
 
@@ -141,11 +334,68 @@ class TypedChannel {
     }
   }
 
-  /// Barrier half: routes every outbox cell into the destination inboxes in
-  /// ascending source order, charges `transport` (when non-null) with
-  /// `units_per_item` per message, and returns the payload bytes moved.
-  /// Inboxes from the previous superstep are replaced.
-  wgt_t deliver(VirtualCluster* transport, wgt_t units_per_item = 1) {
+  /// One delivery attempt: stages every pending cell onto the wire (through
+  /// `injector` when non-null — the wire copy may be corrupted, the outbox
+  /// stays pristine), recomputes count + checksum, and marks cells that
+  /// validate. Returns the number of cells that failed validation this
+  /// attempt; detection counters accumulate into `health`.
+  idx_t attempt_deliver(FaultInjector* injector, ChannelId id,
+                        std::uint64_t superstep, idx_t attempt,
+                        PipelineHealth& health) {
+    idx_t corrupt = 0;
+    for (idx_t from = 0; from < k_; ++from) {
+      for (idx_t to = 0; to < k_; ++to) {
+        Cell& cell = cells_[static_cast<std::size_t>(from) *
+                                static_cast<std::size_t>(k_) +
+                            static_cast<std::size_t>(to)];
+        if (cell.staged_ok) continue;
+        if (cell.count == 0) {
+          cell.staged_ok = true;
+          continue;
+        }
+        std::vector<T> wire;
+        if (injector != nullptr) {
+          wire = cell.items;  // outbox retained until the cell validates
+          injector->maybe_corrupt(id, superstep, attempt, from, to, wire);
+        } else {
+          // Fast path: nothing between us and the inbox can corrupt the
+          // data except genuine in-process memory corruption, which the
+          // checksum below still detects (and which no retry could fix).
+          wire = std::move(cell.items);
+          cell.items.clear();
+        }
+        std::uint64_t h = kFnvOffsetBasis;
+        for (const T& item : wire) h = (h ^ wire_hash(item)) * kFnvPrime;
+        const bool count_ok = to_idx(wire.size()) == cell.count;
+        const bool hash_ok = h == cell.hash;
+        if (count_ok && hash_ok) {
+          cell.staged = std::move(wire);
+          cell.staged_ok = true;
+          continue;
+        }
+        ++corrupt;
+        ChannelHealth& ch = health.channel(id);
+        ++ch.corrupt_cells;
+        ++health.corrupt_cells;
+        if (!count_ok) {
+          ++ch.count_mismatches;
+          ++health.count_mismatches;
+        } else {
+          ++ch.checksum_failures;
+          ++health.checksum_failures;
+        }
+        ch.redelivered_bytes += cell.bytes;
+        health.redelivered_bytes += cell.bytes;
+      }
+    }
+    return corrupt;
+  }
+
+  /// Barrier second half, called once every cell validated: replaces the
+  /// inboxes with the staged cells in ascending source order, charges
+  /// `transport` (when non-null) with `units_per_item` per message, resets
+  /// the cells, and returns the payload bytes moved.
+  wgt_t commit(VirtualCluster* transport, wgt_t units_per_item = 1) {
     wgt_t bytes = 0;
     for (idx_t to = 0; to < k_; ++to) {
       auto& inbox = inboxes_[static_cast<std::size_t>(to)];
@@ -156,21 +406,29 @@ class TypedChannel {
         Cell& cell = cells_[static_cast<std::size_t>(from) *
                                 static_cast<std::size_t>(k_) +
                             static_cast<std::size_t>(to)];
-        if (cell.items.empty()) continue;
-        const idx_t begin = to_idx(inbox.size());
-        inbox.insert(inbox.end(), std::make_move_iterator(cell.items.begin()),
-                     std::make_move_iterator(cell.items.end()));
-        sources.push_back({from, begin, to_idx(inbox.size())});
-        if (transport != nullptr) {
-          transport->send(from, to,
-                          to_idx(cell.items.size()) * units_per_item);
+        if (cell.count > 0) {
+          const idx_t begin = to_idx(inbox.size());
+          inbox.insert(inbox.end(),
+                       std::make_move_iterator(cell.staged.begin()),
+                       std::make_move_iterator(cell.staged.end()));
+          sources.push_back({from, begin, to_idx(inbox.size())});
+          if (transport != nullptr) {
+            transport->send(from, to, cell.count * units_per_item);
+          }
+          bytes += cell.bytes;
         }
-        bytes += cell.bytes;
-        cell.items.clear();
-        cell.bytes = 0;
+        cell.reset();
       }
     }
     return bytes;
+  }
+
+  /// Drops all pending outboxes, staged data, and inboxes (degraded-mode
+  /// cleanup after an exhausted delivery).
+  void abort() {
+    for (Cell& cell : cells_) cell.reset();
+    for (auto& inbox : inboxes_) inbox.clear();
+    for (auto& sources : sources_) sources.clear();
   }
 
   /// Messages delivered to `rank` last superstep, ascending source order.
@@ -185,8 +443,21 @@ class TypedChannel {
 
  private:
   struct Cell {
-    std::vector<T> items;
+    std::vector<T> items;   // outbox, retained until validated
+    std::vector<T> staged;  // validated wire copy awaiting commit
     wgt_t bytes = 0;
+    std::uint64_t hash = kFnvOffsetBasis;  // send-side frame checksum
+    idx_t count = 0;                       // send-side frame message count
+    bool staged_ok = false;
+
+    void reset() {
+      items.clear();
+      staged.clear();
+      bytes = 0;
+      hash = kFnvOffsetBasis;
+      count = 0;
+      staged_ok = false;
+    }
   };
 
   idx_t k_ = 0;
@@ -222,9 +493,30 @@ class Exchange {
   TypedChannel<ContactPointMsg>& coupling_return() { return coupling_return_; }
   TypedChannel<SubdomainBoxMsg>& boxes() { return boxes_; }
 
-  /// The superstep barrier: delivers every channel (outboxes -> inboxes),
-  /// charging the phase clusters and accumulating payload bytes.
+  /// Arms (or disarms, with nullptr) fault injection on every channel.
+  /// Non-owning; the injector must outlive the exchange's use of it.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  void set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// The superstep barrier: validates and delivers every channel
+  /// (outboxes -> inboxes), charging the phase clusters and accumulating
+  /// payload bytes. Corrupt cells are re-delivered from the retained
+  /// outboxes up to RetryPolicy::max_attempts; throws TransportError when
+  /// the budget is exhausted (after clearing the channels so the caller can
+  /// fall back cleanly).
   void deliver();
+
+  /// Clears every channel, the phase clusters, and the byte accumulators —
+  /// but not the health counters. Used by the degraded path so the next
+  /// step starts from a clean transport.
+  void abort_step();
+
+  /// Health counters since the last take (reads reset them).
+  PipelineHealth take_health() { return std::exchange(health_, {}); }
+  const PipelineHealth& health() const { return health_; }
 
   /// Per-group traffic since the last take (finishing resets the cluster).
   StepTraffic take_fe_traffic() { return fe_cluster_.finish(); }
@@ -249,6 +541,10 @@ class Exchange {
   VirtualCluster fe_cluster_;
   VirtualCluster search_cluster_;
   VirtualCluster coupling_cluster_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_{};
+  PipelineHealth health_{};
+  std::uint64_t superstep_ = 0;  // deliver() barriers since construction
   wgt_t descriptor_bytes_ = 0;
   wgt_t halo_bytes_ = 0;
   wgt_t face_bytes_ = 0;

@@ -1,0 +1,77 @@
+#include "runtime/fault_injector.hpp"
+
+namespace cpart {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kBitFlip:
+      return "bitflip";
+    case FaultKind::kReorder:
+      return "reorder";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config) : config_(config) {
+  require(config.cell_fault_probability >= 0.0 &&
+              config.cell_fault_probability <= 1.0,
+          "FaultInjector: cell_fault_probability must be in [0, 1]");
+  double total = 0;
+  for (double w : config.kind_weights) {
+    require(w >= 0, "FaultInjector: kind weights must be non-negative");
+    total += w;
+  }
+  require(total > 0, "FaultInjector: at least one kind weight must be > 0");
+}
+
+namespace {
+
+/// SplitMix64 finalizer — used to fold each coordinate of the decision
+/// tuple into the seed so the schedule is a pure function of the tuple.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  std::uint64_t z = h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t FaultInjector::decision_seed(ChannelId channel,
+                                           std::uint64_t superstep,
+                                           idx_t attempt, idx_t from,
+                                           idx_t to) const {
+  std::uint64_t h = config_.seed;
+  h = mix(h, superstep);
+  h = mix(h, static_cast<std::uint64_t>(attempt));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<int>(channel)));
+  h = mix(h, static_cast<std::uint64_t>(from));
+  h = mix(h, static_cast<std::uint64_t>(to));
+  return h;
+}
+
+FaultKind FaultInjector::pick_kind(Rng& rng) const {
+  double total = 0;
+  for (double w : config_.kind_weights) total += w;
+  double r = rng.uniform() * total;
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    r -= config_.kind_weights[static_cast<std::size_t>(k)];
+    if (r < 0) return static_cast<FaultKind>(k);
+  }
+  return static_cast<FaultKind>(kNumFaultKinds - 1);
+}
+
+void FaultInjector::record(FaultKind kind, ChannelId channel) {
+  ++stats_.faults_injected;
+  ++stats_.by_kind[static_cast<std::size_t>(static_cast<int>(kind))];
+  ++stats_.by_channel[static_cast<std::size_t>(static_cast<int>(channel))];
+}
+
+}  // namespace cpart

@@ -1,0 +1,151 @@
+// Deterministic, seeded fault injection for the exchange transport.
+//
+// The injector sits between a channel's outbox and its delivery validation:
+// for every non-empty cell of every delivery attempt it makes a counter-based
+// decision — a hash of (seed, superstep, attempt, channel, from, to), never
+// of call order or wall clock — whether to corrupt the staged wire copy, and
+// with which fault kind. The same seed therefore produces the identical
+// fault schedule at any thread count and on every rerun, which is what lets
+// the chaos tests assert bit-identical recovery and exact health counters.
+//
+// Faults mutate only the wire copy the channel stages for delivery; the
+// sender's outbox is retained untouched until the cell validates, so a
+// retried delivery re-stages pristine data (a fresh decision is made per
+// attempt — persistent schedules can exhaust the retry budget on purpose).
+//
+// All five kinds are detectable by the cell framing (message count) plus the
+// FNV-1a payload checksum:
+//   drop, duplicate, truncate(tail) -> count mismatch
+//   bit-flip, reorder, truncate(payload) -> checksum mismatch
+//
+// maybe_corrupt() is called by the step driver only (delivery is the
+// single-threaded barrier), so the injector needs no synchronization.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "runtime/health.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace cpart {
+
+enum class FaultKind : int {
+  kDrop = 0,      // remove one message from the cell
+  kDuplicate,     // deliver one message twice
+  kTruncate,      // short read: cut the cell tail (or a message's payload)
+  kBitFlip,       // flip one bit inside one message
+  kReorder,       // swap two messages (delivery-order corruption)
+};
+
+inline constexpr int kNumFaultKinds = 5;
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  /// Probability that a given non-empty cell is corrupted on a given
+  /// delivery attempt. 0 disables injection entirely.
+  double cell_fault_probability = 0.0;
+  /// Relative weights of the fault kinds (need not sum to 1).
+  std::array<double, kNumFaultKinds> kind_weights{1, 1, 1, 1, 1};
+  /// Inject only from this superstep (deliver() counter) on — lets a
+  /// schedule spare the warm-up step.
+  std::uint64_t first_superstep = 0;
+};
+
+class FaultInjector {
+ public:
+  /// What the injector actually did (decisions that hit an eligible cell).
+  /// The chaos tests assert these match the detection counters in
+  /// PipelineHealth exactly: every injected fault is detected, and nothing
+  /// is detected that was not injected.
+  struct Stats {
+    wgt_t faults_injected = 0;
+    std::array<wgt_t, kNumFaultKinds> by_kind{};
+    std::array<wgt_t, kNumChannels> by_channel{};
+
+    bool operator==(const Stats&) const = default;
+  };
+
+  explicit FaultInjector(const FaultConfig& config);
+
+  const FaultConfig& config() const { return config_; }
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  /// Decides deterministically whether to corrupt `wire` (the staged copy of
+  /// one cell) and applies at most one fault. Returns true when a fault was
+  /// applied. `wire` must be non-empty.
+  template <typename T>
+  bool maybe_corrupt(ChannelId channel, std::uint64_t superstep, idx_t attempt,
+                     idx_t from, idx_t to, std::vector<T>& wire) {
+    if (wire.empty() || config_.cell_fault_probability <= 0.0 ||
+        superstep < config_.first_superstep) {
+      return false;
+    }
+    Rng rng(decision_seed(channel, superstep, attempt, from, to));
+    if (rng.uniform() >= config_.cell_fault_probability) return false;
+    FaultKind kind = pick_kind(rng);
+    // A reorder needs two messages to be observable; demote to a drop so
+    // every injected fault is guaranteed detectable (stats record what was
+    // actually applied).
+    if (kind == FaultKind::kReorder && wire.size() < 2) {
+      kind = FaultKind::kDrop;
+    }
+    apply(kind, rng, wire);
+    record(kind, channel);
+    return true;
+  }
+
+ private:
+  std::uint64_t decision_seed(ChannelId channel, std::uint64_t superstep,
+                              idx_t attempt, idx_t from, idx_t to) const;
+  FaultKind pick_kind(Rng& rng) const;
+  void record(FaultKind kind, ChannelId channel);
+
+  template <typename T>
+  static void apply(FaultKind kind, Rng& rng, std::vector<T>& wire) {
+    const idx_t n = to_idx(wire.size());
+    switch (kind) {
+      case FaultKind::kDrop:
+        wire.erase(wire.begin() + rng.uniform_int(n));
+        return;
+      case FaultKind::kDuplicate: {
+        const idx_t i = rng.uniform_int(n);
+        wire.insert(wire.begin() + i, wire[static_cast<std::size_t>(i)]);
+        return;
+      }
+      case FaultKind::kTruncate: {
+        // Prefer truncating one message's own payload (variable-length
+        // messages define fault_truncate_payload via ADL); otherwise model a
+        // short read by cutting the cell tail.
+        const idx_t i = rng.uniform_int(n);
+        if (fault_truncate_payload(wire[static_cast<std::size_t>(i)],
+                                   rng.next())) {
+          return;
+        }
+        wire.resize(static_cast<std::size_t>(rng.uniform_int(n)));
+        return;
+      }
+      case FaultKind::kBitFlip:
+        fault_bitflip(wire[static_cast<std::size_t>(rng.uniform_int(n))],
+                      rng.next());
+        return;
+      case FaultKind::kReorder: {
+        const idx_t i = rng.uniform_int(n);
+        idx_t j = rng.uniform_int(n - 1);
+        if (j >= i) ++j;
+        std::swap(wire[static_cast<std::size_t>(i)],
+                  wire[static_cast<std::size_t>(j)]);
+        return;
+      }
+    }
+  }
+
+  FaultConfig config_;
+  Stats stats_;
+};
+
+}  // namespace cpart

@@ -1,0 +1,67 @@
+#include "runtime/health.hpp"
+
+#include <sstream>
+
+namespace cpart {
+
+const char* channel_name(ChannelId id) {
+  switch (id) {
+    case ChannelId::kDescriptors:
+      return "descriptors";
+    case ChannelId::kHalo:
+      return "halo";
+    case ChannelId::kFaces:
+      return "faces";
+    case ChannelId::kCouplingForward:
+      return "coupling_forward";
+    case ChannelId::kCouplingReturn:
+      return "coupling_return";
+    case ChannelId::kBoxes:
+      return "boxes";
+  }
+  return "unknown";
+}
+
+ChannelHealth& ChannelHealth::operator+=(const ChannelHealth& other) {
+  corrupt_cells += other.corrupt_cells;
+  checksum_failures += other.checksum_failures;
+  count_mismatches += other.count_mismatches;
+  redelivered_bytes += other.redelivered_bytes;
+  return *this;
+}
+
+bool PipelineHealth::clean() const {
+  return corrupt_cells == 0 && retries == 0 && exhausted_deliveries == 0 &&
+         degraded_steps == 0 && wire_parse_failures == 0 && failed_ranks == 0;
+}
+
+PipelineHealth& PipelineHealth::operator+=(const PipelineHealth& other) {
+  deliveries += other.deliveries;
+  delivery_attempts += other.delivery_attempts;
+  retries += other.retries;
+  corrupt_cells += other.corrupt_cells;
+  checksum_failures += other.checksum_failures;
+  count_mismatches += other.count_mismatches;
+  redelivered_bytes += other.redelivered_bytes;
+  exhausted_deliveries += other.exhausted_deliveries;
+  degraded_steps += other.degraded_steps;
+  wire_parse_failures += other.wire_parse_failures;
+  failed_ranks += other.failed_ranks;
+  backoff_ms += other.backoff_ms;
+  for (int c = 0; c < kNumChannels; ++c) {
+    channels[static_cast<std::size_t>(c)] +=
+        other.channels[static_cast<std::size_t>(c)];
+  }
+  return *this;
+}
+
+std::string PipelineHealth::summary() const {
+  std::ostringstream os;
+  os << deliveries << " deliveries, " << retries << " retries, "
+     << corrupt_cells << " corrupt cells (" << checksum_failures
+     << " checksum, " << count_mismatches << " framing), " << degraded_steps
+     << " degraded steps";
+  return os.str();
+}
+
+}  // namespace cpart

@@ -1,0 +1,83 @@
+// Transport health accounting for the SPMD runtime.
+//
+// The exchange layer assumes nothing about the wire: every channel cell is
+// framed (message count) and checksummed (FNV-1a over the logical wire
+// fields) at send time and verified at delivery. This header defines the
+// counters that record what the transport detected and did about it —
+// corrupt cells per channel, re-delivery attempts, backoff, and whole-step
+// degradations to the centralized reference path. A PipelineHealth travels
+// on every step report and aggregates across steps with operator+=, so a
+// run's fault history is a first-class output next to the traffic matrices.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+/// The typed channels of one Exchange, in delivery order.
+enum class ChannelId : int {
+  kDescriptors = 0,
+  kHalo,
+  kFaces,
+  kCouplingForward,
+  kCouplingReturn,
+  kBoxes,
+};
+
+inline constexpr int kNumChannels = 6;
+
+/// Stable lowercase name ("descriptors", "halo", ...) for reports and JSON.
+const char* channel_name(ChannelId id);
+
+/// Detection counters of one typed channel.
+struct ChannelHealth {
+  wgt_t corrupt_cells = 0;      // cells that failed delivery validation
+  wgt_t checksum_failures = 0;  // payload hash mismatch (count matched)
+  wgt_t count_mismatches = 0;   // message-count framing mismatch
+  wgt_t redelivered_bytes = 0;  // payload bytes staged again after a failure
+
+  ChannelHealth& operator+=(const ChannelHealth& other);
+  bool operator==(const ChannelHealth&) const = default;
+};
+
+/// Transport + recovery counters of one pipeline step (or, summed, of a
+/// whole run). "Delivery" is one Exchange::deliver() barrier; "attempt" is
+/// one validation pass over its pending cells.
+struct PipelineHealth {
+  wgt_t deliveries = 0;           // deliver() barriers entered
+  wgt_t delivery_attempts = 0;    // validation passes (>= deliveries)
+  wgt_t retries = 0;              // re-delivery attempts after corruption
+  wgt_t corrupt_cells = 0;        // sum over channels
+  wgt_t checksum_failures = 0;
+  wgt_t count_mismatches = 0;
+  wgt_t redelivered_bytes = 0;
+  wgt_t exhausted_deliveries = 0;  // deliveries that ran out of retry budget
+  wgt_t degraded_steps = 0;        // steps completed via run_step_reference
+  wgt_t wire_parse_failures = 0;   // descriptor wires the scanner rejected
+  wgt_t failed_ranks = 0;          // rank programs that threw in a superstep
+  double backoff_ms = 0;           // total backoff the retry loop applied
+  std::array<ChannelHealth, kNumChannels> channels{};
+
+  const ChannelHealth& channel(ChannelId id) const {
+    return channels[static_cast<std::size_t>(static_cast<int>(id))];
+  }
+  ChannelHealth& channel(ChannelId id) {
+    return channels[static_cast<std::size_t>(static_cast<int>(id))];
+  }
+
+  /// True when this step fell back to the centralized reference path.
+  bool degraded() const { return degraded_steps > 0; }
+  /// True when the transport saw no corruption, no retries, no fallback.
+  bool clean() const;
+
+  PipelineHealth& operator+=(const PipelineHealth& other);
+  bool operator==(const PipelineHealth&) const = default;
+
+  /// One-line human summary ("3 deliveries, 0 corrupt cells, ...").
+  std::string summary() const;
+};
+
+}  // namespace cpart

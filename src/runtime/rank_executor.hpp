@@ -10,8 +10,11 @@
 // cross-rank data only moves at the deliver() boundary. Rank programs must
 // also not dispatch pool work themselves (no nested parallelism).
 //
-// Exceptions thrown by a rank program (e.g. require()) are rethrown on the
-// calling thread by the pool after the superstep completes.
+// Exceptions thrown by rank programs (e.g. require()) surface on the
+// calling thread only after every rank has completed the superstep: a
+// single failing rank rethrows its original exception, several failing
+// ranks aggregate into one ParallelGroupError carrying each rank id and
+// message (see parallel/thread_pool.hpp).
 #pragma once
 
 #include <functional>

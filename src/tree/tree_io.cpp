@@ -41,27 +41,61 @@ namespace {
 /// parses — and the SPMD descriptor broadcast has k-1 ranks parsing the
 /// same tree inside one superstep. std::from_chars has no shared state and
 /// reads the same decimal text exactly (17 significant digits round-trip).
+///
+/// The scanner never trusts the wire: every std::from_chars result (both
+/// the error code and the consumed length) is checked, and every failure —
+/// truncation, a non-numeric or partially numeric token, out-of-range
+/// values, trailing garbage — raises TreeParseError with the byte offset
+/// where scanning stopped.
 class WireScanner {
  public:
   explicit WireScanner(std::string_view text) : text_(text) {}
 
-  std::string_view token() {
+  std::string_view token(const char* what) {
     while (pos_ < text_.size() && is_space(text_[pos_])) ++pos_;
     const std::size_t start = pos_;
     while (pos_ < text_.size() && !is_space(text_[pos_])) ++pos_;
-    require(pos_ > start, "read_tree: unexpected end of input");
+    if (pos_ == start) {
+      fail(std::string("read_tree: unexpected end of input, expected ") +
+               what,
+           start);
+    }
     return text_.substr(start, pos_ - start);
   }
 
   template <typename T>
   T number(const char* what) {
-    const std::string_view tok = token();
+    const std::string_view tok = token(what);
+    const std::size_t start = pos_ - tok.size();
     T value{};
     const auto res =
         std::from_chars(tok.data(), tok.data() + tok.size(), value);
-    require(res.ec == std::errc{} && res.ptr == tok.data() + tok.size(),
-            std::string("read_tree: bad ") + what);
+    if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) {
+      fail(std::string("read_tree: bad ") + what + " '" + std::string(tok) +
+               "'",
+           start);
+    }
     return value;
+  }
+
+  /// Rejects anything but trailing whitespace after the last record.
+  void expect_end() {
+    while (pos_ < text_.size() && is_space(text_[pos_])) ++pos_;
+    if (pos_ < text_.size()) {
+      fail("read_tree: trailing garbage after tree", pos_);
+    }
+  }
+
+  /// Bytes not yet consumed — used to bound count fields before
+  /// preallocating (every encoded record costs at least one byte per
+  /// element, so a count larger than the remaining input is garbage, not a
+  /// giant allocation).
+  std::size_t remaining() const { return text_.size() - pos_; }
+
+  std::size_t pos() const { return pos_; }
+
+  [[noreturn]] static void fail(const std::string& msg, std::size_t offset) {
+    throw TreeParseError(msg, offset);
   }
 
  private:
@@ -75,14 +109,26 @@ class WireScanner {
 
 DecisionTree parse_tree(std::string_view text) {
   WireScanner sc(text);
-  require(!text.empty(), "read_tree: not a cparttree v1 stream");
-  const std::string_view magic = sc.token();
+  if (text.empty()) {
+    WireScanner::fail("read_tree: empty input", 0);
+  }
+  const std::string_view magic = sc.token("magic");
+  if (magic != "cparttree") {
+    WireScanner::fail("read_tree: not a cparttree stream", 0);
+  }
   const int version = sc.number<int>("version");
-  require(magic == "cparttree" && version == 1,
-          "read_tree: not a cparttree v1 stream");
+  if (version != 1) {
+    WireScanner::fail("read_tree: unsupported cparttree version " +
+                          std::to_string(version),
+                      sc.pos());
+  }
   const idx_t count = sc.number<idx_t>("node count");
+  if (count < 0 || static_cast<std::size_t>(count) > sc.remaining()) {
+    WireScanner::fail("read_tree: implausible node count " +
+                          std::to_string(count),
+                      sc.pos());
+  }
   const idx_t root = sc.number<idx_t>("root");
-  require(count >= 0, "read_tree: bad node count");
   std::vector<TreeNode> nodes(static_cast<std::size_t>(count));
   std::vector<idx_t> offsets{0};
   std::vector<idx_t> labels;
@@ -102,13 +148,18 @@ DecisionTree parse_tree(std::string_view text) {
     nd.bounds.hi.y = sc.number<real_t>("bounds");
     nd.bounds.hi.z = sc.number<real_t>("bounds");
     const idx_t num_minorities = sc.number<idx_t>("minority count");
-    require(num_minorities >= 0,
-            "read_tree: bad node record " + std::to_string(id));
+    if (num_minorities < 0 ||
+        static_cast<std::size_t>(num_minorities) > sc.remaining()) {
+      WireScanner::fail("read_tree: implausible minority count in node " +
+                            std::to_string(id),
+                        sc.pos());
+    }
     for (idx_t i = 0; i < num_minorities; ++i) {
       labels.push_back(sc.number<idx_t>("minority label"));
     }
     offsets.push_back(to_idx(labels.size()));
   }
+  sc.expect_end();
   return assemble_tree(std::move(nodes), root, std::move(offsets),
                        std::move(labels));
 }

@@ -7,18 +7,41 @@
 // structural-equality helper used by the tests.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "tree/decision_tree.hpp"
+#include "util/common.hpp"
 
 namespace cpart {
+
+/// Structured scan-level parse failure: truncated stream, non-numeric
+/// token, trailing garbage, implausible counts. Carries the byte offset
+/// into the wire text where scanning failed so a corrupt broadcast can be
+/// localized. Structural failures after a clean scan (bad child indices,
+/// cycles) still raise plain InputError from assemble_tree.
+class TreeParseError : public InputError {
+ public:
+  TreeParseError(const std::string& msg, std::size_t byte_offset)
+      : InputError(msg + " (at byte " + std::to_string(byte_offset) + ")"),
+        byte_offset_(byte_offset) {}
+
+  std::size_t byte_offset() const { return byte_offset_; }
+
+ private:
+  std::size_t byte_offset_;
+};
 
 void write_tree(std::ostream& os, const DecisionTree& tree);
 std::string tree_to_string(const DecisionTree& tree);
 
-/// Parses the format produced by write_tree; throws InputError on malformed
-/// or structurally inconsistent input (bad child indices, cycles).
+/// Parses the format produced by write_tree. Never trusts the wire: every
+/// token conversion is checked, node/minority counts are bounded by the
+/// remaining input, and trailing garbage is rejected. Throws TreeParseError
+/// (with byte offset) on malformed text and InputError on structurally
+/// inconsistent trees (bad child indices, cycles); never asserts and never
+/// returns a partial tree.
 DecisionTree read_tree(std::istream& is);
 DecisionTree tree_from_string(const std::string& text);
 

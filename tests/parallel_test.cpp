@@ -193,5 +193,76 @@ TEST(ThreadPool, ExclusiveScanEmptyAndTiny) {
   EXPECT_EQ(one[0], 0);
 }
 
+TEST(ThreadPool, SingleFailingTaskRethrowsOriginalException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_tasks(8, [](idx_t i) {
+      if (i == 3) throw InputError("rank 3 failed");
+    });
+    FAIL() << "expected InputError";
+  } catch (const InputError& e) {
+    EXPECT_STREQ(e.what(), "rank 3 failed");
+  }
+}
+
+TEST(ThreadPool, MultipleFailingTasksAggregateEveryRank) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> ran(16);
+  try {
+    pool.parallel_tasks(16, [&](idx_t i) {
+      ran[static_cast<std::size_t>(i)].fetch_add(1);
+      if (i % 5 == 2) {  // tasks 2, 7, 12 fail
+        throw InputError("rank " + std::to_string(i) + " failed");
+      }
+    });
+    FAIL() << "expected ParallelGroupError";
+  } catch (const ParallelGroupError& e) {
+    ASSERT_EQ(e.failures().size(), 3u);
+    // Failures are sorted by task index (== rank id) with the original
+    // messages preserved.
+    EXPECT_EQ(e.failures()[0].index, 2);
+    EXPECT_EQ(e.failures()[1].index, 7);
+    EXPECT_EQ(e.failures()[2].index, 12);
+    EXPECT_EQ(e.failures()[1].message, "rank 7 failed");
+    EXPECT_NE(std::string(e.what()).find("rank 12 failed"),
+              std::string::npos);
+  }
+  // BSP semantics: every task completed its superstep despite the failures.
+  for (auto& r : ran) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(ThreadPool, MultipleFailingTasksAggregateInline) {
+  // The single-thread inline path must aggregate identically.
+  ThreadPool pool(1);
+  std::vector<int> ran(6, 0);
+  try {
+    pool.parallel_tasks(6, [&](idx_t i) {
+      ++ran[static_cast<std::size_t>(i)];
+      if (i == 1 || i == 4) throw InputError("boom");
+    });
+    FAIL() << "expected ParallelGroupError";
+  } catch (const ParallelGroupError& e) {
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].index, 1);
+    EXPECT_EQ(e.failures()[1].index, 4);
+  }
+  for (int r : ran) EXPECT_EQ(r, 1);
+}
+
+TEST(ThreadPool, NonStdExceptionAggregatesAsUnknown) {
+  ThreadPool pool(1);
+  try {
+    pool.parallel_tasks(4, [](idx_t i) {
+      if (i == 0) throw 42;
+      if (i == 2) throw InputError("typed");
+    });
+    FAIL() << "expected ParallelGroupError";
+  } catch (const ParallelGroupError& e) {
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].message, "unknown exception");
+    EXPECT_EQ(e.failures()[1].message, "typed");
+  }
+}
+
 }  // namespace
 }  // namespace cpart

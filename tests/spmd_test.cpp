@@ -91,6 +91,14 @@ class SpmdTest : public ::testing::Test {
       // The halo payload is one HaloNodeMsg per analytic halo unit.
       EXPECT_EQ(got.halo_payload_bytes,
                 got.fe_exchange.total_units() * wire_bytes(HaloNodeMsg{}));
+      // A fault-free transport must be clean: checksums all verified, no
+      // retries, no degradation — and exactly 3 deliveries per step.
+      EXPECT_TRUE(got.health.clean()) << got.health.summary();
+      EXPECT_FALSE(got.health.degraded());
+      EXPECT_EQ(got.health.deliveries, 3);
+      EXPECT_EQ(got.health.delivery_attempts, got.health.deliveries);
+      // The reference path runs no transport at all.
+      EXPECT_EQ(ref.health, PipelineHealth{});
     }
   }
 
@@ -117,6 +125,8 @@ class SpmdTest : public ::testing::Test {
                     wire_bytes(ContactPointMsg{}));
       EXPECT_EQ(got.box_allgather_bytes, static_cast<wgt_t>(k) * (k - 1) *
                                              wire_bytes(SubdomainBoxMsg{}));
+      EXPECT_TRUE(got.health.clean()) << got.health.summary();
+      EXPECT_EQ(got.health.deliveries, 2);
     }
   }
 
