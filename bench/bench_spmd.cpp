@@ -17,11 +17,19 @@
 //   ./bench_spmd [--resolution 1.0] [--snapshots 20] [--k 25]
 //                [--threads 1,2,4,8] [--stride 1] [--out BENCH_spmd.json]
 //                [--fault_rate 0.0] [--fault_seed 1] [--max_attempts 4]
+//                [--repart_period 8]
 //
 // JSON output: {"env": {...}, "results": [{threads, reference_mean_ms,
 // spmd_mean_ms, speedup, health: {...per-channel counters...},
 // steps: [{..., phase_ms: {descriptor: [per rank], ...},
 // bytes: {halo, faces, descriptor}}]}]}, steady state = steps >= 1.
+//
+// Each thread count also drives the rank-owned DistributedSim (one SPMD
+// instance against one centralized-oracle instance) over the same snapshot
+// sequence, repartitioning + migrating live state every --repart_period
+// steps. Its timings, migration accounting (repart_moved_nodes/elements,
+// migration/label bytes), and cross-checked equivalence land in a
+// "distributed" object per result record.
 //
 // --fault_rate > 0 arms the seeded FaultInjector on the exchange, which
 // exercises the checksummed retry path; events must STILL be bit-identical
@@ -32,6 +40,7 @@
 #include <sstream>
 
 #include "bench_env.hpp"
+#include "core/distributed_sim.hpp"
 #include "core/pipeline.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/fault_injector.hpp"
@@ -60,6 +69,30 @@ bool reports_identical(const PipelineStepReport& a,
          a.search_exchange == b.search_exchange &&
          a.descriptor_tree_nodes == b.descriptor_tree_nodes &&
          a.descriptor_broadcast_bytes == b.descriptor_broadcast_bytes;
+}
+
+bool distributed_reports_identical(const DistributedStepReport& a,
+                                   const DistributedStepReport& b) {
+  if (a.events.size() != b.events.size()) return false;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const ContactEvent& x = a.events[i];
+    const ContactEvent& y = b.events[i];
+    if (x.node != y.node || x.face != y.face || x.distance != y.distance ||
+        x.signed_distance != y.signed_distance) {
+      return false;
+    }
+  }
+  return a.migrated == b.migrated &&
+         a.events_per_processor == b.events_per_processor &&
+         a.fe_exchange == b.fe_exchange &&
+         a.coupling_exchange == b.coupling_exchange &&
+         a.search_exchange == b.search_exchange &&
+         a.migration_exchange == b.migration_exchange &&
+         a.repart_moved_nodes == b.repart_moved_nodes &&
+         a.repart_moved_elements == b.repart_moved_elements &&
+         a.migration_payload_bytes == b.migration_payload_bytes &&
+         a.label_broadcast_bytes == b.label_broadcast_bytes &&
+         a.ownership_hash == b.ownership_hash;
 }
 
 void json_array(std::ostream& os, const std::vector<double>& v) {
@@ -110,6 +143,8 @@ int main(int argc, char** argv) {
                "per-cell fault probability for the seeded injector (0 = off)");
   flags.define("fault_seed", "1", "fault schedule seed");
   flags.define("max_attempts", "4", "delivery attempts per superstep");
+  flags.define("repart_period", "8",
+               "distributed run: repartition + migrate every N steps (0 = off)");
   try {
     flags.parse(argc, argv);
     const double resolution = flags.get_double("resolution");
@@ -121,6 +156,8 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(flags.get_int("fault_seed"));
     RetryPolicy retry;
     retry.max_attempts = static_cast<idx_t>(flags.get_int("max_attempts"));
+    const idx_t repart_period =
+        static_cast<idx_t>(flags.get_int("repart_period"));
     std::vector<unsigned> thread_counts;
     {
       std::stringstream ss(flags.get_string("threads"));
@@ -154,7 +191,8 @@ int main(int argc, char** argv) {
               << "\n\n";
 
     const ImpactSim::Snapshot snap0 = sim.snapshot(0);
-    Table table({"threads", "reference_ms/step", "spmd_ms/step", "speedup"});
+    Table table({"threads", "reference_ms/step", "spmd_ms/step", "speedup",
+                 "dist_ref_ms/step", "dist_spmd_ms/step", "dist_speedup"});
     std::ostringstream json;
     json << "{\"env\": " << cpart::bench::env_json() << ",\n \"results\": [\n";
     bool first_record = true;
@@ -229,11 +267,114 @@ int main(int argc, char** argv) {
       const double spmd_mean = spmd_sum / ns;
       const double speedup = ref_mean / std::max(spmd_mean, 1e-9);
 
+      // Rank-owned distributed flavor over the same sequence: one SPMD
+      // instance against one centralized-oracle instance (both flavors
+      // mutate rank state, so they cannot share an instance the way the
+      // snapshot-driven pipeline does).
+      std::ostringstream dist_json;
+      double dist_ref_mean = 0;
+      double dist_spmd_mean = 0;
+      double dist_speedup = 0;
+      {
+        DistributedSimConfig dconfig;
+        dconfig.decomposition = config.decomposition;
+        dconfig.search = config.search;
+        dconfig.repartition_period = repart_period;
+        DistributedSim dist(sim, dconfig);
+        DistributedSim oracle(sim, dconfig);
+        dist.exchange().set_retry_policy(retry);
+        std::optional<FaultInjector> dist_injector;
+        if (fault_rate > 0) {
+          FaultConfig fc;
+          fc.seed = fault_seed;
+          fc.cell_fault_probability = fault_rate;
+          dist_injector.emplace(fc);
+          dist.exchange().set_fault_injector(&*dist_injector);
+        }
+        PipelineHealth dist_health;
+        std::ostringstream dsteps_json;
+        double dref_sum = 0, dspmd_sum = 0;
+        idx_t dist_steady = 0;
+        idx_t migration_steps = 0;
+        wgt_t moved_nodes = 0, moved_elements = 0;
+        wgt_t migration_bytes = 0, label_bytes = 0;
+        bool dist_first_step = true;
+
+        for (idx_t s = 0; s < sim.num_snapshots(); s += stride) {
+          Timer timer;
+          const DistributedStepReport ref = oracle.run_step_reference(s);
+          const double ref_ms = timer.milliseconds();
+
+          timer.reset();
+          const DistributedStepReport got = dist.run_step(s);
+          const double spmd_ms = timer.milliseconds();
+
+          dist_health += got.health;
+          if (!distributed_reports_identical(got, ref)) {
+            std::cerr << "DISTRIBUTED EQUIVALENCE FAILURE at step " << s
+                      << ", threads " << t << "\n";
+            all_equal = false;
+          }
+          if (s > 0) {
+            dref_sum += ref_ms;
+            dspmd_sum += spmd_ms;
+            ++dist_steady;
+          }
+          migration_steps += got.migrated ? 1 : 0;
+          moved_nodes += got.repart_moved_nodes;
+          moved_elements += got.repart_moved_elements;
+          migration_bytes += got.migration_payload_bytes;
+          label_bytes += got.label_broadcast_bytes;
+
+          if (!dist_first_step) dsteps_json << ",\n";
+          dist_first_step = false;
+          dsteps_json << "    {\"step\": " << s
+                      << ", \"reference_ms\": " << ref_ms
+                      << ", \"spmd_ms\": " << spmd_ms
+                      << ", \"events\": " << got.contact_events
+                      << ", \"migrated\": " << (got.migrated ? "true" : "false")
+                      << ", \"repart_moved_nodes\": " << got.repart_moved_nodes
+                      << ", \"repart_moved_elements\": "
+                      << got.repart_moved_elements
+                      << ", \"migration_bytes\": " << got.migration_payload_bytes
+                      << ", \"label_bytes\": " << got.label_broadcast_bytes
+                      << "}";
+        }
+
+        const double dns =
+            static_cast<double>(std::max<idx_t>(dist_steady, 1));
+        dist_ref_mean = dref_sum / dns;
+        dist_spmd_mean = dspmd_sum / dns;
+        dist_speedup = dist_ref_mean / std::max(dist_spmd_mean, 1e-9);
+        dist_json << "{\"repart_period\": " << repart_period
+                  << ", \"steady_steps\": " << dist_steady
+                  << ",\n    \"reference_mean_ms\": " << dist_ref_mean
+                  << ", \"spmd_mean_ms\": " << dist_spmd_mean
+                  << ", \"speedup\": " << dist_speedup
+                  << ",\n    \"migration_steps\": " << migration_steps
+                  << ", \"repart_moved_nodes\": " << moved_nodes
+                  << ", \"repart_moved_elements\": " << moved_elements
+                  << ", \"migration_payload_bytes\": " << migration_bytes
+                  << ", \"label_broadcast_bytes\": " << label_bytes
+                  << ",\n    \"health\": ";
+        health_json(dist_json, dist_health);
+        dist_json << ",\n    \"steps\": [\n" << dsteps_json.str()
+                  << "\n    ]}";
+        if (fault_rate > 0 || !dist_health.clean()) {
+          std::cout << "threads " << t
+                    << " distributed health: " << dist_health.summary()
+                    << "\n";
+        }
+      }
+
       table.begin_row();
       table.add_cell(static_cast<long long>(t));
       table.add_cell(ref_mean, 2);
       table.add_cell(spmd_mean, 2);
       table.add_cell(speedup, 2);
+      table.add_cell(dist_ref_mean, 2);
+      table.add_cell(dist_spmd_mean, 2);
+      table.add_cell(dist_speedup, 2);
 
       if (!first_record) json << ",\n";
       first_record = false;
@@ -245,6 +386,7 @@ int main(int argc, char** argv) {
            << ", \"equivalent\": " << (all_equal ? "true" : "false")
            << ",\n   \"health\": ";
       health_json(json, run_health);
+      json << ",\n   \"distributed\": " << dist_json.str();
       json << ",\n   \"steps\": [\n" << steps_json.str() << "\n   ]}";
       if (fault_rate > 0 || !run_health.clean()) {
         std::cout << "threads " << t << " health: " << run_health.summary()

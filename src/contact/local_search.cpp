@@ -310,6 +310,140 @@ void local_contact_search_subset_into(const Mesh& mesh, const Surface& surface,
             });
 }
 
+namespace {
+
+/// Triangulation of a face record, mirroring face_triangles: (0,1,2) plus
+/// (0,2,3) for quads, degenerate (a, b, b) for 2-node edges.
+void record_triangles(const FaceRecord& rec,
+                      std::vector<std::array<Vec3, 3>>* tris) {
+  tris->clear();
+  const auto& c = rec.coords;
+  if (rec.num_nodes == 2) {
+    tris->push_back({c[0], c[1], c[1]});
+  } else if (rec.num_nodes == 3) {
+    tris->push_back({c[0], c[1], c[2]});
+  } else {
+    tris->push_back({c[0], c[1], c[2]});
+    tris->push_back({c[0], c[2], c[3]});
+  }
+}
+
+/// face_normal over a record's coordinates (fan cross-sum from node 0).
+Vec3 record_normal(const FaceRecord& rec) {
+  if (rec.num_nodes < 3) {
+    const Vec3 d = rec.coords[1] - rec.coords[0];
+    return {-d.y, d.x, 0};
+  }
+  Vec3 n{};
+  const Vec3 a = rec.coords[0];
+  for (std::int32_t i = 1; i + 1 < rec.num_nodes; ++i) {
+    n = n + cross(rec.coords[static_cast<std::size_t>(i)] - a,
+                  rec.coords[static_cast<std::size_t>(i) + 1] - a);
+  }
+  return n;
+}
+
+FaceTest test_record(const FaceRecord& rec, Vec3 p,
+                     std::vector<std::array<Vec3, 3>>* scratch) {
+  record_triangles(rec, scratch);
+  FaceTest best{std::numeric_limits<real_t>::max(), 0, {}};
+  for (const auto& tri : *scratch) {
+    const Vec3 c = closest_on_tri_robust(p, tri);
+    const real_t d = norm(p - c);
+    if (d < best.distance) {
+      best.distance = d;
+      best.closest = c;
+    }
+  }
+  const Vec3 n = record_normal(rec);
+  const real_t nn = norm(n);
+  best.signed_distance =
+      nn > 0 ? dot(p - best.closest, (1.0 / nn) * n) : best.distance;
+  return best;
+}
+
+bool record_contains_node(const FaceRecord& rec, idx_t node) {
+  for (std::int32_t i = 0; i < rec.num_nodes; ++i) {
+    if (rec.nodes[static_cast<std::size_t>(i)] == node) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void local_contact_search_records_into(std::span<const idx_t> node_ids,
+                                       std::span<const Vec3> positions,
+                                       int dim,
+                                       std::span<const FaceRecord> faces,
+                                       const LocalSearchOptions& opts,
+                                       SubsetSearchScratch& scratch,
+                                       std::vector<ContactEvent>& out) {
+  require(opts.tolerance > 0,
+          "local_contact_search_records: tolerance must be > 0");
+  out.clear();
+  scratch.centroids.assign(faces.size(), Vec3{});
+  real_t max_radius = 0;
+  for (std::size_t i = 0; i < faces.size(); ++i) {
+    const FaceRecord& rec = faces[i];
+    require(rec.num_nodes >= 2 && rec.num_nodes <= 4,
+            "local_contact_search_records: bad face record");
+    Vec3 c{};
+    for (std::int32_t j = 0; j < rec.num_nodes; ++j) {
+      c = c + rec.coords[static_cast<std::size_t>(j)];
+    }
+    c = (1.0 / static_cast<real_t>(rec.num_nodes)) * c;
+    scratch.centroids[i] = c;
+    for (std::int32_t j = 0; j < rec.num_nodes; ++j) {
+      max_radius = std::max(
+          max_radius, norm(rec.coords[static_cast<std::size_t>(j)] - c));
+    }
+  }
+  const KdTree tree(scratch.centroids, dim);
+  const real_t reach = opts.tolerance + max_radius;
+
+  for (idx_t node : node_ids) {
+    const Vec3 p = positions[static_cast<std::size_t>(node)];
+    BBox box;
+    box.expand(p);
+    box.inflate(reach);
+    scratch.candidates.clear();
+    tree.query_box(box, scratch.candidates);
+    ContactEvent best;
+    bool have_best = false;
+    for (idx_t local : scratch.candidates) {
+      const FaceRecord& rec = faces[static_cast<std::size_t>(local)];
+      if (record_contains_node(rec, node)) continue;
+      if (!opts.body_of_node.empty() &&
+          opts.body_of_node[static_cast<std::size_t>(node)] ==
+              opts.body_of_node[static_cast<std::size_t>(rec.nodes[0])]) {
+        continue;
+      }
+      const FaceTest t = test_record(rec, p, &scratch.triangles);
+      if (t.distance > opts.tolerance) continue;
+      ContactEvent e;
+      e.node = node;
+      e.face = rec.key;
+      e.distance = t.distance;
+      e.signed_distance = t.signed_distance;
+      e.closest_point = t.closest;
+      if (opts.closest_only) {
+        if (!have_best || e.distance < best.distance) {
+          best = e;
+          have_best = true;
+        }
+      } else {
+        out.push_back(e);
+      }
+    }
+    if (opts.closest_only && have_best) out.push_back(best);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ContactEvent& a, const ContactEvent& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.distance < b.distance;
+            });
+}
+
 std::vector<ContactEvent> local_contact_search_candidates(
     const Mesh& mesh, const Surface& surface,
     std::span<const std::vector<idx_t>> candidate_faces,

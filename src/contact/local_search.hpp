@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -92,5 +93,31 @@ void local_contact_search_subset_into(const Mesh& mesh, const Surface& surface,
                                       const LocalSearchOptions& opts,
                                       SubsetSearchScratch& scratch,
                                       std::vector<ContactEvent>& out);
+
+/// A self-contained surface-face record — what the rank-owned pipeline
+/// ships and searches instead of indices into a central Surface. `key` is a
+/// stable face id (element * faces_per_element + local_face, identical on
+/// every rank that derives the face), and the node coordinates travel with
+/// the record so the receiver needs no central mesh.
+struct FaceRecord {
+  idx_t key = kInvalidIndex;
+  std::int32_t num_nodes = 0;
+  std::array<idx_t, 4> nodes{kInvalidIndex, kInvalidIndex, kInvalidIndex,
+                             kInvalidIndex};
+  std::array<Vec3, 4> coords{};
+};
+
+/// Local search of `node_ids` against face records, with node positions
+/// drawn from `positions` (dense, indexed by global node id). Same
+/// arithmetic, exclusions, and (node, distance) ordering as
+/// local_contact_search_subset_into; events carry record.key in
+/// ContactEvent::face. `opts.body_of_node` uses global node ids too.
+void local_contact_search_records_into(std::span<const idx_t> node_ids,
+                                       std::span<const Vec3> positions,
+                                       int dim,
+                                       std::span<const FaceRecord> faces,
+                                       const LocalSearchOptions& opts,
+                                       SubsetSearchScratch& scratch,
+                                       std::vector<ContactEvent>& out);
 
 }  // namespace cpart

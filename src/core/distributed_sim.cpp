@@ -1,0 +1,675 @@
+#include "core/distributed_sim.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "tree/tree_io.hpp"
+
+namespace cpart {
+
+namespace {
+
+/// Scans the live boundary faces of element `e` at nose height `nose` and
+/// calls fn(lf, ids, nf) for every face that passes the contact-zone
+/// designation. This is THE kept-face predicate of the distributed step —
+/// both flavors call it per element, so erosion, boundary, centroid, and
+/// zone arithmetic are identical by construction (the centroid follows
+/// ImpactSim::snapshot exactly: sum in face-node order, then (1/n) *).
+template <typename Fn>
+void scan_element_faces(const ImpactSim& sim, const MeshTopology& topo,
+                        idx_t e, real_t nose, std::span<const Vec3> positions,
+                        Fn&& fn) {
+  if (sim.element_eroded(e, nose)) return;
+  const int fpe = topo.faces_per_element();
+  std::array<idx_t, 4> ids;
+  for (int lf = 0; lf < fpe; ++lf) {
+    const idx_t nb = topo.face_neighbor(e, lf);
+    if (nb != kInvalidIndex && !sim.element_eroded(nb, nose)) continue;
+    const int nf = topo.face_nodes(e, lf, ids);
+    Vec3 c{};
+    for (int i = 0; i < nf; ++i) {
+      c = c + positions[static_cast<std::size_t>(ids[i])];
+    }
+    c = (1.0 / static_cast<real_t>(nf)) * c;
+    if (!sim.face_in_contact_zone(ids[0], c)) continue;
+    fn(lf, ids, nf);
+  }
+}
+
+bool event_order(const ContactEvent& a, const ContactEvent& b) {
+  if (a.node != b.node) return a.node < b.node;
+  return a.distance < b.distance;
+}
+
+void finalize_events(DistributedStepReport& report) {
+  std::sort(report.events.begin(), report.events.end(), event_order);
+  report.contact_events = to_idx(report.events.size());
+  report.penetrating_events = 0;
+  for (const ContactEvent& e : report.events) {
+    if (e.signed_distance < 0) ++report.penetrating_events;
+  }
+}
+
+FaceRecord record_from_msg(const FaceShipMsg& m) {
+  FaceRecord rec;
+  rec.key = m.face;
+  rec.num_nodes = m.num_nodes;
+  rec.nodes = m.nodes;
+  rec.coords = m.coords;
+  return rec;
+}
+
+}  // namespace
+
+DistributedSim::DistributedSim(const ImpactSim& sim,
+                               const DistributedSimConfig& config)
+    : sim_(&sim),
+      config_(config),
+      topo_(sim.initial_mesh()),
+      exchange_(config.decomposition.k),
+      executor_(config.decomposition.k) {
+  config_.search.validate("DistributedSim");
+  require(config_.repartition_period >= 0,
+          "DistributedSim: repartition_period must be >= 0");
+
+  body_of_node_.reserve(sim.node_body().size());
+  for (Body b : sim.node_body()) body_of_node_.push_back(static_cast<int>(b));
+
+  // Initial decomposition: the paper's MCML+DT partition of the snapshot-0
+  // mesh becomes the initial ownership map. The partitioner is not kept —
+  // afterwards the labels live in (and only in) the rank states.
+  const ImpactSim::Snapshot snap0 = sim.snapshot(0);
+  McmlDtPartitioner partitioner(snap0.mesh, snap0.surface,
+                                config_.decomposition);
+  states_.resize(static_cast<std::size_t>(k()));
+  for (idx_t r = 0; r < k(); ++r) {
+    states_[static_cast<std::size_t>(r)].init(topo_, r,
+                                              partitioner.node_partition(),
+                                              k());
+  }
+}
+
+std::vector<idx_t> DistributedSim::compute_repartition(
+    idx_t s, std::span<const idx_t> owner,
+    std::span<const char> is_contact) const {
+  // The repartition graph is built over the immutable topology (eroded
+  // elements included) — the same substrate the ownership machinery runs
+  // on, so the protocol never needs a compacted central mesh.
+  const CsrGraph g =
+      build_two_phase_graph(sim_->initial_mesh(), is_contact,
+                            config_.decomposition.contact_edge_weight);
+  RepartitionOptions ro = config_.repartition;
+  ro.k = k();
+  ro.seed = config_.repartition.seed + static_cast<std::uint64_t>(s);
+  return repartition_graph(g, owner, ro);
+}
+
+DistributedStepReport DistributedSim::run_step(idx_t s) {
+  const bool migrate = is_migration_step();
+  const idx_t nn = topo_.num_nodes();
+
+  // Start-of-step recovery snapshot: if the transport gives up mid-step the
+  // reference body reruns the whole step from here (positions need no
+  // recovery — they are recomputed closed-form and re-haloed every step).
+  start_owner_ = states_[0].node_owner;
+  start_hits_.resize(static_cast<std::size_t>(nn));
+  for (idx_t v = 0; v < nn; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    start_hits_[sv] =
+        states_[static_cast<std::size_t>(start_owner_[sv])].contact_hits[sv];
+  }
+
+  DistributedStepReport report;
+  PipelineHealth health;
+  const bool ok = try_spmd_step(exchange_, health, [&] {
+    run_step_spmd(s, migrate, report);
+  });
+  if (ok) {
+    report.health = exchange_.take_health();
+  } else {
+    report = DistributedStepReport{};
+    std::vector<idx_t> owner = start_owner_;
+    std::vector<wgt_t> hits = start_hits_;
+    run_reference_body(s, migrate, owner, hits, report);
+    scatter_global_state(owner, hits);
+    report.health = health;
+  }
+  ++steps_run_;
+  return report;
+}
+
+DistributedStepReport DistributedSim::run_step_reference(idx_t s) {
+  const bool migrate = is_migration_step();
+  const idx_t nn = topo_.num_nodes();
+  std::vector<idx_t> owner = states_[0].node_owner;
+  std::vector<wgt_t> hits(static_cast<std::size_t>(nn));
+  for (idx_t v = 0; v < nn; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    hits[sv] = states_[static_cast<std::size_t>(owner[sv])].contact_hits[sv];
+  }
+  DistributedStepReport report;
+  run_reference_body(s, migrate, owner, hits, report);
+  scatter_global_state(owner, hits);
+  ++steps_run_;
+  return report;
+}
+
+void DistributedSim::run_step_spmd(idx_t s, bool migrate,
+                                   DistributedStepReport& report) {
+  const idx_t np = k();
+  const idx_t nn = topo_.num_nodes();
+  const real_t nose = sim_->nose_z(s);
+  report.step = s;
+  report.migrated = migrate;
+
+  // --- Superstep A: owned kinematics + halo post. --------------------------
+  executor_.superstep([&](idx_t r) {
+    SubdomainState& st = states_[static_cast<std::size_t>(r)];
+    st.begin_step();
+    for (idx_t v : st.owned_nodes) {
+      st.positions[static_cast<std::size_t>(v)] = sim_->displaced(v, nose);
+    }
+    for (const HaloSend& hs : st.halo_sends) {
+      exchange_.halo().send(
+          r, hs.dst,
+          HaloNodeMsg{hs.node,
+                      st.positions[static_cast<std::size_t>(hs.node)]});
+    }
+  });
+  exchange_.deliver();  // #1
+  report.fe_exchange = exchange_.take_fe_traffic();
+  report.halo_payload_bytes = exchange_.take_halo_bytes();
+
+  // --- Superstep B: ghost intake, local surface extraction, contact-point
+  // gather to rank 0. --------------------------------------------------------
+  executor_.superstep([&](idx_t r) {
+    SubdomainState& st = states_[static_cast<std::size_t>(r)];
+    for (const HaloNodeMsg& m : exchange_.halo().inbox(r)) {
+      st.positions[static_cast<std::size_t>(m.node)] = m.position;
+    }
+    for (idx_t e : st.tracked_elements) {
+      scan_element_faces(
+          *sim_, topo_, e, nose, st.positions,
+          [&](int lf, const std::array<idx_t, 4>& ids, int nf) {
+            for (int i = 0; i < nf; ++i) {
+              const auto v = static_cast<std::size_t>(ids[i]);
+              if (st.node_owner[v] == r && !st.node_mask[v]) {
+                st.node_mask[v] = 1;
+                st.contact_nodes.push_back(ids[i]);
+              }
+            }
+            const idx_t home = majority_owner(
+                {ids.data(), static_cast<std::size_t>(nf)}, st.node_owner);
+            if (home != r) return;
+            FaceRecord rec;
+            rec.key = topo_.face_key(e, lf);
+            rec.num_nodes = nf;
+            for (int i = 0; i < nf; ++i) {
+              rec.nodes[i] = ids[i];
+              rec.coords[i] = st.positions[static_cast<std::size_t>(ids[i])];
+            }
+            st.owned_records.push_back(rec);
+          });
+    }
+    std::sort(st.contact_nodes.begin(), st.contact_nodes.end());
+    for (idx_t v : st.contact_nodes) {
+      st.node_mask[static_cast<std::size_t>(v)] = 0;
+    }
+    for (idx_t v : st.contact_nodes) {
+      exchange_.coupling_forward().send(
+          r, 0, ContactPointMsg{v, st.positions[static_cast<std::size_t>(v)]});
+    }
+  });
+  exchange_.deliver();  // #2
+  report.coupling_exchange = exchange_.take_coupling_traffic();
+  report.coupling_payload_bytes = exchange_.take_coupling_bytes();
+
+  // On migration steps the driver computes the new labels here, between the
+  // contact gather and the descriptor superstep: kway refinement dispatches
+  // ThreadPool work, which a rank program must never do (nested dispatch
+  // deadlocks the pool). The wire protocol stays rank-level — rank 0
+  // broadcasts the changed labels, each rank computes its own outgoing set.
+  std::vector<idx_t> new_part;
+  if (migrate) {
+    contact_mask_.assign(static_cast<std::size_t>(nn), 0);
+    for (const SubdomainState& st : states_) {
+      for (idx_t v : st.contact_nodes) {
+        contact_mask_[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    new_part = compute_repartition(s, states_[0].node_owner, contact_mask_);
+  }
+
+  // --- Superstep C: rank 0 induces + broadcasts descriptors (and, on
+  // migration steps, the changed-label list). -------------------------------
+  executor_.superstep([&](idx_t r) {
+    if (r != 0) return;
+    SubdomainState& st = states_[0];
+    std::vector<std::pair<idx_t, Vec3>> pts;
+    pts.reserve(st.contact_nodes.size() +
+                exchange_.coupling_forward().inbox(0).size());
+    for (idx_t v : st.contact_nodes) {
+      pts.emplace_back(v, st.positions[static_cast<std::size_t>(v)]);
+    }
+    for (const ContactPointMsg& m : exchange_.coupling_forward().inbox(0)) {
+      pts.emplace_back(m.node, m.position);
+    }
+    // Each node has exactly one owner, so ids are unique and the sort is a
+    // total order — the global ascending contact-id order of the oracle.
+    std::sort(pts.begin(), pts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<Vec3> points;
+    std::vector<idx_t> labels;
+    points.reserve(pts.size());
+    labels.reserve(pts.size());
+    for (const auto& [id, p] : pts) {
+      points.push_back(p);
+      labels.push_back(st.node_owner[static_cast<std::size_t>(id)]);
+    }
+    DescriptorOptions dopts = config_.decomposition.descriptor;
+    dopts.dim = topo_.mesh().dim();
+    st.descriptors.emplace(points, labels, np, dopts);
+    exchange_.descriptors().broadcast(
+        0, DescriptorTreeMsg{tree_to_string(st.descriptors->tree())});
+    if (migrate) {
+      for (idx_t v = 0; v < nn; ++v) {
+        const auto sv = static_cast<std::size_t>(v);
+        if (new_part[sv] == st.node_owner[sv]) continue;
+        exchange_.labels().broadcast(0, LabelUpdateMsg{v, new_part[sv]});
+        st.pending_labels.emplace_back(v, new_part[sv]);
+      }
+    }
+  });
+  exchange_.deliver();  // #3
+  report.descriptor_tree_nodes = states_[0].descriptors->num_tree_nodes();
+  report.descriptor_broadcast_bytes = exchange_.take_descriptor_bytes();
+  report.label_broadcast_bytes = exchange_.take_label_bytes();
+
+  // --- Superstep D: parse descriptor copies, global search + shipping. -----
+  executor_.superstep([&](idx_t r) {
+    SubdomainState& st = states_[static_cast<std::size_t>(r)];
+    if (r != 0) {
+      const auto& in = exchange_.descriptors().inbox(r);
+      require(in.size() == 1, "DistributedSim: descriptor broadcast lost");
+      st.descriptors.emplace(tree_from_string(in.front().wire), np);
+      for (const LabelUpdateMsg& m : exchange_.labels().inbox(r)) {
+        st.pending_labels.emplace_back(m.node, m.owner);
+      }
+    }
+    for (const FaceRecord& rec : st.owned_records) {
+      BBox box;
+      for (int i = 0; i < rec.num_nodes; ++i) box.expand(rec.coords[i]);
+      box.inflate(config_.search.search_margin);
+      st.query_parts.clear();
+      st.descriptors->query_box(box, st.query_parts);
+      for (idx_t q : st.query_parts) {
+        if (q == r) continue;
+        FaceShipMsg m;
+        m.face = rec.key;
+        m.element = rec.key / static_cast<idx_t>(topo_.faces_per_element());
+        m.num_nodes = rec.num_nodes;
+        m.nodes = rec.nodes;
+        m.coords = rec.coords;
+        exchange_.faces().send(r, q, m);
+      }
+    }
+  });
+  exchange_.deliver();  // #4
+  report.search_exchange = exchange_.take_search_traffic();
+  report.face_payload_bytes = exchange_.take_face_bytes();
+
+  // --- Superstep E: local search + hit accounting; on migration steps,
+  // compute the outgoing sets from the new labels and ship the state. -------
+  const LocalSearchOptions local = config_.search.local_options(body_of_node_);
+  const int dim = topo_.mesh().dim();
+  executor_.superstep([&](idx_t r) {
+    SubdomainState& st = states_[static_cast<std::size_t>(r)];
+    st.local_records.assign(st.owned_records.begin(), st.owned_records.end());
+    for (const FaceShipMsg& m : exchange_.faces().inbox(r)) {
+      st.local_records.push_back(record_from_msg(m));
+    }
+    // Face keys are globally unique (one home rank derives each face), so
+    // sorting by key reproduces the oracle's global ascending-key order.
+    std::sort(st.local_records.begin(), st.local_records.end(),
+              [](const FaceRecord& a, const FaceRecord& b) {
+                return a.key < b.key;
+              });
+    if (!st.contact_nodes.empty() && !st.local_records.empty()) {
+      local_contact_search_records_into(st.contact_nodes, st.positions, dim,
+                                        st.local_records, local,
+                                        st.search_scratch, st.events);
+    }
+    for (const ContactEvent& ev : st.events) {
+      ++st.contact_hits[static_cast<std::size_t>(ev.node)];
+    }
+    if (!migrate) return;
+    // Node migration: this rank ships the authoritative state of every
+    // owned node the new labels take away — including this step's hits.
+    for (const auto& [v, o] : st.pending_labels) {
+      const auto sv = static_cast<std::size_t>(v);
+      if (st.node_owner[sv] != r || o == r) continue;
+      exchange_.migrate_nodes().send(
+          r, o, NodeMigrateMsg{v, st.positions[sv], st.contact_hits[sv]});
+      ++st.moved_nodes_out;
+    }
+    // Element migration: owned elements whose majority owner changes under
+    // the new labels are re-homed with their connectivity record.
+    st.owner_scratch.assign(st.node_owner.begin(), st.node_owner.end());
+    for (const auto& [v, o] : st.pending_labels) {
+      st.owner_scratch[static_cast<std::size_t>(v)] = o;
+    }
+    for (idx_t e : st.owned_elements) {
+      const auto elem = topo_.mesh().element(e);
+      const idx_t new_home = majority_owner(elem, st.owner_scratch);
+      if (new_home == r) continue;
+      ElementMigrateMsg m;
+      m.element = e;
+      m.num_nodes = static_cast<std::int32_t>(elem.size());
+      for (std::size_t i = 0; i < elem.size(); ++i) m.nodes[i] = elem[i];
+      exchange_.migrate_elements().send(r, new_home, m);
+      ++st.moved_elements_out;
+    }
+  });
+
+  if (migrate) {
+    exchange_.deliver();  // #5, migration superstep
+    report.migration_exchange = exchange_.take_migration_traffic();
+    report.migration_payload_bytes = exchange_.take_migration_bytes();
+    for (const SubdomainState& st : states_) {
+      report.repart_moved_nodes += st.moved_nodes_out;
+      report.repart_moved_elements += st.moved_elements_out;
+    }
+
+    // --- Superstep F: migration commit — apply labels, splice migrated
+    // state, validate element records, rebuild ownership views. -------------
+    executor_.superstep([&](idx_t r) {
+      SubdomainState& st = states_[static_cast<std::size_t>(r)];
+      // Zero migrated-away accumulators while node_owner is still the old
+      // map, so stale owned state cannot leak past the handover.
+      for (const auto& [v, o] : st.pending_labels) {
+        const auto sv = static_cast<std::size_t>(v);
+        if (st.node_owner[sv] == r && o != r) st.contact_hits[sv] = 0;
+      }
+      std::swap(st.node_owner, st.owner_scratch);
+      for (const NodeMigrateMsg& m : exchange_.migrate_nodes().inbox(r)) {
+        require(m.node >= 0 && m.node < nn,
+                "DistributedSim: migrated node id out of range");
+        const auto sv = static_cast<std::size_t>(m.node);
+        require(st.node_owner[sv] == r,
+                "DistributedSim: node migrated to a rank that does not own it");
+        st.positions[sv] = m.position;
+        st.contact_hits[sv] = m.contact_hits;
+      }
+      for (const ElementMigrateMsg& m : exchange_.migrate_elements().inbox(r)) {
+        require(m.element >= 0 && m.element < topo_.num_elements(),
+                "DistributedSim: migrated element id out of range");
+        const auto elem = topo_.mesh().element(m.element);
+        require(static_cast<std::size_t>(m.num_nodes) == elem.size(),
+                "DistributedSim: migrated element arity mismatch");
+        for (std::size_t i = 0; i < elem.size(); ++i) {
+          require(m.nodes[i] == elem[i],
+                  "DistributedSim: migrated element connectivity mismatch");
+        }
+        require(majority_owner(elem, st.node_owner) == r,
+                "DistributedSim: element re-homed to the wrong rank");
+      }
+      st.rebuild_views(topo_, np);
+    });
+  }
+
+  // Deterministic merge: rank order, then one global (node, distance) sort.
+  report.events_per_processor.assign(static_cast<std::size_t>(np), 0);
+  report.events.clear();
+  for (idx_t q = 0; q < np; ++q) {
+    const SubdomainState& st = states_[static_cast<std::size_t>(q)];
+    report.events_per_processor[static_cast<std::size_t>(q)] =
+        to_idx(st.events.size());
+    report.events.insert(report.events.end(), st.events.begin(),
+                         st.events.end());
+  }
+  finalize_events(report);
+
+  const std::vector<idx_t>& owner = states_[0].node_owner;
+  std::vector<wgt_t> hits(static_cast<std::size_t>(nn));
+  for (idx_t v = 0; v < nn; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    hits[sv] = states_[static_cast<std::size_t>(owner[sv])].contact_hits[sv];
+  }
+  report.ownership_hash = ownership_hash(owner, hits);
+}
+
+void DistributedSim::run_reference_body(idx_t s, bool migrate,
+                                        std::vector<idx_t>& owner,
+                                        std::vector<wgt_t>& hits,
+                                        DistributedStepReport& report) const {
+  const idx_t np = k();
+  const idx_t nn = topo_.num_nodes();
+  const idx_t ne = topo_.num_elements();
+  const real_t nose = sim_->nose_z(s);
+  report.step = s;
+  report.migrated = migrate;
+
+  // Kinematics for every node — the centralized body holds the whole state.
+  std::vector<Vec3> positions(static_cast<std::size_t>(nn));
+  for (idx_t v = 0; v < nn; ++v) {
+    positions[static_cast<std::size_t>(v)] = sim_->displaced(v, nose);
+  }
+
+  // FE halo: one unit per (owned node, tracker rank) pair — the identical
+  // enumeration the rank states post from (shared collect_tracker_ranks).
+  {
+    VirtualCluster fe(np);
+    std::vector<char> seen(static_cast<std::size_t>(np), 0);
+    std::vector<idx_t> trackers;
+    const wgt_t msg_bytes = wire_bytes(HaloNodeMsg{});
+    for (idx_t v = 0; v < nn; ++v) {
+      collect_tracker_ranks(topo_, owner, v, seen, trackers);
+      for (idx_t q : trackers) {
+        fe.send(owner[static_cast<std::size_t>(v)], q, 1);
+        report.halo_payload_bytes += msg_bytes;
+      }
+    }
+    report.fe_exchange = fe.finish();
+  }
+
+  // Global surface extraction + contact designation (same per-element scan
+  // as the rank programs, over all elements in ascending order).
+  struct HomedRecord {
+    FaceRecord rec;
+    idx_t home = kInvalidIndex;
+  };
+  std::vector<HomedRecord> records;
+  std::vector<char> is_contact(static_cast<std::size_t>(nn), 0);
+  for (idx_t e = 0; e < ne; ++e) {
+    scan_element_faces(
+        *sim_, topo_, e, nose, positions,
+        [&](int lf, const std::array<idx_t, 4>& ids, int nf) {
+          for (int i = 0; i < nf; ++i) {
+            is_contact[static_cast<std::size_t>(ids[i])] = 1;
+          }
+          HomedRecord hr;
+          hr.home = majority_owner(
+              {ids.data(), static_cast<std::size_t>(nf)}, owner);
+          hr.rec.key = topo_.face_key(e, lf);
+          hr.rec.num_nodes = nf;
+          for (int i = 0; i < nf; ++i) {
+            hr.rec.nodes[i] = ids[i];
+            hr.rec.coords[i] = positions[static_cast<std::size_t>(ids[i])];
+          }
+          records.push_back(hr);
+        });
+  }
+  std::vector<idx_t> contact_ids;
+  for (idx_t v = 0; v < nn; ++v) {
+    if (is_contact[static_cast<std::size_t>(v)]) contact_ids.push_back(v);
+  }
+
+  // Contact-point gather to rank 0.
+  {
+    VirtualCluster coupling(np);
+    const wgt_t msg_bytes = wire_bytes(ContactPointMsg{});
+    for (idx_t v : contact_ids) {
+      if (owner[static_cast<std::size_t>(v)] == 0) continue;
+      coupling.send(owner[static_cast<std::size_t>(v)], 0, 1);
+      report.coupling_payload_bytes += msg_bytes;
+    }
+    report.coupling_exchange = coupling.finish();
+  }
+
+  // Descriptor induction from the gathered points (labels are the current,
+  // pre-migration owners, exactly as rank 0 induces them).
+  std::vector<Vec3> points;
+  std::vector<idx_t> labels;
+  points.reserve(contact_ids.size());
+  labels.reserve(contact_ids.size());
+  for (idx_t v : contact_ids) {
+    points.push_back(positions[static_cast<std::size_t>(v)]);
+    labels.push_back(owner[static_cast<std::size_t>(v)]);
+  }
+  DescriptorOptions dopts = config_.decomposition.descriptor;
+  dopts.dim = topo_.mesh().dim();
+  const SubdomainDescriptors descriptors(points, labels, np, dopts);
+  report.descriptor_tree_nodes = descriptors.num_tree_nodes();
+  report.descriptor_broadcast_bytes =
+      static_cast<wgt_t>(tree_to_string(descriptors.tree()).size()) *
+      std::max<wgt_t>(0, np - 1);
+
+  // Repartition: computed here (where the SPMD driver computes it, from the
+  // same labels and contact mask) but APPLIED only after the search — the
+  // rank protocol commits ownership at superstep F.
+  std::vector<idx_t> new_part;
+  std::vector<idx_t> changed;
+  if (migrate) {
+    new_part = compute_repartition(s, owner, is_contact);
+    for (idx_t v = 0; v < nn; ++v) {
+      if (new_part[static_cast<std::size_t>(v)] !=
+          owner[static_cast<std::size_t>(v)]) {
+        changed.push_back(v);
+      }
+    }
+    report.label_broadcast_bytes = static_cast<wgt_t>(changed.size()) *
+                                   wire_bytes(LabelUpdateMsg{}) *
+                                   std::max<wgt_t>(0, np - 1);
+  }
+
+  // Global search + element shipping under the descriptor filter.
+  std::vector<std::vector<FaceRecord>> faces_on(
+      static_cast<std::size_t>(np));
+  {
+    VirtualCluster search(np);
+    std::vector<idx_t> parts;
+    for (const HomedRecord& hr : records) {
+      faces_on[static_cast<std::size_t>(hr.home)].push_back(hr.rec);
+      BBox box;
+      for (int i = 0; i < hr.rec.num_nodes; ++i) box.expand(hr.rec.coords[i]);
+      box.inflate(config_.search.search_margin);
+      parts.clear();
+      descriptors.query_box(box, parts);
+      FaceShipMsg probe;
+      probe.num_nodes = hr.rec.num_nodes;
+      for (idx_t q : parts) {
+        if (q == hr.home) continue;
+        search.send(hr.home, q, 1);
+        report.face_payload_bytes += wire_bytes(probe);
+        faces_on[static_cast<std::size_t>(q)].push_back(hr.rec);
+      }
+    }
+    report.search_exchange = search.finish();
+  }
+
+  // Per-rank local search (serial) + hit accounting.
+  std::vector<std::vector<idx_t>> nodes_on(static_cast<std::size_t>(np));
+  for (idx_t v : contact_ids) {
+    nodes_on[static_cast<std::size_t>(owner[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  const LocalSearchOptions local = config_.search.local_options(body_of_node_);
+  const int dim = topo_.mesh().dim();
+  report.events_per_processor.assign(static_cast<std::size_t>(np), 0);
+  SubsetSearchScratch scratch;
+  std::vector<ContactEvent> rank_events;
+  for (idx_t q = 0; q < np; ++q) {
+    const auto sq = static_cast<std::size_t>(q);
+    rank_events.clear();
+    if (!nodes_on[sq].empty() && !faces_on[sq].empty()) {
+      local_contact_search_records_into(nodes_on[sq], positions, dim,
+                                        faces_on[sq], local, scratch,
+                                        rank_events);
+    }
+    report.events_per_processor[sq] = to_idx(rank_events.size());
+    report.events.insert(report.events.end(), rank_events.begin(),
+                         rank_events.end());
+    for (const ContactEvent& ev : rank_events) {
+      ++hits[static_cast<std::size_t>(ev.node)];
+    }
+  }
+  finalize_events(report);
+
+  // Migration accounting + ownership commit. Moving a node's state between
+  // owners is a no-op on the global arrays, so only owner changes apply.
+  if (migrate) {
+    VirtualCluster migration(np);
+    const wgt_t node_bytes = wire_bytes(NodeMigrateMsg{});
+    for (idx_t v : changed) {
+      migration.send(owner[static_cast<std::size_t>(v)],
+                     new_part[static_cast<std::size_t>(v)], 1);
+      report.migration_payload_bytes += node_bytes;
+    }
+    report.repart_moved_nodes = to_idx(changed.size());
+    for (idx_t e = 0; e < ne; ++e) {
+      const auto elem = topo_.mesh().element(e);
+      const idx_t old_home = majority_owner(elem, owner);
+      const idx_t new_home = majority_owner(elem, new_part);
+      if (old_home == new_home) continue;
+      migration.send(old_home, new_home, 1);
+      ElementMigrateMsg probe;
+      probe.num_nodes = static_cast<std::int32_t>(elem.size());
+      report.migration_payload_bytes += wire_bytes(probe);
+      ++report.repart_moved_elements;
+    }
+    report.migration_exchange = migration.finish();
+    for (idx_t v : changed) {
+      owner[static_cast<std::size_t>(v)] =
+          new_part[static_cast<std::size_t>(v)];
+    }
+  }
+
+  report.ownership_hash = ownership_hash(owner, hits);
+}
+
+void DistributedSim::scatter_global_state(std::span<const idx_t> owner,
+                                          std::span<const wgt_t> hits) {
+  executor_.superstep([&](idx_t r) {
+    SubdomainState& st = states_[static_cast<std::size_t>(r)];
+    st.node_owner.assign(owner.begin(), owner.end());
+    st.contact_hits.assign(hits.begin(), hits.end());
+    st.rebuild_views(topo_, k());
+  });
+}
+
+std::uint64_t DistributedSim::ownership_hash(
+    std::span<const idx_t> owner, std::span<const wgt_t> hits) const {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (idx_t o : owner) h = fnv1a_value(h, o);
+  for (wgt_t w : hits) h = fnv1a_value(h, w);
+  return h;
+}
+
+std::vector<idx_t> DistributedSim::ownership_map() const {
+  for (const SubdomainState& st : states_) {
+    require(st.node_owner == states_[0].node_owner,
+            "DistributedSim: ownership replicas diverged");
+  }
+  return states_[0].node_owner;
+}
+
+std::vector<wgt_t> DistributedSim::gather_contact_hits() const {
+  const std::vector<idx_t>& owner = states_[0].node_owner;
+  std::vector<wgt_t> hits(owner.size());
+  for (std::size_t v = 0; v < owner.size(); ++v) {
+    hits[v] = states_[static_cast<std::size_t>(owner[v])].contact_hits[v];
+  }
+  return hits;
+}
+
+}  // namespace cpart

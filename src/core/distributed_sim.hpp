@@ -1,0 +1,179 @@
+// Rank-owned distributed contact simulation with live element migration.
+//
+// The SPMD pipelines of core/pipeline.hpp still consume centrally generated
+// snapshots: a driver builds the deformed mesh and surface, and the ranks
+// own views into them. DistributedSim removes the central snapshot from the
+// step path entirely. Each rank holds a SubdomainState — the authoritative
+// positions and contact-hit accumulators of exactly the nodes it owns, plus
+// a ghost layer (the element closure of its owned nodes) refreshed by halo
+// exchange — and derives everything else locally against the immutable
+// MeshTopology:
+//   A. kinematics + halo — each rank advances its owned nodes with the
+//      closed-form ImpactSim kinematics and posts boundary positions to the
+//      ranks tracking them (the halo carries the *authoritative* values;
+//      receivers never recompute ghosts);
+//   B. local surface extraction — each rank scans its tracked elements,
+//      keeps live boundary faces in the contact zone, marks its owned
+//      contact nodes, and emits a FaceRecord for every face it is the
+//      majority owner of; owned contact points stream to rank 0;
+//   C. descriptor induction — rank 0 induces this step's subdomain
+//      descriptors from the gathered contact points and broadcasts the
+//      serialized tree (plus, on migration steps, the changed-label list of
+//      the new repartition);
+//   D. global search — every rank parses its descriptor copy and ships each
+//      owned face record to the candidate ranks the tree names;
+//   E. local search — owned contact nodes vs owned + received records;
+//      events charge the per-node hit accumulators. On migration steps each
+//      rank then computes its outgoing set from the new labels and ships
+//      node state (position + hits) and element records over the exchange's
+//      migration channels;
+//   F. migration commit — receivers splice the migrated state, validate
+//      element records against the immutable topology, and every rank
+//      rebuilds its ownership views from the new labels.
+//
+// The pre-refactor shape survives as run_step_reference(): one centralized
+// body computing the same step on gathered global state, with all traffic
+// modeled analytically. It is the bit-identity oracle — events, traffic
+// matrices, payload bytes, ownership maps, and hit accumulators must match
+// the SPMD path exactly at any thread count, including across a
+// repartition-with-migration step. Both flavors read and write the same
+// rank states, so a single instance can interleave them, and the degraded
+// path (transport retry exhaustion under fault injection) completes the
+// step by running the reference body on the start-of-step state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mcml_dt.hpp"
+#include "core/pipeline.hpp"
+#include "mesh/mesh_topology.hpp"
+#include "partition/partition.hpp"
+#include "runtime/exchange.hpp"
+#include "runtime/rank_executor.hpp"
+#include "runtime/subdomain_state.hpp"
+#include "sim/impact_sim.hpp"
+
+namespace cpart {
+
+struct DistributedSimConfig {
+  McmlDtConfig decomposition{};
+  SearchConfig search{};
+  /// Repartition (and migrate state) every `period` steps; 0 disables. The
+  /// first eligible step is step index `period` (never the first step run).
+  idx_t repartition_period = 0;
+  /// Repartitioning knobs; `k` is overridden with decomposition.k and
+  /// `seed` is offset by the snapshot index so every migration step draws
+  /// an independent (but reproducible) refinement sequence.
+  RepartitionOptions repartition{};
+};
+
+struct DistributedStepReport {
+  idx_t step = 0;
+  bool migrated = false;  // this step ran the repartition+migration protocol
+  StepTraffic fe_exchange;         // halo (superstep A)
+  StepTraffic coupling_exchange;   // contact-point gather to rank 0 (B)
+  StepTraffic search_exchange;     // face shipping (D)
+  StepTraffic migration_exchange;  // node+element migration (E, if migrated)
+  wgt_t descriptor_tree_nodes = 0;
+  wgt_t descriptor_broadcast_bytes = 0;
+  wgt_t label_broadcast_bytes = 0;  // repartition label updates (C)
+  wgt_t halo_payload_bytes = 0;
+  wgt_t coupling_payload_bytes = 0;
+  wgt_t face_payload_bytes = 0;
+  /// Satellite migration accounting: what the repartition actually moved.
+  wgt_t migration_payload_bytes = 0;
+  idx_t repart_moved_nodes = 0;
+  idx_t repart_moved_elements = 0;
+  idx_t contact_events = 0;
+  idx_t penetrating_events = 0;
+  std::vector<ContactEvent> events;  // merged, sorted by (node, distance)
+  std::vector<idx_t> events_per_processor;
+  /// FNV-1a over the end-of-step ownership map and the owner-authoritative
+  /// contact-hit accumulators — the cheap cross-flavor state oracle.
+  std::uint64_t ownership_hash = 0;
+  PipelineHealth health;
+};
+
+class DistributedSim {
+ public:
+  /// Decomposes the snapshot-0 mesh with MCML+DT and splits the result into
+  /// per-rank SubdomainStates. `sim` must outlive the DistributedSim.
+  DistributedSim(const ImpactSim& sim, const DistributedSimConfig& config);
+
+  idx_t k() const { return config_.decomposition.k; }
+  const DistributedSimConfig& config() const { return config_; }
+  const MeshTopology& topology() const { return topo_; }
+  const std::vector<SubdomainState>& states() const { return states_; }
+
+  /// Executes snapshot step `s` SPMD (k rank programs on the global
+  /// ThreadPool). Steps must be run in the order the instance is driven —
+  /// the migration cadence counts steps run, not snapshot indices. Degrades
+  /// to the reference body on transport/rank failure, with
+  /// health.degraded_steps == 1 on the report.
+  DistributedStepReport run_step(idx_t s);
+
+  /// The centralized oracle: gathers the rank states, computes the same
+  /// step (including repartition + migration accounting) in one body, and
+  /// scatters the result back into the rank states. Bit-identical to
+  /// run_step at any thread count.
+  DistributedStepReport run_step_reference(idx_t s);
+
+  /// The exchange the SPMD supersteps run over — for fault injection and
+  /// retry-policy tuning by tests/benches.
+  Exchange& exchange() { return exchange_; }
+
+  /// The replicated ownership map, validated identical across all ranks.
+  std::vector<idx_t> ownership_map() const;
+
+  /// The owner-authoritative per-node contact-hit accumulators.
+  std::vector<wgt_t> gather_contact_hits() const;
+
+ private:
+  bool is_migration_step() const {
+    return config_.repartition_period > 0 && steps_run_ > 0 &&
+           steps_run_ % config_.repartition_period == 0;
+  }
+
+  /// The SPMD supersteps; throws on transport/parse/rank failure.
+  void run_step_spmd(idx_t s, bool migrate, DistributedStepReport& report);
+
+  /// The centralized step body over explicit global state (owner + hits are
+  /// read and updated in place). Shared by run_step_reference and the
+  /// degraded path of run_step.
+  void run_reference_body(idx_t s, bool migrate, std::vector<idx_t>& owner,
+                          std::vector<wgt_t>& hits,
+                          DistributedStepReport& report) const;
+
+  /// Computes this step's repartition from the current labels and the
+  /// contact mask (identical call on both flavors: same graph, same seed).
+  /// Runs on the driver thread — kway refinement dispatches pool work, so
+  /// it must never run inside a rank program.
+  std::vector<idx_t> compute_repartition(idx_t s, std::span<const idx_t> owner,
+                                         std::span<const char> is_contact) const;
+
+  /// Copies `owner`/`hits` into every rank state and rebuilds the views —
+  /// how the reference body's results (and the degraded recovery) re-enter
+  /// the rank-owned representation.
+  void scatter_global_state(std::span<const idx_t> owner,
+                            std::span<const wgt_t> hits);
+
+  std::uint64_t ownership_hash(std::span<const idx_t> owner,
+                               std::span<const wgt_t> hits) const;
+
+  const ImpactSim* sim_;
+  DistributedSimConfig config_;
+  MeshTopology topo_;
+  std::vector<int> body_of_node_;  // same-body search exclusion
+  std::vector<SubdomainState> states_;
+  Exchange exchange_;
+  RankExecutor executor_;
+  idx_t steps_run_ = 0;
+  // Driver scratch.
+  std::vector<char> contact_mask_;
+  std::vector<idx_t> start_owner_;   // start-of-step recovery snapshot
+  std::vector<wgt_t> start_hits_;
+};
+
+}  // namespace cpart

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "contact/search_metrics.hpp"
+#include "core/distributed_sim.hpp"
 #include "core/pipeline.hpp"
 #include "graph/graph_metrics.hpp"
 #include "mesh/mesh_graphs.hpp"
@@ -89,6 +90,29 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
     if (config.fault.cell_fault_probability > 0) {
       probe_injector.emplace(config.fault);
       probe->exchange().set_fault_injector(&*probe_injector);
+    }
+  }
+
+  // Optional rank-owned DistributedSim probe: the live-migration protocol
+  // over the same snapshots, with the same fault schedule/retry budget.
+  std::optional<FaultInjector> dist_injector;
+  std::optional<DistributedSim> dist_probe;
+  if (config.distributed_probe) {
+    DistributedSimConfig dconfig;
+    dconfig.decomposition = dt_config;
+    dconfig.search.search_margin = margin;
+    dconfig.search.contact_tolerance = margin;
+    dconfig.repartition_period =
+        config.policy == UpdatePolicy::kPeriodicRepartition
+            ? config.repartition_period
+            : 0;
+    dconfig.repartition.epsilon = config.epsilon;
+    dconfig.repartition.seed = config.seed;
+    dist_probe.emplace(sim, dconfig);
+    dist_probe->exchange().set_retry_policy(config.retry);
+    if (config.fault.cell_fault_probability > 0) {
+      dist_injector.emplace(config.fault);
+      dist_probe->exchange().set_fault_injector(&*dist_injector);
     }
   }
 
@@ -181,6 +205,15 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
       result.spmd_health += pr.health;
       ++result.spmd_probe_steps;
     }
+    if (dist_probe) {
+      const DistributedStepReport dr = dist_probe->run_step(s);
+      result.distributed_health += dr.health;
+      ++result.distributed_probe_steps;
+      result.distributed_migration_steps += dr.migrated ? 1 : 0;
+      result.distributed_moved_nodes += dr.repart_moved_nodes;
+      result.distributed_moved_elements += dr.repart_moved_elements;
+      result.distributed_migration_bytes += dr.migration_payload_bytes;
+    }
 
     result.series.push_back(m);
     if (progress != nullptr) {
@@ -221,6 +254,14 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
   if (probe && progress != nullptr) {
     *progress << "spmd health over " << result.spmd_probe_steps
               << " probe steps: " << result.spmd_health.summary() << "\n";
+  }
+  if (dist_probe && progress != nullptr) {
+    *progress << "distributed probe over " << result.distributed_probe_steps
+              << " steps: " << result.distributed_migration_steps
+              << " migration steps moved " << result.distributed_moved_nodes
+              << " nodes / " << result.distributed_moved_elements
+              << " elements (" << result.distributed_migration_bytes
+              << " bytes); " << result.distributed_health.summary() << "\n";
   }
   return result;
 }

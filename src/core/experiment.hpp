@@ -59,8 +59,14 @@ struct ExperimentConfig {
   /// result. Off by default — the metric sweep itself is analytic and runs
   /// no exchange.
   bool spmd_health_probe = false;
-  /// Fault schedule for the probe (cell_fault_probability == 0 -> clean
-  /// transport) and its retry budget.
+  /// Opt-in probe of the rank-owned DistributedSim: drives the live
+  /// migration protocol over the same snapshots (repartitioning every
+  /// `repartition_period` steps under kPeriodicRepartition, never under
+  /// kFixedPartition) and aggregates its transport health and migration
+  /// accounting into the result. Shares the fault/retry knobs below.
+  bool distributed_probe = false;
+  /// Fault schedule for the probes (cell_fault_probability == 0 -> clean
+  /// transport) and their retry budget.
   FaultConfig fault{};
   RetryPolicy retry{};
 };
@@ -111,6 +117,14 @@ struct ExperimentResult {
   /// when ExperimentConfig::spmd_health_probe is off.
   PipelineHealth spmd_health;
   idx_t spmd_probe_steps = 0;
+  /// Aggregates of the DistributedSim probe; all zero when
+  /// ExperimentConfig::distributed_probe is off.
+  PipelineHealth distributed_health;
+  idx_t distributed_probe_steps = 0;
+  idx_t distributed_migration_steps = 0;
+  wgt_t distributed_moved_nodes = 0;
+  wgt_t distributed_moved_elements = 0;
+  wgt_t distributed_migration_bytes = 0;
 };
 
 /// Runs the full experiment. When `progress` is non-null, one line per

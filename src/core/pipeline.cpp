@@ -74,43 +74,32 @@ void init_phase(RankPhaseBreakdown& phase, idx_t k) {
   phase.search_ms.assign(static_cast<std::size_t>(k), 0.0);
 }
 
-/// Runs the SPMD step body, degrading on exactly the failure classes the
-/// robustness layer owns: transport retry exhaustion (TransportError),
-/// rejected descriptor wires (TreeParseError), and failing rank programs
-/// (ParallelGroupError). Anything else (config errors, logic bugs) still
-/// propagates — degrading would mask it. On failure, `health` receives the
-/// step's counters (plus what the transport could not record itself) with
-/// degraded_steps == 1, and the exchange is reset for the fallback.
-template <typename Spmd>
-bool try_spmd_step(Exchange& exchange, PipelineHealth& health, Spmd&& spmd) {
-  wgt_t parse_failures = 0;
-  wgt_t failed_ranks = 0;
-  try {
-    spmd();
-    return true;
-  } catch (const TransportError&) {
-    // Retry/exhaustion counters were recorded by the exchange itself.
-  } catch (const TreeParseError&) {
-    // One rank program rejected a descriptor wire off the transport.
-    parse_failures = 1;
-    failed_ranks = 1;
-  } catch (const ParallelGroupError& e) {
-    failed_ranks = to_idx(e.failures().size());
-  }
-  health = exchange.take_health();
-  health.wire_parse_failures += parse_failures;
-  health.failed_ranks += failed_ranks;
-  ++health.degraded_steps;
-  exchange.abort_step();
-  return false;
-}
-
 }  // namespace
+
+void validate_snapshot_identity(const Mesh& mesh, const Surface& surface,
+                                ElementType type0, idx_t num_nodes0,
+                                idx_t max_elements, const char* who) {
+  const std::string w(who);
+  require(mesh.element_type() == type0,
+          w + ": snapshot element type differs from the construction mesh");
+  require(mesh.num_nodes() == num_nodes0,
+          w + ": snapshot node count differs from the construction mesh "
+              "(node ids must be stable across the sequence)");
+  require(mesh.num_elements() <= max_elements,
+          w + ": snapshot has more elements than the construction mesh "
+              "(elements can only erode within one sequence)");
+  require(to_idx(surface.is_contact_node.size()) == mesh.num_nodes(),
+          w + ": surface contact arrays are not indexed by this mesh's "
+              "nodes");
+}
 
 ContactPipeline::ContactPipeline(const Mesh& mesh0, const Surface& surface0,
                                  const PipelineConfig& config)
     : config_(config),
       partitioner_(mesh0, surface0, config.decomposition),
+      element_type0_(mesh0.element_type()),
+      num_nodes0_(mesh0.num_nodes()),
+      num_elements0_(mesh0.num_elements()),
       exchange_(config.decomposition.k),
       executor_(config.decomposition.k) {
   config_.search.validate("ContactPipeline");
@@ -123,6 +112,8 @@ ContactPipeline::ContactPipeline(const Mesh& mesh0, const Surface& surface0,
 PipelineStepReport ContactPipeline::run_step(const Mesh& mesh,
                                              const Surface& surface,
                                              std::span<const int> body_of_node) {
+  validate_snapshot_identity(mesh, surface, element_type0_, num_nodes0_,
+                             num_elements0_, "ContactPipeline");
   PipelineStepReport report;
   PipelineHealth health;
   const bool ok = try_spmd_step(exchange_, health, [&] {
@@ -254,6 +245,8 @@ PipelineStepReport ContactPipeline::run_step_spmd(
 PipelineStepReport ContactPipeline::run_step_reference(
     const Mesh& mesh, const Surface& surface,
     std::span<const int> body_of_node) const {
+  validate_snapshot_identity(mesh, surface, element_type0_, num_nodes0_,
+                             num_elements0_, "ContactPipeline");
   const idx_t num_parts = k();
   PipelineStepReport report;
 
@@ -334,6 +327,9 @@ MlRcbPipeline::MlRcbPipeline(const Mesh& mesh0, const Surface& surface0,
                              const MlRcbPipelineConfig& config)
     : config_(config),
       partitioner_(mesh0, surface0, config.decomposition),
+      element_type0_(mesh0.element_type()),
+      num_nodes0_(mesh0.num_nodes()),
+      num_elements0_(mesh0.num_elements()),
       exchange_(config.decomposition.k),
       executor_(config.decomposition.k) {
   config_.search.validate("MlRcbPipeline");
@@ -345,10 +341,13 @@ MlRcbPipeline::MlRcbPipeline(const Mesh& mesh0, const Surface& surface0,
 
 void MlRcbPipeline::advance_partition(const Mesh& mesh, const Surface& surface,
                                       MlRcbStepReport& report) {
-  // Advance the incremental RCB (UpdComm). Updating on the very first step
-  // re-balances against the snapshot the caller actually passed (which may
-  // not be the snapshot the pipeline was built on); its movement is not
-  // charged as UpdComm.
+  // A snapshot from a different simulation would silently re-balance the
+  // incremental RCB against foreign geometry — reject it up front instead.
+  validate_snapshot_identity(mesh, surface, element_type0_, num_nodes0_,
+                             num_elements0_, "MlRcbPipeline");
+  // Advance the incremental RCB (UpdComm). The first step may legitimately
+  // be a later snapshot of the same sequence than the construction one, so
+  // its movement is a catch-up, not charged as UpdComm.
   const wgt_t moved = partitioner_.update_contact_partition(mesh, surface);
   if (first_step_) {
     first_step_ = false;

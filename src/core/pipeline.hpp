@@ -34,13 +34,58 @@
 #include "core/ml_rcb.hpp"
 #include "mesh/mesh_graphs.hpp"
 #include "mesh/subdomain.hpp"
+#include "parallel/thread_pool.hpp"
 #include "runtime/exchange.hpp"
 #include "runtime/health.hpp"
 #include "runtime/rank.hpp"
 #include "runtime/rank_executor.hpp"
 #include "runtime/virtual_cluster.hpp"
+#include "tree/tree_io.hpp"
 
 namespace cpart {
+
+/// Validates that (mesh, surface) plausibly continues the snapshot sequence
+/// a pipeline was constructed on: identical node count (node ids are stable
+/// across a simulation sequence), same element type, element count no larger
+/// than at construction (elements only erode, never appear), and contact
+/// arrays indexed by this mesh's nodes. Throws InputError naming `who` on
+/// any mismatch — a snapshot from a different simulation must be rejected,
+/// not silently re-balanced against.
+void validate_snapshot_identity(const Mesh& mesh, const Surface& surface,
+                                ElementType type0, idx_t num_nodes0,
+                                idx_t max_elements, const char* who);
+
+/// Runs an SPMD step body, degrading on exactly the failure classes the
+/// robustness layer owns: transport retry exhaustion (TransportError),
+/// rejected descriptor wires (TreeParseError), and failing rank programs
+/// (ParallelGroupError). Anything else (config errors, logic bugs) still
+/// propagates — degrading would mask it. On failure, `health` receives the
+/// step's counters (plus what the transport could not record itself) with
+/// degraded_steps == 1, and the exchange is reset for the fallback. Shared
+/// by every pipeline built on the rank/exchange runtime.
+template <typename Spmd>
+bool try_spmd_step(Exchange& exchange, PipelineHealth& health, Spmd&& spmd) {
+  wgt_t parse_failures = 0;
+  wgt_t failed_ranks = 0;
+  try {
+    spmd();
+    return true;
+  } catch (const TransportError&) {
+    // Retry/exhaustion counters were recorded by the exchange itself.
+  } catch (const TreeParseError&) {
+    // One rank program rejected a descriptor wire off the transport.
+    parse_failures = 1;
+    failed_ranks = 1;
+  } catch (const ParallelGroupError& e) {
+    failed_ranks = to_idx(e.failures().size());
+  }
+  health = exchange.take_health();
+  health.wire_parse_failures += parse_failures;
+  health.failed_ranks += failed_ranks;
+  ++health.degraded_steps;
+  exchange.abort_step();
+  return false;
+}
 
 /// Contact-search knobs shared by both pipelines (deduplicated — they used
 /// to be copy-pasted fields with the margin/tolerance check in two places).
@@ -85,6 +130,15 @@ struct PipelineStepReport {
   /// the reference path models units, not bytes, and leaves these 0).
   wgt_t halo_payload_bytes = 0;
   wgt_t face_payload_bytes = 0;
+  /// Periodic-repartition migration accounting: what the last repartition
+  /// moved, charged to the step it happened in. The pipelines themselves
+  /// keep a fixed partition, so these stay 0 unless the driver runs the
+  /// repartitioning update policy (experiment driver, bench_spmd
+  /// --repart_period) — DistributedSim fills the equivalent fields of its
+  /// own report natively.
+  idx_t repart_moved_nodes = 0;
+  idx_t repart_moved_elements = 0;
+  wgt_t repart_moved_bytes = 0;
   idx_t contact_events = 0;
   idx_t penetrating_events = 0;
   std::vector<ContactEvent> events;  // merged, sorted by (node, distance)
@@ -141,6 +195,11 @@ class ContactPipeline {
 
   PipelineConfig config_;
   McmlDtPartitioner partitioner_;
+  // Snapshot-sequence identity captured at construction; every step's
+  // snapshot is validated against it (see validate_snapshot_identity).
+  ElementType element_type0_;
+  idx_t num_nodes0_ = 0;
+  idx_t num_elements0_ = 0;
   // SPMD state, reused across steps.
   NodalGraphCache graph_cache_;
   std::uint64_t halo_version_ = 0;  // views_ halo lists match this version
@@ -230,6 +289,11 @@ class MlRcbPipeline {
 
   MlRcbPipelineConfig config_;
   MlRcbPartitioner partitioner_;
+  // Snapshot-sequence identity captured at construction (see
+  // validate_snapshot_identity).
+  ElementType element_type0_;
+  idx_t num_nodes0_ = 0;
+  idx_t num_elements0_ = 0;
   bool first_step_ = true;
   // SPMD state, reused across steps.
   NodalGraphCache graph_cache_;

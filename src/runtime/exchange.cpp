@@ -7,13 +7,20 @@
 namespace cpart {
 
 Exchange::Exchange(idx_t k)
-    : k_(k), fe_cluster_(k), search_cluster_(k), coupling_cluster_(k) {
+    : k_(k),
+      fe_cluster_(k),
+      search_cluster_(k),
+      coupling_cluster_(k),
+      migration_cluster_(k) {
   descriptors_.resize(k);
   halo_.resize(k);
   faces_.resize(k);
   coupling_forward_.resize(k);
   coupling_return_.resize(k);
   boxes_.resize(k);
+  labels_.resize(k);
+  migrate_nodes_.resize(k);
+  migrate_elements_.resize(k);
 }
 
 void Exchange::set_retry_policy(const RetryPolicy& policy) {
@@ -44,6 +51,12 @@ void Exchange::deliver() {
         injector_, ChannelId::kCouplingReturn, superstep, attempt, health_);
     corrupt += boxes_.attempt_deliver(injector_, ChannelId::kBoxes, superstep,
                                       attempt, health_);
+    corrupt += labels_.attempt_deliver(injector_, ChannelId::kLabels,
+                                       superstep, attempt, health_);
+    corrupt += migrate_nodes_.attempt_deliver(
+        injector_, ChannelId::kMigrateNodes, superstep, attempt, health_);
+    corrupt += migrate_elements_.attempt_deliver(
+        injector_, ChannelId::kMigrateElements, superstep, attempt, health_);
     if (corrupt == 0) break;
     if (attempt + 1 >= retry_.max_attempts) {
       ++health_.exhausted_deliveries;
@@ -74,6 +87,11 @@ void Exchange::deliver() {
   coupling_bytes_ += coupling_forward_.commit(&coupling_cluster_);
   coupling_bytes_ += coupling_return_.commit(&coupling_cluster_);
   box_bytes_ += boxes_.commit(nullptr);
+  label_bytes_ += labels_.commit(nullptr);
+  // Node and element migrations share one cluster like the coupling pair:
+  // the redistribution matrix counts every record a rank pair exchanged.
+  migration_bytes_ += migrate_nodes_.commit(&migration_cluster_);
+  migration_bytes_ += migrate_elements_.commit(&migration_cluster_);
 }
 
 void Exchange::abort_step() {
@@ -83,14 +101,20 @@ void Exchange::abort_step() {
   coupling_forward_.abort();
   coupling_return_.abort();
   boxes_.abort();
+  labels_.abort();
+  migrate_nodes_.abort();
+  migrate_elements_.abort();
   fe_cluster_.finish();
   search_cluster_.finish();
   coupling_cluster_.finish();
+  migration_cluster_.finish();
   descriptor_bytes_ = 0;
   halo_bytes_ = 0;
   face_bytes_ = 0;
   coupling_bytes_ = 0;
   box_bytes_ = 0;
+  label_bytes_ = 0;
+  migration_bytes_ = 0;
 }
 
 }  // namespace cpart

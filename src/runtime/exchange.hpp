@@ -237,6 +237,105 @@ inline bool fault_truncate_payload(SubdomainBoxMsg&, std::uint64_t) {
   return false;
 }
 
+/// Repartition label broadcast: node `node` now belongs to partition
+/// `owner`. Rank 0 broadcasts the changed entries of the new labeling; every
+/// rank splices them into its ownership replica at the commit superstep.
+struct LabelUpdateMsg {
+  idx_t node = kInvalidIndex;
+  idx_t owner = kInvalidIndex;
+};
+
+inline wgt_t wire_bytes(const LabelUpdateMsg&) {
+  return static_cast<wgt_t>(2 * sizeof(idx_t));
+}
+
+inline std::uint64_t wire_hash(const LabelUpdateMsg& m) {
+  std::uint64_t h = fnv1a_value(kFnvOffsetBasis, m.node);
+  return fnv1a_value(h, m.owner);
+}
+
+inline void fault_bitflip(LabelUpdateMsg& m, std::uint64_t r) {
+  if (r % 2 == 0) {
+    flip_bit_in(m.node, r / 2);
+  } else {
+    flip_bit_in(m.owner, r / 2);
+  }
+}
+
+inline bool fault_truncate_payload(LabelUpdateMsg&, std::uint64_t) {
+  return false;
+}
+
+/// Node-state migration: the authoritative per-node state a rank ships to
+/// the node's new owner after a repartition (position plus the accumulated
+/// contact-hit counter — the receiver must splice both, or the ownership
+/// oracle diverges).
+struct NodeMigrateMsg {
+  idx_t node = kInvalidIndex;
+  Vec3 position{};
+  wgt_t contact_hits = 0;
+};
+
+inline wgt_t wire_bytes(const NodeMigrateMsg&) {
+  return static_cast<wgt_t>(sizeof(idx_t) + 3 * sizeof(real_t) +
+                            sizeof(wgt_t));
+}
+
+inline std::uint64_t wire_hash(const NodeMigrateMsg& m) {
+  std::uint64_t h = fnv1a_value(kFnvOffsetBasis, m.node);
+  h = fnv1a_vec3(h, m.position);
+  return fnv1a_value(h, m.contact_hits);
+}
+
+inline void fault_bitflip(NodeMigrateMsg& m, std::uint64_t r) {
+  switch (r % 5) {
+    case 0: flip_bit_in(m.node, r / 5); break;
+    case 1: flip_bit_in(m.position.x, r / 5); break;
+    case 2: flip_bit_in(m.position.y, r / 5); break;
+    case 3: flip_bit_in(m.position.z, r / 5); break;
+    default: flip_bit_in(m.contact_hits, r / 5); break;
+  }
+}
+
+inline bool fault_truncate_payload(NodeMigrateMsg&, std::uint64_t) {
+  return false;
+}
+
+/// Element-record migration: one element's connectivity record re-homed to
+/// the new majority owner of its nodes. The receiver validates the record
+/// against its immutable topology before splicing.
+struct ElementMigrateMsg {
+  idx_t element = kInvalidIndex;
+  std::int32_t num_nodes = 0;
+  std::array<idx_t, 8> nodes{kInvalidIndex, kInvalidIndex, kInvalidIndex,
+                             kInvalidIndex, kInvalidIndex, kInvalidIndex,
+                             kInvalidIndex, kInvalidIndex};
+};
+
+inline wgt_t wire_bytes(const ElementMigrateMsg& m) {
+  return static_cast<wgt_t>(sizeof(idx_t) + sizeof(std::int32_t)) +
+         static_cast<wgt_t>(m.num_nodes) * static_cast<wgt_t>(sizeof(idx_t));
+}
+
+inline std::uint64_t wire_hash(const ElementMigrateMsg& m) {
+  std::uint64_t h = fnv1a_value(kFnvOffsetBasis, m.element);
+  h = fnv1a_value(h, m.num_nodes);
+  for (idx_t id : m.nodes) h = fnv1a_value(h, id);
+  return h;
+}
+
+inline void fault_bitflip(ElementMigrateMsg& m, std::uint64_t r) {
+  switch (r % 3) {
+    case 0: flip_bit_in(m.element, r / 3); break;
+    case 1: flip_bit_in(m.num_nodes, r / 3); break;
+    default: flip_bit_in(m.nodes[(r / 3) % 8], r / 24); break;
+  }
+}
+
+inline bool fault_truncate_payload(ElementMigrateMsg&, std::uint64_t) {
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // Errors and retry policy
 // ---------------------------------------------------------------------------
@@ -478,8 +577,11 @@ class TypedChannel {
 ///   * coupling fwd+ret -> one shared coupling cluster, finished once, so a
 ///     rank pair active in both directions counts like the centralized
 ///     m2m_traffic matrix (messages included);
-/// descriptor and box broadcasts move bytes but are charged to no cluster —
-/// the centralized pipelines report them as byte counts, not StepTraffic.
+///   * migrate_nodes + migrate_elements -> one shared migration cluster
+///     (units == migrated records, the repartition redistribution volume);
+/// descriptor, box, and label broadcasts move bytes but are charged to no
+/// cluster — the centralized paths report them as byte counts, not
+/// StepTraffic.
 class Exchange {
  public:
   explicit Exchange(idx_t k);
@@ -492,6 +594,11 @@ class Exchange {
   TypedChannel<ContactPointMsg>& coupling_forward() { return coupling_forward_; }
   TypedChannel<ContactPointMsg>& coupling_return() { return coupling_return_; }
   TypedChannel<SubdomainBoxMsg>& boxes() { return boxes_; }
+  TypedChannel<LabelUpdateMsg>& labels() { return labels_; }
+  TypedChannel<NodeMigrateMsg>& migrate_nodes() { return migrate_nodes_; }
+  TypedChannel<ElementMigrateMsg>& migrate_elements() {
+    return migrate_elements_;
+  }
 
   /// Arms (or disarms, with nullptr) fault injection on every channel.
   /// Non-owning; the injector must outlive the exchange's use of it.
@@ -522,6 +629,7 @@ class Exchange {
   StepTraffic take_fe_traffic() { return fe_cluster_.finish(); }
   StepTraffic take_search_traffic() { return search_cluster_.finish(); }
   StepTraffic take_coupling_traffic() { return coupling_cluster_.finish(); }
+  StepTraffic take_migration_traffic() { return migration_cluster_.finish(); }
 
   /// Payload bytes accumulated since the last take (reads reset to 0).
   wgt_t take_descriptor_bytes() { return std::exchange(descriptor_bytes_, 0); }
@@ -529,6 +637,8 @@ class Exchange {
   wgt_t take_face_bytes() { return std::exchange(face_bytes_, 0); }
   wgt_t take_coupling_bytes() { return std::exchange(coupling_bytes_, 0); }
   wgt_t take_box_bytes() { return std::exchange(box_bytes_, 0); }
+  wgt_t take_label_bytes() { return std::exchange(label_bytes_, 0); }
+  wgt_t take_migration_bytes() { return std::exchange(migration_bytes_, 0); }
 
  private:
   idx_t k_;
@@ -538,9 +648,13 @@ class Exchange {
   TypedChannel<ContactPointMsg> coupling_forward_;
   TypedChannel<ContactPointMsg> coupling_return_;
   TypedChannel<SubdomainBoxMsg> boxes_;
+  TypedChannel<LabelUpdateMsg> labels_;
+  TypedChannel<NodeMigrateMsg> migrate_nodes_;
+  TypedChannel<ElementMigrateMsg> migrate_elements_;
   VirtualCluster fe_cluster_;
   VirtualCluster search_cluster_;
   VirtualCluster coupling_cluster_;
+  VirtualCluster migration_cluster_;
   FaultInjector* injector_ = nullptr;
   RetryPolicy retry_{};
   PipelineHealth health_{};
@@ -550,6 +664,8 @@ class Exchange {
   wgt_t face_bytes_ = 0;
   wgt_t coupling_bytes_ = 0;
   wgt_t box_bytes_ = 0;
+  wgt_t label_bytes_ = 0;
+  wgt_t migration_bytes_ = 0;
 };
 
 }  // namespace cpart

@@ -18,6 +18,12 @@ const char* channel_name(ChannelId id) {
       return "coupling_return";
     case ChannelId::kBoxes:
       return "boxes";
+    case ChannelId::kLabels:
+      return "labels";
+    case ChannelId::kMigrateNodes:
+      return "migrate_nodes";
+    case ChannelId::kMigrateElements:
+      return "migrate_elements";
   }
   return "unknown";
 }

@@ -17,7 +17,9 @@
 
 namespace cpart {
 
-/// The typed channels of one Exchange, in delivery order.
+/// The typed channels of one Exchange, in delivery order. New channels are
+/// appended so existing ids (and with them any seeded fault schedule, which
+/// keys on the channel id) stay stable across releases.
 enum class ChannelId : int {
   kDescriptors = 0,
   kHalo,
@@ -25,9 +27,12 @@ enum class ChannelId : int {
   kCouplingForward,
   kCouplingReturn,
   kBoxes,
+  kLabels,           // repartition label broadcast
+  kMigrateNodes,     // node-state migration to new owners
+  kMigrateElements,  // element-record migration to new owners
 };
 
-inline constexpr int kNumChannels = 6;
+inline constexpr int kNumChannels = 9;
 
 /// Stable lowercase name ("descriptors", "halo", ...) for reports and JSON.
 const char* channel_name(ChannelId id);

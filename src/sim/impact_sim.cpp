@@ -169,6 +169,17 @@ Vec3 ImpactSim::displaced(idx_t node, real_t nose) const {
   return p;
 }
 
+bool ImpactSim::face_in_contact_zone(idx_t first_node,
+                                     const Vec3& centroid) const {
+  if (config_.contact_zone_factor <= 0) return true;
+  if (node_body_[static_cast<std::size_t>(first_node)] == Body::kProjectile) {
+    return true;
+  }
+  const real_t zone = config_.contact_zone_factor * config_.proj_radius;
+  const real_t axis_x = config_.obliquity * (nose_start_ - centroid.z);
+  return std::hypot(centroid.x - axis_x, centroid.y) <= zone;
+}
+
 Mesh ImpactSim::snapshot_mesh(idx_t s, idx_t* eroded) const {
   const real_t nose = nose_z(s);
   Mesh mesh = initial_;

@@ -107,10 +107,21 @@ class ImpactSim {
   /// thread count.
   void snapshot_into(idx_t s, SnapshotWorkspace& ws, Snapshot& out) const;
 
- private:
-  Vec3 displaced(idx_t node, real_t nose) const;
-  bool element_eroded(idx_t element, real_t nose) const;
+  // Closed-form per-entity kinematics, public so a rank-owned distributed
+  // state can advance exactly the nodes/elements it owns (each is a pure
+  // function of (entity, nose) — the per-rank update is embarrassingly
+  // parallel and bit-identical to the central snapshot).
 
+  /// Deformed position of `node` (initial-mesh id) at nose height `nose`.
+  Vec3 displaced(idx_t node, real_t nose) const;
+  /// Whether initial-mesh element `element` has eroded at `nose`.
+  bool element_eroded(idx_t element, real_t nose) const;
+  /// The contact-zone designation predicate on one boundary face, given its
+  /// first node (body lookup) and its *deformed* centroid — exactly the
+  /// keep-test snapshot()/snapshot_into() apply per face.
+  bool face_in_contact_zone(idx_t first_node, const Vec3& centroid) const;
+
+ private:
   ImpactSimConfig config_;
   Mesh initial_;
   std::vector<Body> element_body_;

@@ -428,5 +428,77 @@ TEST(Repartition, RejectsBadOldPartition) {
   EXPECT_THROW(repartition_graph(g, out_of_range, opts), InputError);
 }
 
+TEST(Repartition, SingleProcessorIsIdentity) {
+  // k=1: the only valid label is 0 everywhere, and no move can exist.
+  const CsrGraph g = make_grid_graph(20, 20);
+  const std::vector<idx_t> old_part(400, 0);
+  RepartitionOptions opts;
+  opts.k = 1;
+  const auto new_part = repartition_graph(g, old_part, opts);
+  EXPECT_EQ(new_part, old_part);
+}
+
+TEST(Repartition, BalancedAnchorMovesNothing) {
+  // A perfectly balanced, locally optimal anchor (equal column stripes of a
+  // grid): neither the balance phase nor any positive-gain move can fire,
+  // so the repartition is the identity at any migration cost.
+  const CsrGraph g = make_grid_graph(20, 20);
+  std::vector<idx_t> stripes(400);
+  for (idx_t v = 0; v < 400; ++v) {
+    stripes[static_cast<std::size_t>(v)] = (v % 20) / 5;
+  }
+  for (wgt_t cost : {wgt_t{0}, wgt_t{2}, wgt_t{8}}) {
+    RepartitionOptions opts;
+    opts.k = 4;
+    opts.migration_cost = cost;
+    EXPECT_EQ(repartition_graph(g, stripes, opts), stripes)
+        << "migration_cost=" << cost;
+  }
+}
+
+TEST(Repartition, MigrationCostIsMonotone) {
+  // Balanced two-way stripes with a jagged boundary (boundary pairs swapped
+  // across the cut): balance is intact, so only the anchored refinement
+  // phase acts. Raising migration_cost raises the gain bar per move, so
+  // the migration volume is non-increasing in the cost — from "fix the
+  // whole boundary" at cost 0 down to "anchored in place" once the cost
+  // exceeds the best per-vertex gain a grid can offer.
+  const CsrGraph g = make_grid_graph(20, 20);
+  std::vector<idx_t> part(400);
+  for (idx_t v = 0; v < 400; ++v) {
+    part[static_cast<std::size_t>(v)] = (v % 20) < 10 ? 0 : 1;
+  }
+  for (idx_t row = 0; row < 20; row += 2) {
+    part[static_cast<std::size_t>(row * 20 + 9)] = 1;
+    part[static_cast<std::size_t>(row * 20 + 10)] = 0;
+  }
+  const wgt_t start_cut = edge_cut(g, part);
+  idx_t prev_moved = -1;
+  for (wgt_t cost : {wgt_t{0}, wgt_t{1}, wgt_t{2}, wgt_t{3}, wgt_t{4},
+                     wgt_t{8}, wgt_t{16}}) {
+    RepartitionOptions opts;
+    opts.k = 2;
+    opts.migration_cost = cost;
+    const auto new_part = repartition_graph(g, part, opts);
+    idx_t moved = 0;
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      moved += new_part[i] != part[i];
+    }
+    if (cost == 0) {
+      // Free migration untangles the boundary and improves the cut.
+      EXPECT_GT(moved, 0);
+      EXPECT_LT(edge_cut(g, new_part), start_cut);
+    } else {
+      EXPECT_LE(moved, prev_moved) << "migration_cost=" << cost;
+    }
+    if (cost >= 16) {
+      // Far beyond any per-vertex gain on a grid: fully anchored.
+      EXPECT_EQ(moved, 0);
+      EXPECT_EQ(edge_cut(g, new_part), start_cut);
+    }
+    prev_moved = moved;
+  }
+}
+
 }  // namespace
 }  // namespace cpart

@@ -189,6 +189,54 @@ TEST_F(SpmdTest, SingleRankMovesNoBytes) {
   expect_events_identical(r.events, ref.events, "k=1");
 }
 
+TEST_F(SpmdTest, ForeignSnapshotIsRejected) {
+  // Snapshots must come from the sequence the pipeline was built on: node
+  // ids are the partition's frame of reference, so a mesh of a different
+  // simulation (different node count) must be rejected up front instead of
+  // silently mis-partitioning.
+  ThreadPool::set_global_threads(4);
+  ImpactSimConfig other_config;
+  other_config.plate_cells_xy = 8;
+  other_config.plate_cells_z = 2;
+  other_config.proj_cells_diameter = 4;
+  other_config.proj_cells_z = 4;
+  other_config.num_snapshots = 10;
+  ImpactSim other(other_config);
+  const auto foreign = other.snapshot(3);
+  std::vector<int> foreign_body(
+      static_cast<std::size_t>(foreign.mesh.num_nodes()), 0);
+
+  ContactPipeline contact(snap0_.mesh, snap0_.surface, dt_config(3));
+  EXPECT_THROW(
+      contact.run_step(foreign.mesh, foreign.surface, foreign_body),
+      InputError);
+  EXPECT_THROW(
+      contact.run_step_reference(foreign.mesh, foreign.surface, foreign_body),
+      InputError);
+
+  MlRcbPipeline mlrcb(snap0_.mesh, snap0_.surface, rcb_config(3));
+  EXPECT_THROW(mlrcb.run_step(foreign.mesh, foreign.surface, foreign_body),
+               InputError);
+  EXPECT_THROW(
+      mlrcb.run_step_reference(foreign.mesh, foreign.surface, foreign_body),
+      InputError);
+}
+
+TEST_F(SpmdTest, GrowingElementCountIsRejected) {
+  // Elements only erode across a valid sequence. A pipeline built on a
+  // late (eroded) snapshot must reject an earlier snapshot with more
+  // elements — that is a sequence driven backwards or a foreign mesh.
+  ThreadPool::set_global_threads(4);
+  const auto late = sim_->snapshot(45);
+  ASSERT_LT(late.mesh.num_elements(), snap0_.mesh.num_elements());
+  ContactPipeline contact(late.mesh, late.surface, dt_config(3));
+  EXPECT_THROW(contact.run_step(snap0_.mesh, snap0_.surface, body_),
+               InputError);
+  MlRcbPipeline mlrcb(late.mesh, late.surface, rcb_config(3));
+  EXPECT_THROW(mlrcb.run_step(snap0_.mesh, snap0_.surface, body_),
+               InputError);
+}
+
 TEST_F(SpmdTest, PhaseTimingsCoverEveryRank) {
   ThreadPool::set_global_threads(4);
   const idx_t k = 6;
