@@ -48,15 +48,21 @@ inline std::string compiler() {
   return out.str();
 }
 
+/// The machine's concurrency as reported by the standard library.
+/// hardware_concurrency() may legitimately return 0 ("unknown"); record
+/// that verbatim rather than guessing, and keep the per-row pool thread
+/// count in the records — rows run at --threads, NOT at this value, so the
+/// two must never be conflated when reading a BENCH_*.json.
+inline unsigned hardware_threads() { return std::thread::hardware_concurrency(); }
+
 /// JSON object describing the recording environment. Embed as the "env"
-/// field of every BENCH_*.json (per-record thread counts stay in the
-/// records; hardware_threads is the machine's concurrency).
+/// field of every BENCH_*.json. Per-record thread counts stay in the
+/// records (each row should carry the pool size it actually ran with).
 inline std::string env_json() {
   std::ostringstream out;
   out << "{\"build_type\": \"" << build_type() << "\", \"compiler\": \""
       << compiler() << "\", \"git_sha\": \"" << git_sha()
-      << "\", \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << "}";
+      << "\", \"hardware_threads\": " << hardware_threads() << "}";
   return out.str();
 }
 

@@ -145,8 +145,16 @@ int main(int argc, char** argv) {
   flags.define("max_attempts", "4", "delivery attempts per superstep");
   flags.define("repart_period", "8",
                "distributed run: repartition + migrate every N steps (0 = off)");
+  flags.define("format", "binary",
+               "descriptor wire format for the broadcast: text|binary");
   try {
     flags.parse(argc, argv);
+    const std::string format_name = flags.get_string("format");
+    require(format_name == "text" || format_name == "binary",
+            "--format must be text or binary");
+    const TreeWireFormat wire_format = format_name == "binary"
+                                           ? TreeWireFormat::kBinary
+                                           : TreeWireFormat::kText;
     const double resolution = flags.get_double("resolution");
     const idx_t snapshots = static_cast<idx_t>(flags.get_int("snapshots"));
     const idx_t stride = static_cast<idx_t>(flags.get_int("stride"));
@@ -179,6 +187,7 @@ int main(int argc, char** argv) {
     config.decomposition.k = k;
     config.search.search_margin = 0.5 * cell;
     config.search.contact_tolerance = 0.25 * cell;
+    config.wire_format = wire_format;
 
     std::vector<int> body(
         static_cast<std::size_t>(sim.initial_mesh().num_nodes()));
@@ -191,10 +200,64 @@ int main(int argc, char** argv) {
               << "\n\n";
 
     const ImpactSim::Snapshot snap0 = sim.snapshot(0);
+
+    // Wire-codec A/B microbenchmark on snapshot 0's descriptor tree, so the
+    // codec win is quantified in the JSON rather than asserted: encode and
+    // decode cost per tree, and the broadcast bytes before/after.
+    std::ostringstream wire_json;
+    {
+      McmlDtPartitioner wire_part(snap0.mesh, snap0.surface,
+                                  config.decomposition);
+      const SubdomainDescriptors wire_desc =
+          wire_part.build_descriptors(snap0.mesh, snap0.surface);
+      const std::string text_wire =
+          encode_tree(wire_desc.tree(), TreeWireFormat::kText);
+      const std::string binary_wire =
+          encode_tree(wire_desc.tree(), TreeWireFormat::kBinary);
+      constexpr int kCodecIters = 50;
+      const auto per_tree_ns = [](Timer& timer) {
+        return timer.milliseconds() * 1e6 / kCodecIters;
+      };
+      std::size_t sink = 0;
+      Timer timer;
+      for (int i = 0; i < kCodecIters; ++i) {
+        sink += encode_tree(wire_desc.tree(), TreeWireFormat::kText).size();
+      }
+      const double text_encode_ns = per_tree_ns(timer);
+      timer.reset();
+      for (int i = 0; i < kCodecIters; ++i) {
+        sink += encode_tree(wire_desc.tree(), TreeWireFormat::kBinary).size();
+      }
+      const double binary_encode_ns = per_tree_ns(timer);
+      timer.reset();
+      for (int i = 0; i < kCodecIters; ++i) {
+        sink += static_cast<std::size_t>(decode_tree(text_wire).num_nodes());
+      }
+      const double text_decode_ns = per_tree_ns(timer);
+      timer.reset();
+      for (int i = 0; i < kCodecIters; ++i) {
+        sink += static_cast<std::size_t>(decode_tree(binary_wire).num_nodes());
+      }
+      const double binary_decode_ns = per_tree_ns(timer);
+      require(sink > 0, "codec microbenchmark produced nothing");
+      wire_json << "{\"format\": \"" << format_name
+                << "\", \"tree_nodes\": " << wire_desc.num_tree_nodes()
+                << ", \"text_bytes\": " << text_wire.size()
+                << ", \"binary_bytes\": " << binary_wire.size()
+                << ",\n  \"text_encode_ns\": " << text_encode_ns
+                << ", \"binary_encode_ns\": " << binary_encode_ns
+                << ", \"text_decode_ns\": " << text_decode_ns
+                << ", \"binary_decode_ns\": " << binary_decode_ns << "}";
+      std::cout << "wire codec: " << wire_desc.num_tree_nodes() << " nodes, "
+                << text_wire.size() << " B text -> " << binary_wire.size()
+                << " B binary\n\n";
+    }
+
     Table table({"threads", "reference_ms/step", "spmd_ms/step", "speedup",
                  "dist_ref_ms/step", "dist_spmd_ms/step", "dist_speedup"});
     std::ostringstream json;
-    json << "{\"env\": " << cpart::bench::env_json() << ",\n \"results\": [\n";
+    json << "{\"env\": " << cpart::bench::env_json() << ",\n \"wire\": "
+         << wire_json.str() << ",\n \"results\": [\n";
     bool first_record = true;
     bool all_equal = true;
 
@@ -279,6 +342,7 @@ int main(int argc, char** argv) {
         DistributedSimConfig dconfig;
         dconfig.decomposition = config.decomposition;
         dconfig.search = config.search;
+        dconfig.wire_format = wire_format;
         dconfig.repartition_period = repart_period;
         DistributedSim dist(sim, dconfig);
         DistributedSim oracle(sim, dconfig);
@@ -378,7 +442,9 @@ int main(int argc, char** argv) {
 
       if (!first_record) json << ",\n";
       first_record = false;
-      json << "  {\"threads\": " << t << ", \"nodes\": "
+      json << "  {\"threads\": " << t
+           << ", \"pool_threads\": " << ThreadPool::global().num_threads()
+           << ", \"format\": \"" << format_name << "\", \"nodes\": "
            << sim.initial_mesh().num_nodes() << ", \"k\": " << k
            << ", \"steady_steps\": " << steady_steps
            << ",\n   \"reference_mean_ms\": " << ref_mean

@@ -1,8 +1,10 @@
 #include "core/distributed_sim.hpp"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
+#include "runtime/label_codec.hpp"
 #include "tree/tree_io.hpp"
 
 namespace cpart {
@@ -162,8 +164,18 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
   report.step = s;
   report.migrated = migrate;
 
-  // --- Superstep A: owned kinematics + halo post. --------------------------
-  executor_.superstep([&](idx_t r) {
+  // Recycle last step's descriptor tree into the induction workspace while
+  // the descriptors are still alive — superstep A's begin_step drops them.
+  if (states_[0].descriptors.has_value()) {
+    induce_ws_.recycle(states_[0].descriptors->release_tree());
+  }
+
+  // --- Supersteps A+B in one dispatch: owned kinematics + halo post, then
+  // — once the barrier winner has delivered the halo channel — ghost
+  // intake, local surface extraction, and the contact-point gather to
+  // rank 0. Only the halo channel commits at the A/B boundary; the gather
+  // commits in the driver delivery below. -----------------------------------
+  const auto phase_a = [&](idx_t r) {
     SubdomainState& st = states_[static_cast<std::size_t>(r)];
     st.begin_step();
     for (idx_t v : st.owned_nodes) {
@@ -175,14 +187,8 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
           HaloNodeMsg{hs.node,
                       st.positions[static_cast<std::size_t>(hs.node)]});
     }
-  });
-  exchange_.deliver();  // #1
-  report.fe_exchange = exchange_.take_fe_traffic();
-  report.halo_payload_bytes = exchange_.take_halo_bytes();
-
-  // --- Superstep B: ghost intake, local surface extraction, contact-point
-  // gather to rank 0. --------------------------------------------------------
-  executor_.superstep([&](idx_t r) {
+  };
+  const auto phase_b = [&](idx_t r) {
     SubdomainState& st = states_[static_cast<std::size_t>(r)];
     for (const HaloNodeMsg& m : exchange_.halo().inbox(r)) {
       st.positions[static_cast<std::size_t>(m.node)] = m.position;
@@ -219,8 +225,16 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
       exchange_.coupling_forward().send(
           r, 0, ContactPointMsg{v, st.positions[static_cast<std::size_t>(v)]});
     }
-  });
-  exchange_.deliver();  // #2
+  };
+  const std::array<Phase, 2> kinematics_phases = {
+      Phase{phase_a, 0, {}},
+      Phase{phase_b, channel_bit(ChannelId::kHalo), {}},
+  };
+  executor_.run_phases(kinematics_phases, exchange_);  // delivery #1 inside
+  report.fe_exchange = exchange_.take_fe_traffic();
+  report.halo_payload_bytes = exchange_.take_halo_bytes();
+
+  exchange_.deliver(channel_bit(ChannelId::kCouplingForward));  // #2
   report.coupling_exchange = exchange_.take_coupling_traffic();
   report.coupling_payload_bytes = exchange_.take_coupling_bytes();
 
@@ -240,10 +254,13 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
     new_part = compute_repartition(s, states_[0].node_owner, contact_mask_);
   }
 
-  // --- Superstep C: rank 0 induces + broadcasts descriptors (and, on
-  // migration steps, the changed-label list). -------------------------------
-  executor_.superstep([&](idx_t r) {
-    if (r != 0) return;
+  // --- Driver section (was superstep C): rank 0's induction runs on the
+  // calling thread so it can fan subtrees out across the whole ThreadPool
+  // (dopts.parallel — a rank program must never dispatch pool work), warmed
+  // by the recycled storage of last step's tree. The broadcast payloads are
+  // the binary codecs: encode_tree for the descriptor tree, one delta-coded
+  // label blob per step instead of one message per changed node. -------------
+  {
     SubdomainState& st = states_[0];
     std::vector<std::pair<idx_t, Vec3>> pts;
     pts.reserve(st.contact_nodes.size() +
@@ -268,32 +285,45 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
     }
     DescriptorOptions dopts = config_.decomposition.descriptor;
     dopts.dim = topo_.mesh().dim();
-    st.descriptors.emplace(points, labels, np, dopts);
+    dopts.parallel = true;
+    st.descriptors.emplace(points, labels, np, dopts, &induce_ws_);
     exchange_.descriptors().broadcast(
-        0, DescriptorTreeMsg{tree_to_string(st.descriptors->tree())});
+        0, DescriptorTreeMsg{encode_tree(st.descriptors->tree(),
+                                         config_.wire_format)});
     if (migrate) {
       for (idx_t v = 0; v < nn; ++v) {
         const auto sv = static_cast<std::size_t>(v);
         if (new_part[sv] == st.node_owner[sv]) continue;
-        exchange_.labels().broadcast(0, LabelUpdateMsg{v, new_part[sv]});
         st.pending_labels.emplace_back(v, new_part[sv]);
       }
+      if (!st.pending_labels.empty()) {
+        exchange_.labels().broadcast(
+            0, LabelBatchMsg{encode_label_updates(st.pending_labels)});
+      }
     }
-  });
-  exchange_.deliver();  // #3
+  }
+  exchange_.deliver(channel_bit(ChannelId::kDescriptors) |
+                    channel_bit(ChannelId::kLabels));  // #3
   report.descriptor_tree_nodes = states_[0].descriptors->num_tree_nodes();
   report.descriptor_broadcast_bytes = exchange_.take_descriptor_bytes();
   report.label_broadcast_bytes = exchange_.take_label_bytes();
 
-  // --- Superstep D: parse descriptor copies, global search + shipping. -----
-  executor_.superstep([&](idx_t r) {
+  // --- Supersteps D+E in one dispatch: decode the broadcast tree + label
+  // blob and run the global search/shipping, then — once the barrier
+  // winner has delivered the faces channel — the local search and, on
+  // migration steps, the outgoing-state posts. ------------------------------
+  const LocalSearchOptions local = config_.search.local_options(body_of_node_);
+  const int dim = topo_.mesh().dim();
+  const auto phase_d = [&](idx_t r) {
     SubdomainState& st = states_[static_cast<std::size_t>(r)];
     if (r != 0) {
       const auto& in = exchange_.descriptors().inbox(r);
       require(in.size() == 1, "DistributedSim: descriptor broadcast lost");
-      st.descriptors.emplace(tree_from_string(in.front().wire), np);
-      for (const LabelUpdateMsg& m : exchange_.labels().inbox(r)) {
-        st.pending_labels.emplace_back(m.node, m.owner);
+      st.descriptors.emplace(decode_tree(in.front().wire), np);
+      const auto& lin = exchange_.labels().inbox(r);
+      if (!lin.empty()) {
+        require(lin.size() == 1, "DistributedSim: label broadcast lost");
+        st.pending_labels = decode_label_updates(lin.front().blob);
       }
     }
     for (const FaceRecord& rec : st.owned_records) {
@@ -313,16 +343,8 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
         exchange_.faces().send(r, q, m);
       }
     }
-  });
-  exchange_.deliver();  // #4
-  report.search_exchange = exchange_.take_search_traffic();
-  report.face_payload_bytes = exchange_.take_face_bytes();
-
-  // --- Superstep E: local search + hit accounting; on migration steps,
-  // compute the outgoing sets from the new labels and ship the state. -------
-  const LocalSearchOptions local = config_.search.local_options(body_of_node_);
-  const int dim = topo_.mesh().dim();
-  executor_.superstep([&](idx_t r) {
+  };
+  const auto phase_e = [&](idx_t r) {
     SubdomainState& st = states_[static_cast<std::size_t>(r)];
     st.local_records.assign(st.owned_records.begin(), st.owned_records.end());
     for (const FaceShipMsg& m : exchange_.faces().inbox(r)) {
@@ -369,10 +391,18 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
       exchange_.migrate_elements().send(r, new_home, m);
       ++st.moved_elements_out;
     }
-  });
+  };
+  const std::array<Phase, 2> search_phases = {
+      Phase{phase_d, 0, {}},
+      Phase{phase_e, channel_bit(ChannelId::kFaces), {}},
+  };
+  executor_.run_phases(search_phases, exchange_);  // delivery #4 inside
+  report.search_exchange = exchange_.take_search_traffic();
+  report.face_payload_bytes = exchange_.take_face_bytes();
 
   if (migrate) {
-    exchange_.deliver();  // #5, migration superstep
+    exchange_.deliver(channel_bit(ChannelId::kMigrateNodes) |
+                      channel_bit(ChannelId::kMigrateElements));  // #5
     report.migration_exchange = exchange_.take_migration_traffic();
     report.migration_payload_bytes = exchange_.take_migration_bytes();
     for (const SubdomainState& st : states_) {
@@ -528,10 +558,12 @@ void DistributedSim::run_reference_body(idx_t s, bool migrate,
   }
   DescriptorOptions dopts = config_.decomposition.descriptor;
   dopts.dim = topo_.mesh().dim();
+  dopts.parallel = true;
   const SubdomainDescriptors descriptors(points, labels, np, dopts);
   report.descriptor_tree_nodes = descriptors.num_tree_nodes();
   report.descriptor_broadcast_bytes =
-      static_cast<wgt_t>(tree_to_string(descriptors.tree()).size()) *
+      static_cast<wgt_t>(
+          encode_tree(descriptors.tree(), config_.wire_format).size()) *
       std::max<wgt_t>(0, np - 1);
 
   // Repartition: computed here (where the SPMD driver computes it, from the
@@ -547,9 +579,16 @@ void DistributedSim::run_reference_body(idx_t s, bool migrate,
         changed.push_back(v);
       }
     }
-    report.label_broadcast_bytes = static_cast<wgt_t>(changed.size()) *
-                                   wire_bytes(LabelUpdateMsg{}) *
-                                   std::max<wgt_t>(0, np - 1);
+    if (!changed.empty()) {
+      std::vector<LabelUpdate> updates;
+      updates.reserve(changed.size());
+      for (idx_t v : changed) {
+        updates.emplace_back(v, new_part[static_cast<std::size_t>(v)]);
+      }
+      report.label_broadcast_bytes =
+          static_cast<wgt_t>(encode_label_updates(updates).size()) *
+          std::max<wgt_t>(0, np - 1);
+    }
   }
 
   // Global search + element shipping under the descriptor filter.

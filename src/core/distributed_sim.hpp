@@ -16,10 +16,12 @@
 //      keeps live boundary faces in the contact zone, marks its owned
 //      contact nodes, and emits a FaceRecord for every face it is the
 //      majority owner of; owned contact points stream to rank 0;
-//   C. descriptor induction — rank 0 induces this step's subdomain
-//      descriptors from the gathered contact points and broadcasts the
-//      serialized tree (plus, on migration steps, the changed-label list of
-//      the new repartition);
+//   C. descriptor induction — the driver (on behalf of rank 0) induces this
+//      step's subdomain descriptors from the gathered contact points —
+//      parallel subtree induction on the whole pool, warm-started from last
+//      step's recycled tree storage — and broadcasts the encoded tree
+//      (plus, on migration steps, one delta-coded blob of the changed
+//      labels of the new repartition);
 //   D. global search — every rank parses its descriptor copy and ships each
 //      owned face record to the candidate ranks the tree names;
 //   E. local search — owned contact nodes vs owned + received records;
@@ -30,6 +32,13 @@
 //   F. migration commit — receivers splice the migrated state, validate
 //      element records against the immutable topology, and every rank
 //      rebuilds its ownership views from the new labels.
+//
+// Supersteps A+B and D+E each run as one fused RankExecutor::run_phases
+// dispatch: an in-dispatch barrier separates the phases and its winner
+// delivers only the channel the next phase reads (halo, faces), while the
+// gather, broadcast, and migration boundaries remain driver-side
+// deliveries. The per-step delivery count (4, or 5 with migration) and the
+// staged-inbox commit semantics are unchanged.
 //
 // The pre-refactor shape survives as run_step_reference(): one centralized
 // body computing the same step on gathered global state, with all traffic
@@ -60,6 +69,10 @@ namespace cpart {
 struct DistributedSimConfig {
   McmlDtConfig decomposition{};
   SearchConfig search{};
+  /// Wire encoding of the per-step descriptor-tree broadcast (and the
+  /// analytic byte model of the reference flavor — both switch together,
+  /// so cross-flavor byte comparisons hold in either format).
+  TreeWireFormat wire_format = TreeWireFormat::kBinary;
   /// Repartition (and migrate state) every `period` steps; 0 disables. The
   /// first eligible step is step index `period` (never the first step run).
   idx_t repartition_period = 0;
@@ -171,6 +184,7 @@ class DistributedSim {
   RankExecutor executor_;
   idx_t steps_run_ = 0;
   // Driver scratch.
+  TreeInduceWorkspace induce_ws_;  // warm storage across per-step inductions
   std::vector<char> contact_mask_;
   std::vector<idx_t> start_owner_;   // start-of-step recovery snapshot
   std::vector<wgt_t> start_hits_;

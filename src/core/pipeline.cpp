@@ -1,11 +1,13 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "contact/global_search.hpp"
 #include "contact/search_metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tree/tree_io.hpp"
+#include "util/timer.hpp"
 
 namespace cpart {
 
@@ -153,90 +155,91 @@ PipelineStepReport ContactPipeline::run_step_spmd(
     halo_version_ = graph_cache_.version();
   }
 
-  // --- Superstep 1: rank 0 induces this snapshot's descriptors and
-  // broadcasts the serialized tree. -----------------------------------------
-  executor_.superstep_timed(
-      [&](idx_t r) {
-        Rank& rank = ranks_[static_cast<std::size_t>(r)];
-        rank.begin_step();
-        if (r != 0) return;
-        std::vector<Vec3> points;
-        points.reserve(surface.contact_nodes.size());
-        for (idx_t id : surface.contact_nodes) points.push_back(mesh.node(id));
-        DescriptorOptions dopts = partitioner_.config().descriptor;
-        dopts.dim = mesh.dim();
-        rank.descriptors.emplace(points, contact_labels_, num_parts, dopts);
-        exchange_.descriptors().broadcast(
-            0, DescriptorTreeMsg{tree_to_string(rank.descriptors->tree())});
-      },
-      report.phase.descriptor_ms);
-  exchange_.deliver();
+  // --- Driver section: induce this snapshot's descriptors on behalf of
+  // rank 0 — parallel subtree induction across the whole pool, warm-started
+  // from last step's recycled tree storage — and broadcast the encoded
+  // tree. Charged to descriptor_ms[0], where rank 0's induce+serialize was
+  // timed before the phase fusion. ------------------------------------------
+  {
+    Timer timer;
+    if (ranks_[0].descriptors.has_value()) {
+      induce_ws_.recycle(ranks_[0].descriptors->release_tree());
+    }
+    for (Rank& rank : ranks_) rank.begin_step();
+    std::vector<Vec3> points;
+    points.reserve(surface.contact_nodes.size());
+    for (idx_t id : surface.contact_nodes) points.push_back(mesh.node(id));
+    DescriptorOptions dopts = partitioner_.config().descriptor;
+    dopts.dim = mesh.dim();
+    dopts.parallel = true;
+    ranks_[0].descriptors.emplace(points, contact_labels_, num_parts, dopts,
+                                  &induce_ws_);
+    exchange_.descriptors().broadcast(
+        0, DescriptorTreeMsg{encode_tree(ranks_[0].descriptors->tree(),
+                                         config_.wire_format)});
+    report.phase.descriptor_ms[0] += timer.milliseconds();
+  }
+  exchange_.deliver(channel_bit(ChannelId::kDescriptors));  // delivery #1
   report.descriptor_tree_nodes = ranks_[0].descriptors->num_tree_nodes();
   report.descriptor_broadcast_bytes = exchange_.take_descriptor_bytes();
 
-  // Every other rank parses its own copy off the wire (the format round-
-  // trips doubles exactly, so all k copies answer queries identically).
-  if (num_parts > 1) {
-    executor_.superstep_timed(
-        [&](idx_t r) {
-          if (r == 0) return;
-          const auto& in = exchange_.descriptors().inbox(r);
-          require(in.size() == 1, "ContactPipeline: descriptor broadcast lost");
-          ranks_[static_cast<std::size_t>(r)].descriptors.emplace(
-              tree_from_string(in.front().wire), num_parts);
-        },
-        report.phase.descriptor_ms);
-  }
-
-  // --- Superstep 2: FE halo exchange. --------------------------------------
-  executor_.superstep_timed(
-      [&](idx_t r) {
-        for (const HaloSend& hs :
-             views_[static_cast<std::size_t>(r)].halo_sends) {
-          exchange_.halo().send(r, hs.dst,
-                                HaloNodeMsg{hs.node, mesh.node(hs.node)});
-        }
-      },
-      report.phase.halo_ms);
-  exchange_.deliver();
+  // --- Supersteps 1-4 in one fused dispatch: parse, halo post, ghost
+  // intake + element shipping (after the halo channel commits), local
+  // search (after the faces channel commits). Only the channel the next
+  // phase reads is validated at each in-dispatch barrier. -------------------
+  const auto parse_phase = [&](idx_t r) {
+    // Every other rank parses its own copy off the wire (the format round-
+    // trips doubles exactly, so all k copies answer queries identically).
+    if (r == 0) return;
+    const auto& in = exchange_.descriptors().inbox(r);
+    require(in.size() == 1, "ContactPipeline: descriptor broadcast lost");
+    ranks_[static_cast<std::size_t>(r)].descriptors.emplace(
+        decode_tree(in.front().wire), num_parts);
+  };
+  const auto halo_phase = [&](idx_t r) {
+    for (const HaloSend& hs : views_[static_cast<std::size_t>(r)].halo_sends) {
+      exchange_.halo().send(r, hs.dst,
+                            HaloNodeMsg{hs.node, mesh.node(hs.node)});
+    }
+  };
+  const auto ship_phase = [&](idx_t r) {
+    Rank& rank = ranks_[static_cast<std::size_t>(r)];
+    const auto& ghosts_in = exchange_.halo().inbox(r);
+    rank.ghosts.assign(ghosts_in.begin(), ghosts_in.end());
+    for (idx_t f : views_[static_cast<std::size_t>(r)].owned_faces) {
+      const SurfaceFace& face = surface.faces[static_cast<std::size_t>(f)];
+      const BBox box = face_bbox(mesh, face, config_.search.search_margin);
+      rank.query_parts.clear();
+      rank.descriptors->query_box(box, rank.query_parts);
+      for (idx_t q : rank.query_parts) {
+        if (q == r) continue;
+        exchange_.faces().send(r, q, make_face_msg(mesh, face, f));
+      }
+    }
+  };
+  const LocalSearchOptions local = config_.search.local_options(body_of_node);
+  const auto search_phase = [&](idx_t r) {
+    Rank& rank = ranks_[static_cast<std::size_t>(r)];
+    const SubdomainView& view = views_[static_cast<std::size_t>(r)];
+    rank.merge_faces(view.owned_faces, exchange_.faces().inbox(r));
+    if (view.contact_nodes.empty() || rank.local_faces.empty()) return;
+    local_contact_search_subset_into(mesh, surface, view.contact_nodes,
+                                     rank.local_faces, local,
+                                     rank.search_scratch, rank.events);
+  };
+  const std::array<Phase, 4> phases = {
+      Phase{parse_phase, 0, report.phase.descriptor_ms},
+      Phase{halo_phase, 0, report.phase.halo_ms},
+      Phase{ship_phase, channel_bit(ChannelId::kHalo),
+            report.phase.ship_ms},  // delivery #2 at the barrier
+      Phase{search_phase, channel_bit(ChannelId::kFaces),
+            report.phase.search_ms},  // delivery #3 at the barrier
+  };
+  executor_.run_phases(phases, exchange_);
   report.fe_exchange = exchange_.take_fe_traffic();
   report.halo_payload_bytes = exchange_.take_halo_bytes();
-
-  // --- Superstep 3: ghost intake + element shipping. -----------------------
-  executor_.superstep_timed(
-      [&](idx_t r) {
-        Rank& rank = ranks_[static_cast<std::size_t>(r)];
-        const auto& ghosts_in = exchange_.halo().inbox(r);
-        rank.ghosts.assign(ghosts_in.begin(), ghosts_in.end());
-        for (idx_t f : views_[static_cast<std::size_t>(r)].owned_faces) {
-          const SurfaceFace& face = surface.faces[static_cast<std::size_t>(f)];
-          const BBox box = face_bbox(mesh, face, config_.search.search_margin);
-          rank.query_parts.clear();
-          rank.descriptors->query_box(box, rank.query_parts);
-          for (idx_t q : rank.query_parts) {
-            if (q == r) continue;
-            exchange_.faces().send(r, q, make_face_msg(mesh, face, f));
-          }
-        }
-      },
-      report.phase.ship_ms);
-  exchange_.deliver();
   report.search_exchange = exchange_.take_search_traffic();
   report.face_payload_bytes = exchange_.take_face_bytes();
-
-  // --- Superstep 4: per-rank local search over owned + received faces. -----
-  const LocalSearchOptions local = config_.search.local_options(body_of_node);
-  executor_.superstep_timed(
-      [&](idx_t r) {
-        Rank& rank = ranks_[static_cast<std::size_t>(r)];
-        const SubdomainView& view = views_[static_cast<std::size_t>(r)];
-        rank.merge_faces(view.owned_faces, exchange_.faces().inbox(r));
-        if (view.contact_nodes.empty() || rank.local_faces.empty()) return;
-        local_contact_search_subset_into(mesh, surface, view.contact_nodes,
-                                         rank.local_faces, local,
-                                         rank.search_scratch, rank.events);
-      },
-      report.phase.search_ms);
 
   merge_rank_events(ranks_, report);
   return report;
@@ -250,12 +253,27 @@ PipelineStepReport ContactPipeline::run_step_reference(
   const idx_t num_parts = k();
   PipelineStepReport report;
 
-  // --- Phase 1: descriptor update + broadcast. -----------------------------
-  const SubdomainDescriptors descriptors =
-      partitioner_.build_descriptors(mesh, surface);
+  // --- Phase 1: descriptor update + broadcast. The tree is built with the
+  // exact options the SPMD driver uses (parallel subtree induction
+  // included — node numbering, and hence the text encoding, depends on it),
+  // so the modeled broadcast bytes match the SPMD path in either format. ----
+  std::vector<Vec3> points;
+  std::vector<idx_t> labels;
+  points.reserve(surface.contact_nodes.size());
+  labels.reserve(surface.contact_nodes.size());
+  for (idx_t id : surface.contact_nodes) {
+    points.push_back(mesh.node(id));
+    labels.push_back(
+        partitioner_.node_partition()[static_cast<std::size_t>(id)]);
+  }
+  DescriptorOptions dopts = partitioner_.config().descriptor;
+  dopts.dim = mesh.dim();
+  dopts.parallel = true;
+  const SubdomainDescriptors descriptors(points, labels, num_parts, dopts);
   report.descriptor_tree_nodes = descriptors.num_tree_nodes();
   report.descriptor_broadcast_bytes =
-      static_cast<wgt_t>(tree_to_string(descriptors.tree()).size()) *
+      static_cast<wgt_t>(
+          encode_tree(descriptors.tree(), config_.wire_format).size()) *
       std::max<wgt_t>(0, num_parts - 1);
 
   // --- Phase 2: FE halo exchange. ------------------------------------------

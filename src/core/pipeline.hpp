@@ -110,6 +110,10 @@ struct SearchConfig {
 struct PipelineConfig {
   McmlDtConfig decomposition{};
   SearchConfig search{};
+  /// Wire encoding of the per-step descriptor-tree broadcast; both flavors
+  /// switch together, so cross-flavor byte comparisons hold in either
+  /// format (see tree/tree_io.hpp).
+  TreeWireFormat wire_format = TreeWireFormat::kBinary;
 };
 
 /// Per-rank wall milliseconds of each SPMD phase of the last run_step
@@ -207,6 +211,7 @@ class ContactPipeline {
   std::vector<Rank> ranks_;
   Exchange exchange_;
   RankExecutor executor_;
+  TreeInduceWorkspace induce_ws_;      // warm storage across step inductions
   std::vector<idx_t> contact_labels_;  // per-step gather scratch
   std::vector<idx_t> face_owner_;
 };

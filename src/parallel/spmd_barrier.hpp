@@ -1,0 +1,81 @@
+// Sense-reversing phase barrier for barrier-phased SPMD execution
+// (runtime/rank_executor.hpp run_phases).
+//
+// Classic MCS-style design (Mellor-Crummey & Scott): arrival is a single
+// fetch_add on a padded counter; release is a sense reversal — waiters spin
+// on the global epoch word, never on another thread's state, so a release
+// is one store + one wake instead of a lock-protected broadcast. At the
+// worker counts this library runs (<= 16 participants) a flat counter beats
+// the MCS arrival tree, so only the sense-reversal half is kept.
+//
+// The last thread to arrive ("winner") runs the caller's serial section —
+// the inter-phase Exchange::deliver() — before releasing the others; this
+// is what lets a delivery happen inside one ThreadPool dispatch without
+// bouncing control back to the driver thread between phases.
+//
+// Waiters spin briefly, then park in std::atomic::wait (futex). The bounded
+// spin matters both ways: on an oversubscribed host (more workers than
+// cores) spinning steals the CPU the winner needs, so the bound is small;
+// on an idle multicore the first iterations catch the common fast release
+// without a syscall.
+//
+// Not reentrant; every one of the `participants` threads must call
+// arrive_and_wait the same number of times. The serial section must not
+// throw — wrap it and stash the exception (run_phases does).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+class SpmdBarrier {
+ public:
+  explicit SpmdBarrier(unsigned participants) : n_(participants) {
+    require(participants >= 1, "SpmdBarrier: need at least one participant");
+  }
+
+  SpmdBarrier(const SpmdBarrier&) = delete;
+  SpmdBarrier& operator=(const SpmdBarrier&) = delete;
+
+  unsigned participants() const { return n_; }
+
+  /// Blocks until all participants have arrived. The last arriver runs
+  /// `serial` (may be empty) while the others wait, then releases them.
+  /// Returns true on the winning thread.
+  bool arrive_and_wait(const std::function<void()>& serial) {
+    const std::uint32_t my_epoch = epoch_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      if (serial) serial();
+      arrived_.store(0, std::memory_order_relaxed);
+      // The epoch bump is the sense reversal: release-publishes both the
+      // serial section's writes and the counter reset to every waiter.
+      epoch_.store(my_epoch + 1, std::memory_order_release);
+      epoch_.notify_all();
+      return true;
+    }
+    for (int i = 0; i < kSpinIterations; ++i) {
+      if (epoch_.load(std::memory_order_acquire) != my_epoch) return false;
+    }
+    while (epoch_.load(std::memory_order_acquire) == my_epoch) {
+      epoch_.wait(my_epoch, std::memory_order_acquire);
+    }
+    return false;
+  }
+
+  bool arrive_and_wait() { return arrive_and_wait(nullptr); }
+
+ private:
+  // Small on purpose: with workers oversubscribing cores, a long spin
+  // starves the very thread being waited for.
+  static constexpr int kSpinIterations = 128;
+
+  const unsigned n_;
+  alignas(64) std::atomic<std::uint32_t> arrived_{0};
+  alignas(64) std::atomic<std::uint32_t> epoch_{0};
+};
+
+}  // namespace cpart

@@ -50,18 +50,26 @@ ParallelGroupError::ParallelGroupError(std::vector<Failure> failures)
       failures_(std::move(failures)) {}
 
 ThreadPool::ThreadPool(unsigned num_threads) {
-  // Requests are clamped to the hardware concurrency: a CPU-bound pool gains
-  // nothing from oversubscription, which only adds wake-up and context-switch
-  // overhead to every dispatch. Results are unaffected — every parallel
-  // computation in this library is bit-identical at any pool size (see
-  // docs/parallelism.md), which is also what lets the clamp change the
-  // chunking without changing any output.
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  if (num_threads == 0 || num_threads > hw) num_threads = hw;
+  // The requested worker count is honored even above the hardware
+  // concurrency. Oversubscription costs context switches, but a worker is
+  // also a unit of barrier-phased SPMD execution (runtime/rank_executor
+  // run_phases): thread-count sweeps and sanitizer runs need W real workers
+  // to exercise W-way interleavings whatever box they land on. Results are
+  // unaffected — every parallel computation in this library is
+  // bit-identical at any pool size (see docs/parallelism.md).
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
   workers_.reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t); });
   }
+}
+
+unsigned ThreadPool::dispatch_width() const {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = num_threads();  // unknown: trust the pool size
+  return std::min(num_threads(), std::max(1u, hw));
 }
 
 ThreadPool::~ThreadPool() {
@@ -107,12 +115,16 @@ void ThreadPool::worker_loop(unsigned worker_id) {
       });
       if (stop_) return;
       seen_generation = generation_;
+      // Workers past the dispatch's participant count own no chunks and do
+      // not check in: the dispatch completes without waiting for their
+      // wake, and they must not copy the Task pointer — the Task lives on
+      // the dispatcher's stack only until the last participant checks in.
+      if (worker_id >= task_->participants) continue;
       task = task_;
     }
-    // Static stride assignment: supports more chunks than workers (used by
-    // parallel_tasks for coarse-grained task lists).
-    for (unsigned c = worker_id; c < task->num_chunks;
-         c += static_cast<unsigned>(workers_.size())) {
+    // Static stride assignment: supports more chunks than participating
+    // workers (used by parallel_tasks for coarse-grained task lists).
+    for (unsigned c = worker_id; c < task->num_chunks; c += task->stride) {
       run_task(*task, c);
     }
     {
@@ -125,27 +137,30 @@ void ThreadPool::worker_loop(unsigned worker_id) {
 void ThreadPool::parallel_for_chunks(
     idx_t n, const std::function<void(unsigned, idx_t, idx_t)>& fn) {
   if (n <= 0) return;
-  const unsigned nt = num_threads();
-  // Small ranges or single-threaded pools run inline: cheaper and keeps the
-  // pool re-entrant from within tasks (no nested dispatch).
+  const unsigned width = dispatch_width();
+  // Small ranges or single-wide dispatches run inline: cheaper and keeps
+  // the pool re-entrant from within tasks (no nested dispatch).
   constexpr idx_t kInlineThreshold = 2048;
-  if (nt <= 1 || n <= kInlineThreshold) {
+  if (width <= 1 || n <= kInlineThreshold) {
     fn(0, 0, n);
     return;
   }
   Task task;
   task.fn = fn;
   task.n = n;
-  task.num_chunks = std::min<unsigned>(nt, static_cast<unsigned>(
+  task.num_chunks = std::min<unsigned>(width, static_cast<unsigned>(
       ceil_div<idx_t>(n, kInlineThreshold / 2)));
   // Callers size per-chunk scratch buffers by num_threads(); the chunk index
   // handed to fn must stay below that.
-  assert(task.num_chunks <= nt);
+  assert(task.num_chunks <= num_threads());
   task.chunk_size = ceil_div<idx_t>(n, static_cast<idx_t>(task.num_chunks));
+  // One chunk per participating worker (num_chunks <= width == stride).
+  task.participants = task.num_chunks;
+  task.stride = width;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     task_ = &task;
-    pending_ = nt;  // every worker checks in once per generation
+    pending_ = task.participants;
     ++generation_;
   }
   cv_start_.notify_all();
@@ -155,7 +170,8 @@ void ThreadPool::parallel_for_chunks(
 void ThreadPool::parallel_tasks(idx_t n,
                                 const std::function<void(idx_t)>& task) {
   if (n <= 0) return;
-  if (num_threads() <= 1 || n == 1) {
+  const unsigned width = dispatch_width();
+  if (width <= 1 || n == 1) {
     // The inline path keeps the pool's BSP failure semantics: every task
     // runs even when an earlier one throws, and multiple failures
     // aggregate exactly as the threaded path would.
@@ -178,10 +194,12 @@ void ThreadPool::parallel_tasks(idx_t n,
   t.n = n;
   t.chunk_size = 1;
   t.num_chunks = static_cast<unsigned>(n);
+  t.participants = std::min(width, t.num_chunks);
+  t.stride = width;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     task_ = &t;
-    pending_ = num_threads();
+    pending_ = t.participants;
     ++generation_;
   }
   cv_start_.notify_all();

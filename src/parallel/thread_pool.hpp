@@ -49,9 +49,10 @@ class ParallelGroupError : public std::runtime_error {
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
-  /// Requests above the hardware concurrency are clamped to it — a CPU-bound
-  /// pool gains nothing from oversubscription (results are identical at any
-  /// pool size, so the clamp is observable only in num_threads() and speed).
+  /// Requests above the hardware concurrency are honored (oversubscribed):
+  /// a worker is also a unit of barrier-phased SPMD execution, so sweeps
+  /// and sanitizer runs get W real workers regardless of the host. Results
+  /// are identical at any pool size; only speed differs.
   explicit ThreadPool(unsigned num_threads = 0);
   ~ThreadPool();
 
@@ -143,9 +144,9 @@ class ThreadPool {
   static ThreadPool& global();
 
   /// Replaces the process-wide pool with one of `num_threads` workers
-  /// (0 = hardware concurrency, larger requests clamped to it). Used by
-  /// benches and tests that sweep thread counts. Must not be called while
-  /// parallel work is in flight.
+  /// (0 = hardware concurrency; larger requests are honored, see the
+  /// constructor). Used by benches and tests that sweep thread counts.
+  /// Must not be called while parallel work is in flight.
   static void set_global_threads(unsigned num_threads);
 
  private:
@@ -154,7 +155,24 @@ class ThreadPool {
     idx_t n = 0;
     idx_t chunk_size = 0;
     unsigned num_chunks = 0;
+    // Workers with id >= participants own no chunks this dispatch and do
+    // not check in, so completion never waits on waking an idle worker —
+    // the dominant dispatch cost when the pool is wider than the work.
+    unsigned participants = 0;
+    // Chunk-assignment stride: worker w owns chunks w, w+stride, ... —
+    // the dispatch width, not the pool size (see dispatch_width()).
+    unsigned stride = 1;
   };
+
+  /// Worker count a single dispatch spreads across: pool size capped at
+  /// the machine's concurrency. A pool wider than the hardware exists so
+  /// thread-count sweeps and barrier-phased SPMD keep W real workers on
+  /// any host, but fanning one dispatch across more runnable workers than
+  /// physical threads only adds context switches — the extra chunks fold
+  /// into the participating workers' stride loops instead. Results are
+  /// unchanged: every parallel computation here is bit-identical at any
+  /// width (see docs/parallelism.md).
+  unsigned dispatch_width() const;
 
   void worker_loop(unsigned worker_id);
   void run_task(const Task& task, unsigned chunk);

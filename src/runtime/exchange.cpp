@@ -31,32 +31,54 @@ void Exchange::set_retry_policy(const RetryPolicy& policy) {
   retry_ = policy;
 }
 
-void Exchange::deliver() {
+void Exchange::deliver(ChannelMask mask) {
   const std::uint64_t superstep = superstep_++;
   ++health_.deliveries;
+
+  const auto selected = [mask](ChannelId id) {
+    return (mask & channel_bit(id)) != 0;
+  };
 
   idx_t corrupt = 0;
   for (idx_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     ++health_.delivery_attempts;
     corrupt = 0;
-    corrupt += descriptors_.attempt_deliver(injector_, ChannelId::kDescriptors,
-                                            superstep, attempt, health_);
-    corrupt += halo_.attempt_deliver(injector_, ChannelId::kHalo, superstep,
-                                     attempt, health_);
-    corrupt += faces_.attempt_deliver(injector_, ChannelId::kFaces, superstep,
-                                      attempt, health_);
-    corrupt += coupling_forward_.attempt_deliver(
-        injector_, ChannelId::kCouplingForward, superstep, attempt, health_);
-    corrupt += coupling_return_.attempt_deliver(
-        injector_, ChannelId::kCouplingReturn, superstep, attempt, health_);
-    corrupt += boxes_.attempt_deliver(injector_, ChannelId::kBoxes, superstep,
-                                      attempt, health_);
-    corrupt += labels_.attempt_deliver(injector_, ChannelId::kLabels,
-                                       superstep, attempt, health_);
-    corrupt += migrate_nodes_.attempt_deliver(
-        injector_, ChannelId::kMigrateNodes, superstep, attempt, health_);
-    corrupt += migrate_elements_.attempt_deliver(
-        injector_, ChannelId::kMigrateElements, superstep, attempt, health_);
+    if (selected(ChannelId::kDescriptors)) {
+      corrupt += descriptors_.attempt_deliver(
+          injector_, ChannelId::kDescriptors, superstep, attempt, health_);
+    }
+    if (selected(ChannelId::kHalo)) {
+      corrupt += halo_.attempt_deliver(injector_, ChannelId::kHalo, superstep,
+                                       attempt, health_);
+    }
+    if (selected(ChannelId::kFaces)) {
+      corrupt += faces_.attempt_deliver(injector_, ChannelId::kFaces,
+                                        superstep, attempt, health_);
+    }
+    if (selected(ChannelId::kCouplingForward)) {
+      corrupt += coupling_forward_.attempt_deliver(
+          injector_, ChannelId::kCouplingForward, superstep, attempt, health_);
+    }
+    if (selected(ChannelId::kCouplingReturn)) {
+      corrupt += coupling_return_.attempt_deliver(
+          injector_, ChannelId::kCouplingReturn, superstep, attempt, health_);
+    }
+    if (selected(ChannelId::kBoxes)) {
+      corrupt += boxes_.attempt_deliver(injector_, ChannelId::kBoxes,
+                                        superstep, attempt, health_);
+    }
+    if (selected(ChannelId::kLabels)) {
+      corrupt += labels_.attempt_deliver(injector_, ChannelId::kLabels,
+                                         superstep, attempt, health_);
+    }
+    if (selected(ChannelId::kMigrateNodes)) {
+      corrupt += migrate_nodes_.attempt_deliver(
+          injector_, ChannelId::kMigrateNodes, superstep, attempt, health_);
+    }
+    if (selected(ChannelId::kMigrateElements)) {
+      corrupt += migrate_elements_.attempt_deliver(
+          injector_, ChannelId::kMigrateElements, superstep, attempt, health_);
+    }
     if (corrupt == 0) break;
     if (attempt + 1 >= retry_.max_attempts) {
       ++health_.exhausted_deliveries;
@@ -78,20 +100,38 @@ void Exchange::deliver() {
     }
   }
 
-  descriptor_bytes_ += descriptors_.commit(nullptr);
-  halo_bytes_ += halo_.commit(&fe_cluster_);
-  face_bytes_ += faces_.commit(&search_cluster_);
+  if (selected(ChannelId::kDescriptors)) {
+    descriptor_bytes_ += descriptors_.commit(nullptr);
+  }
+  if (selected(ChannelId::kHalo)) {
+    halo_bytes_ += halo_.commit(&fe_cluster_);
+  }
+  if (selected(ChannelId::kFaces)) {
+    face_bytes_ += faces_.commit(&search_cluster_);
+  }
   // Forward and return share one cluster finished once per step: a rank
   // pair exchanging coupling data in both directions must count on the
   // combined matrix exactly as m2m_traffic counts it.
-  coupling_bytes_ += coupling_forward_.commit(&coupling_cluster_);
-  coupling_bytes_ += coupling_return_.commit(&coupling_cluster_);
-  box_bytes_ += boxes_.commit(nullptr);
-  label_bytes_ += labels_.commit(nullptr);
+  if (selected(ChannelId::kCouplingForward)) {
+    coupling_bytes_ += coupling_forward_.commit(&coupling_cluster_);
+  }
+  if (selected(ChannelId::kCouplingReturn)) {
+    coupling_bytes_ += coupling_return_.commit(&coupling_cluster_);
+  }
+  if (selected(ChannelId::kBoxes)) {
+    box_bytes_ += boxes_.commit(nullptr);
+  }
+  if (selected(ChannelId::kLabels)) {
+    label_bytes_ += labels_.commit(nullptr);
+  }
   // Node and element migrations share one cluster like the coupling pair:
   // the redistribution matrix counts every record a rank pair exchanged.
-  migration_bytes_ += migrate_nodes_.commit(&migration_cluster_);
-  migration_bytes_ += migrate_elements_.commit(&migration_cluster_);
+  if (selected(ChannelId::kMigrateNodes)) {
+    migration_bytes_ += migrate_nodes_.commit(&migration_cluster_);
+  }
+  if (selected(ChannelId::kMigrateElements)) {
+    migration_bytes_ += migrate_elements_.commit(&migration_cluster_);
+  }
 }
 
 void Exchange::abort_step() {

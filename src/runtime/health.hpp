@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
 
 #include "util/common.hpp"
@@ -36,6 +37,21 @@ inline constexpr int kNumChannels = 9;
 
 /// Stable lowercase name ("descriptors", "halo", ...) for reports and JSON.
 const char* channel_name(ChannelId id);
+
+/// Channel subset selector for Exchange::deliver(mask): per-channel
+/// delivery lets a phase barrier validate and commit only the channels the
+/// next phase actually reads, so ranks holding their halo/faces proceed
+/// without synchronizing on (say) the descriptor broadcast. Channels
+/// outside the mask keep their pending outboxes and their last-committed
+/// inboxes untouched.
+using ChannelMask = std::uint32_t;
+
+inline constexpr ChannelMask channel_bit(ChannelId id) {
+  return ChannelMask{1} << static_cast<int>(id);
+}
+
+inline constexpr ChannelMask kAllChannels =
+    (ChannelMask{1} << kNumChannels) - 1;
 
 /// Detection counters of one typed channel.
 struct ChannelHealth {

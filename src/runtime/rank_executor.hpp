@@ -20,9 +20,25 @@
 #include <functional>
 #include <span>
 
+#include "runtime/health.hpp"
 #include "util/common.hpp"
 
 namespace cpart {
+
+class Exchange;
+
+/// One superstep of a fused phase sequence (RankExecutor::run_phases).
+struct Phase {
+  /// The rank program: body(rank) for every rank in [0, k).
+  std::function<void(idx_t)> body;
+  /// Channels the inter-phase barrier winner delivers
+  /// (Exchange::deliver(mask)) immediately before this phase's bodies run.
+  /// 0 = no delivery. Ignored on the first phase (there is no preceding
+  /// barrier — the caller delivers before calling run_phases if needed).
+  ChannelMask pre_deliver = 0;
+  /// Optional per-rank wall-ms accumulator (size k), as superstep_timed.
+  std::span<double> ms_accum = {};
+};
 
 class RankExecutor {
  public:
@@ -40,7 +56,32 @@ class RankExecutor {
   void superstep_timed(const std::function<void(idx_t)>& body,
                        std::span<double> ms_accum) const;
 
+  /// Runs a sequence of supersteps in ONE pool dispatch. W = min(pool
+  /// size, hardware concurrency, k) workers each own the ranks
+  /// w, w+W, ... for every phase; an
+  /// SpmdBarrier separates consecutive phases, and the last worker to
+  /// arrive ("winner") performs the next phase's pre_deliver inside the
+  /// barrier's serial section. Compared to one parallel_tasks dispatch per
+  /// superstep this removes per-phase pool wake/sleep round-trips and —
+  /// because only the masked channels are validated — lets ranks proceed
+  /// the moment the channels the next phase reads have committed.
+  ///
+  /// Failure semantics match superstep(): a phase in which ranks threw
+  /// completes for every rank, then the remaining phases are skipped and
+  /// the failure surfaces on the calling thread (single failure rethrown
+  /// unchanged, several aggregated into ParallelGroupError keyed by rank).
+  /// A pre_deliver that throws (TransportError) likewise skips the
+  /// remaining phases and rethrows on the calling thread.
+  void run_phases(std::span<const Phase> phases, Exchange& exchange) const;
+
  private:
+  /// Shared dispatch for superstep()/superstep_timed(): W workers (capped
+  /// at the machine's concurrency — see rank_workers in the .cpp) stripe
+  /// the k ranks; per-rank failures aggregate exactly as documented on
+  /// superstep(). Empty ms_accum skips timing.
+  void run_striped(const std::function<void(idx_t)>& body,
+                   std::span<double> ms_accum) const;
+
   idx_t k_;
 };
 

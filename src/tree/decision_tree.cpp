@@ -262,12 +262,14 @@ class TreeInducer {
     main_ctx.stack.push_back({root, 0, n});
 
     // The frontier/splice path runs whenever parallel mode is requested on
-    // a large enough input — even with one worker (tasks then run inline),
-    // so behaviour does not depend on the machine's core count.
-    const unsigned workers = ThreadPool::global().num_threads();
+    // a large enough input — even with one worker (tasks then run inline).
+    // The frontier width is a pinned constant, NOT derived from the pool
+    // size: the frontier determines the splice order and with it the node
+    // numbering, so a worker-dependent width would make the serialized
+    // tree bytes differ across thread counts. 64 keeps >= 4 subtrees per
+    // worker at every pool size this library runs (<= 16 workers).
     const bool go_parallel = options_.parallel && n >= 4096;
-    const idx_t frontier_target =
-        go_parallel ? static_cast<idx_t>(std::max(2u, workers) * 4) : 0;
+    const idx_t frontier_target = go_parallel ? idx_t{64} : idx_t{0};
 
     if (go_parallel) {
       // Sequential phase: expand breadth-first-ish until the work stack

@@ -1,12 +1,16 @@
 #include "tree/tree_io.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <charconv>
 #include <cmath>
 #include <iomanip>
 #include <iterator>
+#include <limits>
 #include <sstream>
 #include <string_view>
+
+#include "util/varint.hpp"
 
 namespace cpart {
 
@@ -164,7 +168,226 @@ DecisionTree parse_tree(std::string_view text) {
                        std::move(labels));
 }
 
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+constexpr char kBinaryMagic[4] = {'c', 'p', 't', 'b'};
+// axis i8 + pure u8 + cut f64 + (left,right,label,count) i32 + bounds 6*f64.
+constexpr std::size_t kNodeRecordBytes = 1 + 1 + 8 + 4 * 4 + 6 * 8;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void append_f64(std::string& out, double v) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Bounded little-endian reader mirroring WireScanner's guarantees for the
+/// binary layout: every read checks the remaining length first, and every
+/// failure raises TreeParseError with the byte offset where decoding
+/// stopped. Fixed-width fields make truncation detection exact.
+class BinaryScanner {
+ public:
+  explicit BinaryScanner(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  std::int32_t i32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return static_cast<std::int32_t>(v);
+  }
+
+  double f64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return std::bit_cast<double>(v);
+  }
+
+  std::uint64_t varint(const char* what) {
+    std::uint64_t v = 0;
+    if (!read_varint(bytes_, pos_, v)) {
+      fail(std::string("read_tree: bad varint ") + what, pos_);
+    }
+    return v;
+  }
+
+  void expect_magic() {
+    need(sizeof(kBinaryMagic), "magic");
+    if (bytes_.compare(0, sizeof(kBinaryMagic), kBinaryMagic,
+                       sizeof(kBinaryMagic)) != 0) {
+      fail("read_tree: not a cptb stream", 0);
+    }
+    pos_ += sizeof(kBinaryMagic);
+  }
+
+  void expect_end() const {
+    if (pos_ < bytes_.size()) {
+      fail("read_tree: trailing bytes after tree", pos_);
+    }
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
+
+  [[noreturn]] static void fail(const std::string& msg, std::size_t offset) {
+    throw TreeParseError(msg, offset);
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (bytes_.size() - pos_ < n) {
+      fail(std::string("read_tree: unexpected end of input, expected ") +
+               what,
+           bytes_.size());
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
+
+std::string tree_to_binary(const DecisionTree& tree) {
+  std::string out;
+  const idx_t count = tree.num_nodes();
+  out.reserve(8 + static_cast<std::size_t>(count) * (kNodeRecordBytes + 1));
+  out.append(kBinaryMagic, sizeof(kBinaryMagic));
+  out.push_back(static_cast<char>(kTreeBinaryVersion));
+  append_varint(out, static_cast<std::uint64_t>(count));
+  append_varint(out,
+                static_cast<std::uint64_t>(tree.empty() ? 0 : tree.root() + 1));
+  for (idx_t id = 0; id < count; ++id) {
+    const TreeNode& nd = tree.node(id);
+    out.push_back(static_cast<char>(static_cast<std::int8_t>(nd.axis)));
+    out.push_back(static_cast<char>(nd.pure ? 1 : 0));
+    append_f64(out, nd.cut);
+    append_u32(out, static_cast<std::uint32_t>(nd.left));
+    append_u32(out, static_cast<std::uint32_t>(nd.right));
+    append_u32(out, static_cast<std::uint32_t>(nd.label));
+    append_u32(out, static_cast<std::uint32_t>(nd.count));
+    append_f64(out, nd.bounds.lo.x);
+    append_f64(out, nd.bounds.lo.y);
+    append_f64(out, nd.bounds.lo.z);
+    append_f64(out, nd.bounds.hi.x);
+    append_f64(out, nd.bounds.hi.y);
+    append_f64(out, nd.bounds.hi.z);
+  }
+  for (idx_t id = 0; id < count; ++id) {
+    const auto minorities = tree.minority_labels(id);
+    append_varint(out, minorities.size());
+    for (idx_t l : minorities) {
+      append_varint(out, static_cast<std::uint64_t>(l));
+    }
+  }
+  return out;
+}
+
+DecisionTree tree_from_binary(std::string_view bytes) {
+  BinaryScanner sc(bytes);
+  if (bytes.empty()) {
+    BinaryScanner::fail("read_tree: empty input", 0);
+  }
+  sc.expect_magic();
+  const std::uint8_t version = sc.u8("version");
+  if (version != kTreeBinaryVersion) {
+    BinaryScanner::fail("read_tree: unsupported cptb version " +
+                            std::to_string(version),
+                        sc.pos() - 1);
+  }
+  const std::uint64_t raw_count = sc.varint("node count");
+  // Every node costs a fixed record plus at least one minority-count byte:
+  // a count that cannot fit in the remaining input is garbage, rejected
+  // before any allocation.
+  if (raw_count > sc.remaining() / (kNodeRecordBytes + 1)) {
+    BinaryScanner::fail("read_tree: implausible node count " +
+                            std::to_string(raw_count),
+                        sc.pos());
+  }
+  const idx_t count = static_cast<idx_t>(raw_count);
+  const std::uint64_t raw_root = sc.varint("root");
+  if (raw_root > raw_count) {
+    BinaryScanner::fail("read_tree: root out of range", sc.pos());
+  }
+  const idx_t root = static_cast<idx_t>(raw_root) - 1;
+  std::vector<TreeNode> nodes(static_cast<std::size_t>(count));
+  for (idx_t id = 0; id < count; ++id) {
+    TreeNode& nd = nodes[static_cast<std::size_t>(id)];
+    nd.axis = static_cast<std::int8_t>(sc.u8("axis"));
+    nd.pure = sc.u8("pure flag") != 0;
+    nd.cut = sc.f64("cut");
+    nd.left = sc.i32("left");
+    nd.right = sc.i32("right");
+    nd.label = sc.i32("label");
+    nd.count = sc.i32("count");
+    nd.bounds.lo.x = sc.f64("bounds");
+    nd.bounds.lo.y = sc.f64("bounds");
+    nd.bounds.lo.z = sc.f64("bounds");
+    nd.bounds.hi.x = sc.f64("bounds");
+    nd.bounds.hi.y = sc.f64("bounds");
+    nd.bounds.hi.z = sc.f64("bounds");
+  }
+  std::vector<idx_t> offsets{0};
+  std::vector<idx_t> labels;
+  for (idx_t id = 0; id < count; ++id) {
+    const std::uint64_t num_minorities = sc.varint("minority count");
+    if (num_minorities > sc.remaining()) {
+      BinaryScanner::fail("read_tree: implausible minority count in node " +
+                              std::to_string(id),
+                          sc.pos());
+    }
+    for (std::uint64_t i = 0; i < num_minorities; ++i) {
+      const std::uint64_t l = sc.varint("minority label");
+      if (l > static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int32_t>::max())) {
+        BinaryScanner::fail("read_tree: minority label out of range",
+                            sc.pos());
+      }
+      labels.push_back(static_cast<idx_t>(l));
+    }
+    offsets.push_back(to_idx(labels.size()));
+  }
+  sc.expect_end();
+  return assemble_tree(std::move(nodes), root, std::move(offsets),
+                       std::move(labels));
+}
+
+std::string encode_tree(const DecisionTree& tree, TreeWireFormat format) {
+  return format == TreeWireFormat::kBinary ? tree_to_binary(tree)
+                                           : tree_to_string(tree);
+}
+
+DecisionTree decode_tree(const std::string& wire) {
+  if (wire.size() >= sizeof(kBinaryMagic) &&
+      wire.compare(0, sizeof(kBinaryMagic), kBinaryMagic,
+                   sizeof(kBinaryMagic)) == 0) {
+    return tree_from_binary(wire);
+  }
+  return parse_tree(wire);
+}
 
 DecisionTree read_tree(std::istream& is) {
   const std::string text((std::istreambuf_iterator<char>(is)),

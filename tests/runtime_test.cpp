@@ -8,8 +8,10 @@
 #include "graph/graph_builder.hpp"
 #include "graph/graph_metrics.hpp"
 #include "mesh/mesh_graphs.hpp"
+#include "runtime/label_codec.hpp"
 #include "runtime/virtual_cluster.hpp"
 #include "sim/impact_sim.hpp"
+#include "tree/tree_io.hpp"
 
 namespace cpart {
 namespace {
@@ -162,6 +164,59 @@ TEST_F(EndToEndTraffic, FeHaloTrafficMatchesExperimentMetric) {
   const CsrGraph g = nodal_graph(snap_.mesh);
   const StepTraffic executed = fe_halo_traffic(g, p.node_partition(), kParts);
   EXPECT_EQ(executed.total_units(), total_comm_volume(g, p.node_partition()));
+}
+
+TEST(LabelCodec, RoundTripsBatches) {
+  const std::vector<std::vector<LabelUpdate>> cases = {
+      {},
+      {{0, 0}},
+      {{7, 3}},
+      {{0, 1}, {1, 2}, {2, 0}},                    // dense run: 1-byte deltas
+      {{5, 2}, {900, 15}, {901, 15}, {100000, 7}}, // sparse jumps
+  };
+  for (const auto& updates : cases) {
+    EXPECT_EQ(decode_label_updates(encode_label_updates(updates)), updates);
+  }
+}
+
+TEST(LabelCodec, ClusteredBatchBeatsFixedWidthBy2x) {
+  // The acceptance target for the blob: seam-clustered updates must encode
+  // at least 2x denser than the 16-byte-per-update fixed-width stream.
+  std::vector<LabelUpdate> updates;
+  for (idx_t i = 0; i < 500; ++i) updates.emplace_back(1000 + 2 * i, i % 25);
+  const std::string blob = encode_label_updates(updates);
+  EXPECT_LE(blob.size() * 2, updates.size() * 16);
+  EXPECT_EQ(decode_label_updates(blob), updates);
+}
+
+TEST(LabelCodec, EncodeRejectsUnsortedAndNegative) {
+  EXPECT_THROW(encode_label_updates({{4, 0}, {4, 1}}), InputError);
+  EXPECT_THROW(encode_label_updates({{9, 0}, {3, 1}}), InputError);
+  EXPECT_THROW(encode_label_updates({{-1, 0}}), InputError);
+  EXPECT_THROW(encode_label_updates({{0, -2}}), InputError);
+}
+
+TEST(LabelCodec, DecodeRejectsMalformedBlobs) {
+  const std::string good =
+      encode_label_updates({{10, 1}, {20, 2}, {30, 3}});
+  // Every truncation of a valid blob must throw, never mis-decode.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(decode_label_updates(good.substr(0, len)), TreeParseError)
+        << "prefix length " << len;
+  }
+  EXPECT_THROW(decode_label_updates(good + '\0'), TreeParseError);
+  // Declared count larger than the remaining bytes can carry.
+  std::string overcount;
+  overcount.push_back('\x7f');  // 127 updates, no payload
+  EXPECT_THROW(decode_label_updates(overcount), TreeParseError);
+  // A zero delta after the first update means a duplicated node id.
+  std::string dup;
+  dup.push_back('\x02');  // two updates
+  dup.push_back('\x05');  // node 5
+  dup.push_back('\x01');  // owner 1
+  dup.push_back('\x00');  // delta 0 -> node 5 again
+  dup.push_back('\x02');  // owner 2
+  EXPECT_THROW(decode_label_updates(dup), TreeParseError);
 }
 
 }  // namespace
