@@ -34,6 +34,7 @@
 // --fault_rate > 0 arms the seeded FaultInjector on the exchange, which
 // exercises the checksummed retry path; events must STILL be bit-identical
 // to the reference as long as the schedule stays within --max_attempts.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -116,7 +117,10 @@ void health_json(std::ostream& os, const PipelineHealth& h) {
      << ", \"degraded_steps\": " << h.degraded_steps
      << ", \"wire_parse_failures\": " << h.wire_parse_failures
      << ", \"failed_ranks\": " << h.failed_ranks
-     << ", \"backoff_ms\": " << h.backoff_ms << ", \"channels\": {";
+     << ", \"backoff_ms\": " << h.backoff_ms
+     << ", \"readiness_stalls\": " << h.readiness_stalls
+     << ", \"readiness_stall_ns\": " << h.readiness_stall_ns
+     << ", \"channels\": {";
   for (int c = 0; c < kNumChannels; ++c) {
     const ChannelHealth& ch = h.channels[static_cast<std::size_t>(c)];
     if (c > 0) os << ", ";
@@ -124,7 +128,9 @@ void health_json(std::ostream& os, const PipelineHealth& h) {
        << "\": {\"corrupt_cells\": " << ch.corrupt_cells
        << ", \"checksum_failures\": " << ch.checksum_failures
        << ", \"count_mismatches\": " << ch.count_mismatches
-       << ", \"redelivered_bytes\": " << ch.redelivered_bytes << "}";
+       << ", \"redelivered_bytes\": " << ch.redelivered_bytes
+       << ", \"readiness_stalls\": " << ch.readiness_stalls
+       << ", \"readiness_stall_ns\": " << ch.readiness_stall_ns << "}";
   }
   os << "}}";
 }
@@ -260,6 +266,9 @@ int main(int argc, char** argv) {
          << wire_json.str() << ",\n \"results\": [\n";
     bool first_record = true;
     bool all_equal = true;
+    // (threads, mean spmd ms) per row, for the scaling-slope summary.
+    std::vector<std::pair<unsigned, double>> spmd_rows;
+    std::vector<std::pair<unsigned, double>> dist_rows;
 
     for (unsigned t : thread_counts) {
       ThreadPool::set_global_threads(t);
@@ -322,6 +331,14 @@ int main(int argc, char** argv) {
         json_array(steps_json, spmd.phase.ship_ms);
         steps_json << ", \"search\": ";
         json_array(steps_json, spmd.phase.search_ms);
+        // Per-rank readiness-wait time preceding each consuming phase of
+        // the dependency-driven run (the halo phase reads nothing).
+        steps_json << "},\n     \"wait\": {\"descriptor\": ";
+        json_array(steps_json, spmd.phase.descriptor_wait_ms);
+        steps_json << ", \"ship\": ";
+        json_array(steps_json, spmd.phase.ship_wait_ms);
+        steps_json << ", \"search\": ";
+        json_array(steps_json, spmd.phase.search_wait_ms);
         steps_json << "}}";
       }
 
@@ -458,8 +475,38 @@ int main(int argc, char** argv) {
         std::cout << "threads " << t << " health: " << run_health.summary()
                   << "\n";
       }
+      spmd_rows.emplace_back(t, spmd_mean);
+      dist_rows.emplace_back(t, dist_spmd_mean);
     }
-    json << "\n]}\n";
+
+    // Scaling slope: mean speedup per thread-doubling between the smallest
+    // and largest thread rows (1.0 = perfect scaling, 0 = flat).
+    std::ostringstream scaling_json;
+    {
+      const auto& lo = spmd_rows.front();
+      const auto& hi = spmd_rows.back();
+      const double spmd_ratio = lo.second / std::max(hi.second, 1e-9);
+      const double dist_ratio =
+          dist_rows.front().second / std::max(dist_rows.back().second, 1e-9);
+      const double doublings =
+          std::log2(std::max<double>(hi.first, 1) /
+                    std::max<double>(lo.first, 1));
+      const double spmd_slope =
+          doublings > 0 ? std::log2(std::max(spmd_ratio, 1e-9)) / doublings : 0;
+      const double dist_slope =
+          doublings > 0 ? std::log2(std::max(dist_ratio, 1e-9)) / doublings : 0;
+      scaling_json << "{\"threads_lo\": " << lo.first
+                   << ", \"threads_hi\": " << hi.first
+                   << ", \"spmd_ratio\": " << spmd_ratio
+                   << ", \"spmd_slope\": " << spmd_slope
+                   << ", \"distributed_ratio\": " << dist_ratio
+                   << ", \"distributed_slope\": " << dist_slope << "}";
+      std::cout << "scaling " << lo.first << "t -> " << hi.first
+                << "t: spmd " << spmd_ratio << "x (slope " << spmd_slope
+                << "/doubling), distributed " << dist_ratio << "x (slope "
+                << dist_slope << "/doubling)\n";
+    }
+    json << "\n],\n \"scaling\": " << scaling_json.str() << "}\n";
     ThreadPool::set_global_threads(0);
 
     table.print(std::cout);

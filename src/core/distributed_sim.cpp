@@ -69,7 +69,8 @@ DistributedSim::DistributedSim(const ImpactSim& sim,
       config_(config),
       topo_(sim.initial_mesh()),
       exchange_(config.decomposition.k),
-      executor_(config.decomposition.k) {
+      executor_(config.decomposition.k),
+      async_(config.decomposition.k) {
   config_.search.validate("DistributedSim");
   require(config_.repartition_period >= 0,
           "DistributedSim: repartition_period must be >= 0");
@@ -170,11 +171,25 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
     induce_ws_.recycle(states_[0].descriptors->release_tree());
   }
 
-  // --- Supersteps A+B in one dispatch: owned kinematics + halo post, then
-  // — once the barrier winner has delivered the halo channel — ghost
-  // intake, local surface extraction, and the contact-point gather to
-  // rank 0. Only the halo channel commits at the A/B boundary; the gather
-  // commits in the driver delivery below. -----------------------------------
+  // Neighbor topology of this step's halo: dst waits on just these source
+  // rows instead of all k (the send lists change across migrations, so the
+  // inverse is rebuilt per step).
+  halo_providers_.assign(static_cast<std::size_t>(np), {});
+  for (idx_t r = 0; r < np; ++r) {
+    for (const HaloSend& hs : states_[static_cast<std::size_t>(r)].halo_sends) {
+      halo_providers_[static_cast<std::size_t>(hs.dst)].push_back(r);
+    }
+  }
+  for (std::vector<idx_t>& list : halo_providers_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  // --- Supersteps A+B in one dependency-driven run: owned kinematics +
+  // halo post, then — per rank, as soon as its own halo neighbors' rows
+  // commit (delivery #1) — ghost intake, local surface extraction, and the
+  // contact-point gather to rank 0. The gather commits in the driver
+  // delivery below. ---------------------------------------------------------
   const auto phase_a = [&](idx_t r) {
     SubdomainState& st = states_[static_cast<std::size_t>(r)];
     st.begin_step();
@@ -226,11 +241,14 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
           r, 0, ContactPointMsg{v, st.positions[static_cast<std::size_t>(v)]});
     }
   };
-  const std::array<Phase, 2> kinematics_phases = {
-      Phase{phase_a, 0, {}},
-      Phase{phase_b, channel_bit(ChannelId::kHalo), {}},
+  const std::array<AsyncPhase, 2> kinematics_phases = {
+      AsyncPhase{.body = phase_a, .writes = channel_bit(ChannelId::kHalo)},
+      AsyncPhase{.body = phase_b,
+                 .reads = channel_bit(ChannelId::kHalo),
+                 .writes = channel_bit(ChannelId::kCouplingForward),
+                 .providers = &halo_providers_},
   };
-  executor_.run_phases(kinematics_phases, exchange_);  // delivery #1 inside
+  async_.run(kinematics_phases, exchange_);  // delivery #1 inside
   report.fe_exchange = exchange_.take_fe_traffic();
   report.halo_payload_bytes = exchange_.take_halo_bytes();
 
@@ -302,16 +320,15 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
       }
     }
   }
-  exchange_.deliver(channel_bit(ChannelId::kDescriptors) |
-                    channel_bit(ChannelId::kLabels));  // #3
   report.descriptor_tree_nodes = states_[0].descriptors->num_tree_nodes();
-  report.descriptor_broadcast_bytes = exchange_.take_descriptor_bytes();
-  report.label_broadcast_bytes = exchange_.take_label_bytes();
 
-  // --- Supersteps D+E in one dispatch: decode the broadcast tree + label
-  // blob and run the global search/shipping, then — once the barrier
-  // winner has delivered the faces channel — the local search and, on
-  // migration steps, the outgoing-state posts. ------------------------------
+  // --- Supersteps D+E(+F) in one dependency-driven run. The broadcast
+  // group (descriptors + labels, delivery #3) is born closed — posted by
+  // the driver above — so each rank's wire validation and decode start
+  // immediately and the former serial section spreads across the workers.
+  // E follows per rank as its faces cells commit (delivery #4); on
+  // migration steps F consumes the migration channels (delivery #5) and
+  // commits the handover. ---------------------------------------------------
   const LocalSearchOptions local = config_.search.local_options(body_of_node_);
   const int dim = topo_.mesh().dim();
   const auto phase_d = [&](idx_t r) {
@@ -392,59 +409,72 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
       ++st.moved_elements_out;
     }
   };
-  const std::array<Phase, 2> search_phases = {
-      Phase{phase_d, 0, {}},
-      Phase{phase_e, channel_bit(ChannelId::kFaces), {}},
+  // --- Phase F (migration steps only): migration commit — apply labels,
+  // splice migrated state, validate element records, rebuild ownership
+  // views. ------------------------------------------------------------------
+  const auto phase_f = [&](idx_t r) {
+    SubdomainState& st = states_[static_cast<std::size_t>(r)];
+    // Zero migrated-away accumulators while node_owner is still the old
+    // map, so stale owned state cannot leak past the handover.
+    for (const auto& [v, o] : st.pending_labels) {
+      const auto sv = static_cast<std::size_t>(v);
+      if (st.node_owner[sv] == r && o != r) st.contact_hits[sv] = 0;
+    }
+    std::swap(st.node_owner, st.owner_scratch);
+    for (const NodeMigrateMsg& m : exchange_.migrate_nodes().inbox(r)) {
+      require(m.node >= 0 && m.node < nn,
+              "DistributedSim: migrated node id out of range");
+      const auto sv = static_cast<std::size_t>(m.node);
+      require(st.node_owner[sv] == r,
+              "DistributedSim: node migrated to a rank that does not own it");
+      st.positions[sv] = m.position;
+      st.contact_hits[sv] = m.contact_hits;
+    }
+    for (const ElementMigrateMsg& m : exchange_.migrate_elements().inbox(r)) {
+      require(m.element >= 0 && m.element < topo_.num_elements(),
+              "DistributedSim: migrated element id out of range");
+      const auto elem = topo_.mesh().element(m.element);
+      require(static_cast<std::size_t>(m.num_nodes) == elem.size(),
+              "DistributedSim: migrated element arity mismatch");
+      for (std::size_t i = 0; i < elem.size(); ++i) {
+        require(m.nodes[i] == elem[i],
+                "DistributedSim: migrated element connectivity mismatch");
+      }
+      require(majority_owner(elem, st.node_owner) == r,
+              "DistributedSim: element re-homed to the wrong rank");
+    }
+    st.rebuild_views(topo_, np);
   };
-  executor_.run_phases(search_phases, exchange_);  // delivery #4 inside
+
+  const ChannelMask broadcast_mask = channel_bit(ChannelId::kDescriptors) |
+                                     channel_bit(ChannelId::kLabels);
+  const ChannelMask migrate_mask = channel_bit(ChannelId::kMigrateNodes) |
+                                   channel_bit(ChannelId::kMigrateElements);
+  std::vector<AsyncPhase> search_phases;
+  search_phases.push_back(AsyncPhase{.body = phase_d,
+                                     .reads = broadcast_mask,
+                                     .writes = channel_bit(ChannelId::kFaces)});
+  search_phases.push_back(
+      AsyncPhase{.body = phase_e,
+                 .reads = channel_bit(ChannelId::kFaces),
+                 .writes = migrate ? migrate_mask : ChannelMask{0}});
+  if (migrate) {
+    search_phases.push_back(AsyncPhase{.body = phase_f,
+                                       .reads = migrate_mask});
+  }
+  async_.run(search_phases, exchange_);  // deliveries #3, #4 (+ #5) inside
+  report.descriptor_broadcast_bytes = exchange_.take_descriptor_bytes();
+  report.label_broadcast_bytes = exchange_.take_label_bytes();
   report.search_exchange = exchange_.take_search_traffic();
   report.face_payload_bytes = exchange_.take_face_bytes();
 
   if (migrate) {
-    exchange_.deliver(channel_bit(ChannelId::kMigrateNodes) |
-                      channel_bit(ChannelId::kMigrateElements));  // #5
     report.migration_exchange = exchange_.take_migration_traffic();
     report.migration_payload_bytes = exchange_.take_migration_bytes();
     for (const SubdomainState& st : states_) {
       report.repart_moved_nodes += st.moved_nodes_out;
       report.repart_moved_elements += st.moved_elements_out;
     }
-
-    // --- Superstep F: migration commit — apply labels, splice migrated
-    // state, validate element records, rebuild ownership views. -------------
-    executor_.superstep([&](idx_t r) {
-      SubdomainState& st = states_[static_cast<std::size_t>(r)];
-      // Zero migrated-away accumulators while node_owner is still the old
-      // map, so stale owned state cannot leak past the handover.
-      for (const auto& [v, o] : st.pending_labels) {
-        const auto sv = static_cast<std::size_t>(v);
-        if (st.node_owner[sv] == r && o != r) st.contact_hits[sv] = 0;
-      }
-      std::swap(st.node_owner, st.owner_scratch);
-      for (const NodeMigrateMsg& m : exchange_.migrate_nodes().inbox(r)) {
-        require(m.node >= 0 && m.node < nn,
-                "DistributedSim: migrated node id out of range");
-        const auto sv = static_cast<std::size_t>(m.node);
-        require(st.node_owner[sv] == r,
-                "DistributedSim: node migrated to a rank that does not own it");
-        st.positions[sv] = m.position;
-        st.contact_hits[sv] = m.contact_hits;
-      }
-      for (const ElementMigrateMsg& m : exchange_.migrate_elements().inbox(r)) {
-        require(m.element >= 0 && m.element < topo_.num_elements(),
-                "DistributedSim: migrated element id out of range");
-        const auto elem = topo_.mesh().element(m.element);
-        require(static_cast<std::size_t>(m.num_nodes) == elem.size(),
-                "DistributedSim: migrated element arity mismatch");
-        for (std::size_t i = 0; i < elem.size(); ++i) {
-          require(m.nodes[i] == elem[i],
-                  "DistributedSim: migrated element connectivity mismatch");
-        }
-        require(majority_owner(elem, st.node_owner) == r,
-                "DistributedSim: element re-homed to the wrong rank");
-      }
-      st.rebuild_views(topo_, np);
-    });
   }
 
   // Deterministic merge: rank order, then one global (node, distance) sort.

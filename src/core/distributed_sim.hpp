@@ -33,12 +33,16 @@
 //      element records against the immutable topology, and every rank
 //      rebuilds its ownership views from the new labels.
 //
-// Supersteps A+B and D+E each run as one fused RankExecutor::run_phases
-// dispatch: an in-dispatch barrier separates the phases and its winner
-// delivers only the channel the next phase reads (halo, faces), while the
-// gather, broadcast, and migration boundaries remain driver-side
-// deliveries. The per-step delivery count (4, or 5 with migration) and the
-// staged-inbox commit semantics are unchanged.
+// Supersteps A+B and D+E+F each run as one dependency-driven
+// AsyncExecutor::run: each phase declares the channels it reads, and a rank
+// enters its next phase the moment its own inbox cells commit — B waits
+// only on its halo neighbors' rows, and the descriptor/label broadcast
+// group is born closed so its per-rank wire validations spread across the
+// workers while D proceeds. The contact-point gather boundary remains a
+// driver-side delivery (rank 0's induction must run on the calling
+// thread), and the migration commit F consumes the migration channels as
+// the last phase of the second run. The per-step delivery count (4, or 5
+// with migration) and the staged-inbox commit semantics are unchanged.
 //
 // The pre-refactor shape survives as run_step_reference(): one centralized
 // body computing the same step on gathered global state, with all traffic
@@ -59,6 +63,7 @@
 #include "core/pipeline.hpp"
 #include "mesh/mesh_topology.hpp"
 #include "partition/partition.hpp"
+#include "runtime/async_executor.hpp"
 #include "runtime/exchange.hpp"
 #include "runtime/rank_executor.hpp"
 #include "runtime/subdomain_state.hpp"
@@ -181,10 +186,18 @@ class DistributedSim {
   std::vector<int> body_of_node_;  // same-body search exclusion
   std::vector<SubdomainState> states_;
   Exchange exchange_;
+  // The step's multi-phase runs are dependency-driven (async_); the plain
+  // striped executor remains for single supersteps whose cross-rank data
+  // already moved (scatter_global_state).
   RankExecutor executor_;
+  AsyncExecutor async_;
   idx_t steps_run_ = 0;
   // Driver scratch.
   TreeInduceWorkspace induce_ws_;  // warm storage across per-step inductions
+  // halo_providers_[dst]: ranks that post halo nodes to dst this step — the
+  // inverse of the rank states' halo send lists, rebuilt per step (views
+  // change on migration).
+  std::vector<std::vector<idx_t>> halo_providers_;
   std::vector<char> contact_mask_;
   std::vector<idx_t> start_owner_;   // start-of-step recovery snapshot
   std::vector<wgt_t> start_hits_;

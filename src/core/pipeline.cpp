@@ -74,6 +74,27 @@ void init_phase(RankPhaseBreakdown& phase, idx_t k) {
   phase.halo_ms.assign(static_cast<std::size_t>(k), 0.0);
   phase.ship_ms.assign(static_cast<std::size_t>(k), 0.0);
   phase.search_ms.assign(static_cast<std::size_t>(k), 0.0);
+  phase.descriptor_wait_ms.assign(static_cast<std::size_t>(k), 0.0);
+  phase.halo_wait_ms.assign(static_cast<std::size_t>(k), 0.0);
+  phase.ship_wait_ms.assign(static_cast<std::size_t>(k), 0.0);
+  phase.search_wait_ms.assign(static_cast<std::size_t>(k), 0.0);
+}
+
+/// providers[dst] = sorted unique list of ranks that post halo nodes to dst
+/// — the inverse of the per-rank halo send lists, so the consuming phase can
+/// wait on just its neighbors' rows instead of all k.
+void build_halo_providers(const std::vector<SubdomainView>& views, idx_t k,
+                          std::vector<std::vector<idx_t>>& providers) {
+  providers.assign(static_cast<std::size_t>(k), {});
+  for (idx_t r = 0; r < k; ++r) {
+    for (const HaloSend& hs : views[static_cast<std::size_t>(r)].halo_sends) {
+      providers[static_cast<std::size_t>(hs.dst)].push_back(r);
+    }
+  }
+  for (std::vector<idx_t>& list : providers) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
 }
 
 }  // namespace
@@ -152,6 +173,7 @@ PipelineStepReport ContactPipeline::run_step_spmd(
                         num_parts, views_);
   if (halo_version_ != graph_cache_.version()) {
     build_halo_sends(graph, part, num_parts, views_);
+    build_halo_providers(views_, num_parts, halo_providers_);
     halo_version_ = graph_cache_.version();
   }
 
@@ -159,7 +181,10 @@ PipelineStepReport ContactPipeline::run_step_spmd(
   // rank 0 — parallel subtree induction across the whole pool, warm-started
   // from last step's recycled tree storage — and broadcast the encoded
   // tree. Charged to descriptor_ms[0], where rank 0's induce+serialize was
-  // timed before the phase fusion. ------------------------------------------
+  // timed before the phase fusion. The broadcast group is born closed (its
+  // rows are posted here, before the run), so the k per-destination wire
+  // validations — the former serial section of delivery #1 — spread across
+  // the async workers while the halo phase proceeds underneath them. --------
   {
     Timer timer;
     if (ranks_[0].descriptors.has_value()) {
@@ -179,14 +204,13 @@ PipelineStepReport ContactPipeline::run_step_spmd(
                                          config_.wire_format)});
     report.phase.descriptor_ms[0] += timer.milliseconds();
   }
-  exchange_.deliver(channel_bit(ChannelId::kDescriptors));  // delivery #1
   report.descriptor_tree_nodes = ranks_[0].descriptors->num_tree_nodes();
-  report.descriptor_broadcast_bytes = exchange_.take_descriptor_bytes();
 
-  // --- Supersteps 1-4 in one fused dispatch: parse, halo post, ghost
-  // intake + element shipping (after the halo channel commits), local
-  // search (after the faces channel commits). Only the channel the next
-  // phase reads is validated at each in-dispatch barrier. -------------------
+  // --- Phases 1-4 in one dependency-driven run: parse (reads the born-
+  // closed broadcast — delivery #1), halo post, ghost intake + element
+  // shipping (reads halo from just this rank's neighbors — delivery #2),
+  // local search (reads faces — delivery #3). A rank enters each phase the
+  // moment its own inbox cells commit; there is no global barrier. ----------
   const auto parse_phase = [&](idx_t r) {
     // Every other rank parses its own copy off the wire (the format round-
     // trips doubles exactly, so all k copies answer queries identically).
@@ -227,15 +251,27 @@ PipelineStepReport ContactPipeline::run_step_spmd(
                                      rank.local_faces, local,
                                      rank.search_scratch, rank.events);
   };
-  const std::array<Phase, 4> phases = {
-      Phase{parse_phase, 0, report.phase.descriptor_ms},
-      Phase{halo_phase, 0, report.phase.halo_ms},
-      Phase{ship_phase, channel_bit(ChannelId::kHalo),
-            report.phase.ship_ms},  // delivery #2 at the barrier
-      Phase{search_phase, channel_bit(ChannelId::kFaces),
-            report.phase.search_ms},  // delivery #3 at the barrier
+  const std::array<AsyncPhase, 4> phases = {
+      AsyncPhase{.body = parse_phase,
+                 .reads = channel_bit(ChannelId::kDescriptors),
+                 .ms_accum = report.phase.descriptor_ms,
+                 .wait_ms_accum = report.phase.descriptor_wait_ms},
+      AsyncPhase{.body = halo_phase,
+                 .writes = channel_bit(ChannelId::kHalo),
+                 .ms_accum = report.phase.halo_ms},
+      AsyncPhase{.body = ship_phase,
+                 .reads = channel_bit(ChannelId::kHalo),
+                 .writes = channel_bit(ChannelId::kFaces),
+                 .ms_accum = report.phase.ship_ms,
+                 .wait_ms_accum = report.phase.ship_wait_ms,
+                 .providers = &halo_providers_},
+      AsyncPhase{.body = search_phase,
+                 .reads = channel_bit(ChannelId::kFaces),
+                 .ms_accum = report.phase.search_ms,
+                 .wait_ms_accum = report.phase.search_wait_ms},
   };
-  executor_.run_phases(phases, exchange_);
+  executor_.run(phases, exchange_);
+  report.descriptor_broadcast_bytes = exchange_.take_descriptor_bytes();
   report.fe_exchange = exchange_.take_fe_traffic();
   report.halo_payload_bytes = exchange_.take_halo_bytes();
   report.search_exchange = exchange_.take_search_traffic();
@@ -432,84 +468,95 @@ void MlRcbPipeline::run_step_spmd(const Mesh& mesh, const Surface& surface,
   // unlike the descriptor copies all ranks can read the same instance.
   const BBoxFilter filter = partitioner_.make_bbox_filter(mesh);
 
-  // --- Superstep 1: halo posts, coupling forward, box allgather. -----------
-  executor_.superstep_timed(
-      [&](idx_t r) {
-        Rank& rank = ranks_[static_cast<std::size_t>(r)];
-        rank.begin_step();
-        for (const HaloSend& hs :
-             views_[static_cast<std::size_t>(r)].halo_sends) {
-          exchange_.halo().send(r, hs.dst,
-                                HaloNodeMsg{hs.node, mesh.node(hs.node)});
-        }
-        // Forward coupling: this FE rank ships each of its contact points
-        // whose (relabelled) RCB owner is elsewhere.
-        for (std::size_t i = 0; i < fe_labels_.size(); ++i) {
-          if (fe_labels_[i] != r) continue;
-          const idx_t contact_as_fe =
-              m2m.relabel[static_cast<std::size_t>(clabels[i])];
-          if (contact_as_fe == r) continue;
-          exchange_.coupling_forward().send(
-              r, contact_as_fe,
-              ContactPointMsg{cids[i], mesh.node(cids[i])});
-        }
-        // RCB subdomain-box allgather (bytes only — the centralized step
-        // reports no traffic for it either).
-        exchange_.boxes().broadcast(r, SubdomainBoxMsg{r, filter.box(r)});
-      },
-      report.phase.halo_ms);
-  exchange_.deliver();
+  // --- Phases 1-3 in one dependency-driven run. Phase 1 posts halo nodes,
+  // forward coupling, and the subdomain-box allgather; phase 2 consumes all
+  // three (delivery #1 — the exact channel set the first full-mask barrier
+  // delivery used to carry), returns the coupling points and ships elements;
+  // phase 3 consumes the return coupling and shipped faces (delivery #2).
+  // A rank enters each phase once its own inbox cells commit. ---------------
+  const auto post_phase = [&](idx_t r) {
+    Rank& rank = ranks_[static_cast<std::size_t>(r)];
+    rank.begin_step();
+    for (const HaloSend& hs : views_[static_cast<std::size_t>(r)].halo_sends) {
+      exchange_.halo().send(r, hs.dst,
+                            HaloNodeMsg{hs.node, mesh.node(hs.node)});
+    }
+    // Forward coupling: this FE rank ships each of its contact points
+    // whose (relabelled) RCB owner is elsewhere.
+    for (std::size_t i = 0; i < fe_labels_.size(); ++i) {
+      if (fe_labels_[i] != r) continue;
+      const idx_t contact_as_fe =
+          m2m.relabel[static_cast<std::size_t>(clabels[i])];
+      if (contact_as_fe == r) continue;
+      exchange_.coupling_forward().send(
+          r, contact_as_fe, ContactPointMsg{cids[i], mesh.node(cids[i])});
+    }
+    // RCB subdomain-box allgather (bytes only — the centralized step
+    // reports no traffic for it either).
+    exchange_.boxes().broadcast(r, SubdomainBoxMsg{r, filter.box(r)});
+  };
+  const auto ship_phase = [&](idx_t r) {
+    Rank& rank = ranks_[static_cast<std::size_t>(r)];
+    // Return trip: each received contact point goes back to its source
+    // after the search (the "twice the M2MComm value" of Section 5.2).
+    const auto& coupling_in = exchange_.coupling_forward().inbox(r);
+    for (const SourceRange& sr :
+         exchange_.coupling_forward().inbox_sources(r)) {
+      for (idx_t i = sr.begin; i < sr.end; ++i) {
+        exchange_.coupling_return().send(
+            r, sr.from, coupling_in[static_cast<std::size_t>(i)]);
+      }
+    }
+    const auto& ghosts_in = exchange_.halo().inbox(r);
+    rank.ghosts.assign(ghosts_in.begin(), ghosts_in.end());
+    for (idx_t f : views_[static_cast<std::size_t>(r)].owned_faces) {
+      const SurfaceFace& face = surface.faces[static_cast<std::size_t>(f)];
+      const BBox box = face_bbox(mesh, face, config_.search.search_margin);
+      rank.query_parts.clear();
+      filter.query_box(box, rank.query_parts);
+      for (idx_t q : rank.query_parts) {
+        if (q == r) continue;
+        exchange_.faces().send(r, q, make_face_msg(mesh, face, f));
+      }
+    }
+  };
+  const LocalSearchOptions local = config_.search.local_options(body_of_node);
+  const auto search_phase = [&](idx_t r) {
+    Rank& rank = ranks_[static_cast<std::size_t>(r)];
+    const SubdomainView& view = views_[static_cast<std::size_t>(r)];
+    rank.merge_faces(view.owned_faces, exchange_.faces().inbox(r));
+    if (view.contact_nodes.empty() || rank.local_faces.empty()) return;
+    local_contact_search_subset_into(mesh, surface, view.contact_nodes,
+                                     rank.local_faces, local,
+                                     rank.search_scratch, rank.events);
+  };
+  const ChannelMask post_mask = channel_bit(ChannelId::kHalo) |
+                                channel_bit(ChannelId::kCouplingForward) |
+                                channel_bit(ChannelId::kBoxes);
+  const ChannelMask ship_mask = channel_bit(ChannelId::kCouplingReturn) |
+                                channel_bit(ChannelId::kFaces);
+  const std::array<AsyncPhase, 3> phases = {
+      AsyncPhase{.body = post_phase,
+                 .writes = post_mask,
+                 .ms_accum = report.phase.halo_ms},
+      AsyncPhase{.body = ship_phase,
+                 .reads = post_mask,
+                 .writes = ship_mask,
+                 .ms_accum = report.phase.ship_ms,
+                 .wait_ms_accum = report.phase.ship_wait_ms},
+      AsyncPhase{.body = search_phase,
+                 .reads = ship_mask,
+                 .ms_accum = report.phase.search_ms,
+                 .wait_ms_accum = report.phase.search_wait_ms},
+  };
+  executor_.run(phases, exchange_);
   report.fe_exchange = exchange_.take_fe_traffic();
   report.halo_payload_bytes = exchange_.take_halo_bytes();
-
-  // --- Superstep 2: coupling return, ghost intake, element shipping. -------
-  executor_.superstep_timed(
-      [&](idx_t r) {
-        Rank& rank = ranks_[static_cast<std::size_t>(r)];
-        // Return trip: each received contact point goes back to its source
-        // after the search (the "twice the M2MComm value" of Section 5.2).
-        const auto& coupling_in = exchange_.coupling_forward().inbox(r);
-        for (const SourceRange& sr :
-             exchange_.coupling_forward().inbox_sources(r)) {
-          for (idx_t i = sr.begin; i < sr.end; ++i) {
-            exchange_.coupling_return().send(
-                r, sr.from, coupling_in[static_cast<std::size_t>(i)]);
-          }
-        }
-        const auto& ghosts_in = exchange_.halo().inbox(r);
-        rank.ghosts.assign(ghosts_in.begin(), ghosts_in.end());
-        for (idx_t f : views_[static_cast<std::size_t>(r)].owned_faces) {
-          const SurfaceFace& face = surface.faces[static_cast<std::size_t>(f)];
-          const BBox box = face_bbox(mesh, face, config_.search.search_margin);
-          rank.query_parts.clear();
-          filter.query_box(box, rank.query_parts);
-          for (idx_t q : rank.query_parts) {
-            if (q == r) continue;
-            exchange_.faces().send(r, q, make_face_msg(mesh, face, f));
-          }
-        }
-      },
-      report.phase.ship_ms);
-  exchange_.deliver();
   report.search_exchange = exchange_.take_search_traffic();
   report.coupling_exchange = exchange_.take_coupling_traffic();
   report.face_payload_bytes = exchange_.take_face_bytes();
   report.coupling_payload_bytes = exchange_.take_coupling_bytes();
   report.box_allgather_bytes = exchange_.take_box_bytes();
-
-  // --- Superstep 3: per-rank local search in the RCB decomposition. --------
-  const LocalSearchOptions local = config_.search.local_options(body_of_node);
-  executor_.superstep_timed(
-      [&](idx_t r) {
-        Rank& rank = ranks_[static_cast<std::size_t>(r)];
-        const SubdomainView& view = views_[static_cast<std::size_t>(r)];
-        rank.merge_faces(view.owned_faces, exchange_.faces().inbox(r));
-        if (view.contact_nodes.empty() || rank.local_faces.empty()) return;
-        local_contact_search_subset_into(mesh, surface, view.contact_nodes,
-                                         rank.local_faces, local,
-                                         rank.search_scratch, rank.events);
-      },
-      report.phase.search_ms);
 
   merge_rank_events(ranks_, report);
 }

@@ -35,10 +35,10 @@
 #include "mesh/mesh_graphs.hpp"
 #include "mesh/subdomain.hpp"
 #include "parallel/thread_pool.hpp"
+#include "runtime/async_executor.hpp"
 #include "runtime/exchange.hpp"
 #include "runtime/health.hpp"
 #include "runtime/rank.hpp"
-#include "runtime/rank_executor.hpp"
 #include "runtime/virtual_cluster.hpp"
 #include "tree/tree_io.hpp"
 
@@ -123,6 +123,13 @@ struct RankPhaseBreakdown {
   std::vector<double> halo_ms;        // halo posting
   std::vector<double> ship_ms;        // ghost intake + element shipping
   std::vector<double> search_ms;      // merge + local search
+  // Readiness-wait wall ms preceding each phase under the dependency-driven
+  // executor: time the rank spent blocked until the inbox rows its phase
+  // reads were closed (0 for phases with no reads or already-ready inputs).
+  std::vector<double> descriptor_wait_ms;
+  std::vector<double> halo_wait_ms;
+  std::vector<double> ship_wait_ms;
+  std::vector<double> search_wait_ms;
 };
 
 struct PipelineStepReport {
@@ -210,7 +217,12 @@ class ContactPipeline {
   std::vector<SubdomainView> views_;
   std::vector<Rank> ranks_;
   Exchange exchange_;
-  RankExecutor executor_;
+  AsyncExecutor executor_;
+  // Inverse of views_[*].halo_sends — halo_providers_[dst] lists every rank
+  // that posts halo nodes to dst. Rebuilt with the halo lists (same
+  // halo_version_ key); lets the ship phase start on a rank once just its
+  // neighbors' rows closed.
+  std::vector<std::vector<idx_t>> halo_providers_;
   TreeInduceWorkspace induce_ws_;      // warm storage across step inductions
   std::vector<idx_t> contact_labels_;  // per-step gather scratch
   std::vector<idx_t> face_owner_;
@@ -306,7 +318,7 @@ class MlRcbPipeline {
   std::vector<SubdomainView> views_;
   std::vector<Rank> ranks_;
   Exchange exchange_;
-  RankExecutor executor_;
+  AsyncExecutor executor_;
   std::vector<idx_t> fe_labels_;  // per-step gather scratch
   std::vector<idx_t> rcb_node_labels_;
   std::vector<idx_t> face_owner_;

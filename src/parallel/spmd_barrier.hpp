@@ -1,5 +1,10 @@
-// Sense-reversing phase barrier for barrier-phased SPMD execution
-// (runtime/rank_executor.hpp run_phases).
+// Sense-reversing phase barrier for barrier-phased SPMD execution.
+//
+// The step drivers themselves now run on the dependency-driven
+// AsyncExecutor (runtime/async_executor.hpp), whose readiness waits reuse
+// this barrier's spin-then-futex idiom on a shared epoch word; the full
+// barrier remains the building block for strictly phase-ordered worker
+// groups (and is tested directly in parallel_test).
 //
 // Classic MCS-style design (Mellor-Crummey & Scott): arrival is a single
 // fetch_add on a padded counter; release is a sense reversal — waiters spin
@@ -21,7 +26,7 @@
 //
 // Not reentrant; every one of the `participants` threads must call
 // arrive_and_wait the same number of times. The serial section must not
-// throw — wrap it and stash the exception (run_phases does).
+// throw — wrap it and stash the exception.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,109 @@
+// Dependency-driven rank execution: channel-granular async supersteps.
+//
+// RankExecutor's fused-phase schedule separated consecutive rank phases
+// with a full SpmdBarrier whose winner delivered whole channels in a serial
+// section — every rank waited for every other rank at every phase boundary,
+// even for channels it does not read. AsyncExecutor replaces that schedule
+// with dependency-driven execution: each phase declares the ChannelMask it
+// reads and the mask it writes, and a rank starts its next phase the moment
+// *its own* inbox cells for the channels that phase reads have been
+// committed. There is no global barrier inside a run:
+//
+//   * Publication is per (channel-group, source-rank) row: when a rank
+//     finishes the last phase that writes into a group, its outbox row is
+//     closed with an atomic release store and a shared epoch bump.
+//   * A consuming rank validates and commits only its own inbox column —
+//     per-cell frame/checksum validation with per-cell retry loops, then a
+//     per-destination commit — so a rank consuming halo from 3 neighbors
+//     does not wait for the other k-4 (pass an exact provider list to wait
+//     on just those rows; without one the rank waits for all k rows).
+//   * Quiescence is established by a termination detector, not a barrier:
+//     per-group closed-row counters against the sent-row total, plus a
+//     monotone epoch word waiters park on (spin-then-futex, the SpmdBarrier
+//     idiom). A group is quiescent for rank r once every row r consumes is
+//     closed; the run is quiescent when every phase completed or an abort
+//     (rank failure, retry-budget exhaustion) was published on the epoch.
+//   * Slow serial sections overlap with phases that do not depend on them:
+//     a group whose channels were posted before the run (the rank-0
+//     descriptor broadcast, the migration label batch) is born closed, so
+//     its k per-destination validations — the former serial section —
+//     spread across the workers while independent phases proceed.
+//
+// Determinism: commit assembles each inbox in ascending source order at
+// consumption time, so results never depend on arrival order. The fault
+// schedule is preserved exactly: per-cell validation keys injector
+// decisions on (channel, superstep, attempt, src, dst) — the barrier
+// build's exact tuple, with group j of a run numbered superstep base+j —
+// and when an injector is armed, group validation additionally gates on
+// completion of all prior phases, so detection counters, retry accounting,
+// and budget exhaustion stay bit-identical to the barrier schedule at any
+// thread count. Health accounting folds per-group, as if one
+// deliver(mask) had run per group (see Exchange::async_fold_group);
+// readiness waits are counted as per-channel stalls in PipelineHealth.
+//
+// Failure semantics match RankExecutor: every rank completes the earliest
+// failing phase before the run unwinds (later-phase work is discarded), a
+// single failing rank rethrows its original exception, several aggregate
+// into ParallelGroupError, and an exhausted retry budget aborts the step
+// and throws the barrier-identical TransportError.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "runtime/health.hpp"
+#include "util/common.hpp"
+
+namespace cpart {
+
+class Exchange;
+
+/// One rank phase of a dependency-driven run.
+struct AsyncPhase {
+  /// The rank program: body(rank) for every rank in [0, k).
+  std::function<void(idx_t)> body;
+  /// Channels whose inbox cells this phase's bodies read. They are
+  /// validated and committed per destination immediately before body(rank)
+  /// runs, as soon as rank's cells are ready. Within one run a channel may
+  /// be read by at most one phase, and its last writer must be an earlier
+  /// phase (or the caller, before the run — such a group is born closed).
+  ChannelMask reads = 0;
+  /// Channels this phase's bodies post into (send/broadcast). A written
+  /// channel read by a later phase of the same run commits inside the run;
+  /// one read by no phase stays staged for a driver-side deliver() after
+  /// the run (the rank-0 contact gather pattern).
+  ChannelMask writes = 0;
+  /// Optional per-rank wall-ms accumulator for the body (size k).
+  std::span<double> ms_accum = {};
+  /// Optional per-rank wall-ms accumulator for the readiness wait that
+  /// precedes the body (size k). Zero when the inputs were already ready.
+  std::span<double> wait_ms_accum = {};
+  /// Optional exact provider topology for `reads`: providers[dst] lists
+  /// every source rank that may post to dst on any channel of the mask.
+  /// Lets dst proceed once just those rows are closed (neighbor-granular
+  /// delivery). nullptr = any rank may post, wait for all k rows. Ignored
+  /// while a fault injector is armed (validation then gates on full phase
+  /// completion to keep the fault schedule barrier-identical).
+  const std::vector<std::vector<idx_t>>* providers = nullptr;
+};
+
+class AsyncExecutor {
+ public:
+  explicit AsyncExecutor(idx_t k);
+
+  idx_t num_ranks() const { return k_; }
+
+  /// Runs the phase sequence to quiescence in one pool dispatch.
+  /// W = min(pool size, hardware concurrency, k) workers each own ranks
+  /// w, w+W, ...; a worker advances phase-major (all owned ranks through
+  /// phase p before phase p+1), blocking per owned rank only on that
+  /// rank's input rows. Consumes one Exchange superstep per group (a
+  /// phase with non-zero reads), in phase order.
+  void run(std::span<const AsyncPhase> phases, Exchange& exchange) const;
+
+ private:
+  idx_t k_;
+};
+
+}  // namespace cpart

@@ -465,50 +465,66 @@ class TypedChannel {
     idx_t corrupt = 0;
     for (idx_t from = 0; from < k_; ++from) {
       for (idx_t to = 0; to < k_; ++to) {
-        Cell& cell = cells_[static_cast<std::size_t>(from) *
-                                static_cast<std::size_t>(k_) +
-                            static_cast<std::size_t>(to)];
-        if (cell.staged_ok) continue;
-        if (cell.count == 0) {
-          cell.staged_ok = true;
-          continue;
+        if (!attempt_deliver_cell(injector, id, superstep, attempt, from, to,
+                                  health)) {
+          ++corrupt;
         }
-        std::vector<T> wire;
-        if (injector != nullptr) {
-          wire = cell.items;  // outbox retained until the cell validates
-          injector->maybe_corrupt(id, superstep, attempt, from, to, wire);
-        } else {
-          // Fast path: nothing between us and the inbox can corrupt the
-          // data except genuine in-process memory corruption, which the
-          // checksum below still detects (and which no retry could fix).
-          wire = std::move(cell.items);
-          cell.items.clear();
-        }
-        std::uint64_t h = kFnvOffsetBasis;
-        for (const T& item : wire) h = (h ^ wire_hash(item)) * kFnvPrime;
-        const bool count_ok = to_idx(wire.size()) == cell.count;
-        const bool hash_ok = h == cell.hash;
-        if (count_ok && hash_ok) {
-          cell.staged = std::move(wire);
-          cell.staged_ok = true;
-          continue;
-        }
-        ++corrupt;
-        ChannelHealth& ch = health.channel(id);
-        ++ch.corrupt_cells;
-        ++health.corrupt_cells;
-        if (!count_ok) {
-          ++ch.count_mismatches;
-          ++health.count_mismatches;
-        } else {
-          ++ch.checksum_failures;
-          ++health.checksum_failures;
-        }
-        ch.redelivered_bytes += cell.bytes;
-        health.redelivered_bytes += cell.bytes;
       }
     }
     return corrupt;
+  }
+
+  /// One validation attempt of the single (from, to) cell — the identical
+  /// staging/validation body attempt_deliver() runs, with the identical
+  /// (channel, superstep, attempt, from, to) injector decision key, so the
+  /// async executor's per-cell retry loops consume the exact fault schedule
+  /// the barrier loop would. Returns true when the cell is staged OK (empty
+  /// cells validate trivially). Safe to call concurrently for distinct
+  /// cells; `health` is whatever scratch the caller owns.
+  bool attempt_deliver_cell(FaultInjector* injector, ChannelId id,
+                            std::uint64_t superstep, idx_t attempt, idx_t from,
+                            idx_t to, PipelineHealth& health) {
+    Cell& cell = cells_[static_cast<std::size_t>(from) *
+                            static_cast<std::size_t>(k_) +
+                        static_cast<std::size_t>(to)];
+    if (cell.staged_ok) return true;
+    if (cell.count == 0) {
+      cell.staged_ok = true;
+      return true;
+    }
+    std::vector<T> wire;
+    if (injector != nullptr) {
+      wire = cell.items;  // outbox retained until the cell validates
+      injector->maybe_corrupt(id, superstep, attempt, from, to, wire);
+    } else {
+      // Fast path: nothing between us and the inbox can corrupt the
+      // data except genuine in-process memory corruption, which the
+      // checksum below still detects (and which no retry could fix).
+      wire = std::move(cell.items);
+      cell.items.clear();
+    }
+    std::uint64_t h = kFnvOffsetBasis;
+    for (const T& item : wire) h = (h ^ wire_hash(item)) * kFnvPrime;
+    const bool count_ok = to_idx(wire.size()) == cell.count;
+    const bool hash_ok = h == cell.hash;
+    if (count_ok && hash_ok) {
+      cell.staged = std::move(wire);
+      cell.staged_ok = true;
+      return true;
+    }
+    ChannelHealth& ch = health.channel(id);
+    ++ch.corrupt_cells;
+    ++health.corrupt_cells;
+    if (!count_ok) {
+      ++ch.count_mismatches;
+      ++health.count_mismatches;
+    } else {
+      ++ch.checksum_failures;
+      ++health.checksum_failures;
+    }
+    ch.redelivered_bytes += cell.bytes;
+    health.redelivered_bytes += cell.bytes;
+    return false;
   }
 
   /// Barrier second half, called once every cell validated: replaces the
@@ -518,27 +534,41 @@ class TypedChannel {
   wgt_t commit(VirtualCluster* transport, wgt_t units_per_item = 1) {
     wgt_t bytes = 0;
     for (idx_t to = 0; to < k_; ++to) {
-      auto& inbox = inboxes_[static_cast<std::size_t>(to)];
-      auto& sources = sources_[static_cast<std::size_t>(to)];
-      inbox.clear();
-      sources.clear();
-      for (idx_t from = 0; from < k_; ++from) {
-        Cell& cell = cells_[static_cast<std::size_t>(from) *
-                                static_cast<std::size_t>(k_) +
-                            static_cast<std::size_t>(to)];
-        if (cell.count > 0) {
-          const idx_t begin = to_idx(inbox.size());
-          inbox.insert(inbox.end(),
-                       std::make_move_iterator(cell.staged.begin()),
-                       std::make_move_iterator(cell.staged.end()));
-          sources.push_back({from, begin, to_idx(inbox.size())});
-          if (transport != nullptr) {
-            transport->send(from, to, cell.count * units_per_item);
-          }
-          bytes += cell.bytes;
+      bytes += commit_dst(to, transport, units_per_item);
+    }
+    return bytes;
+  }
+
+  /// Per-destination commit: assembles rank `to`'s inbox from its validated
+  /// staged cells in ascending source order, charges `transport`, resets
+  /// the column's cells, and returns the payload bytes moved. The caller
+  /// guarantees every non-empty cell of the column is staged_ok. Concurrent
+  /// calls for different `to` are safe: they touch disjoint cells, inboxes,
+  /// source lists, and transport matrix entries (VirtualCluster::send
+  /// writes only matrix[from * k + to]).
+  wgt_t commit_dst(idx_t to, VirtualCluster* transport,
+                   wgt_t units_per_item = 1) {
+    wgt_t bytes = 0;
+    auto& inbox = inboxes_[static_cast<std::size_t>(to)];
+    auto& sources = sources_[static_cast<std::size_t>(to)];
+    inbox.clear();
+    sources.clear();
+    for (idx_t from = 0; from < k_; ++from) {
+      Cell& cell = cells_[static_cast<std::size_t>(from) *
+                              static_cast<std::size_t>(k_) +
+                          static_cast<std::size_t>(to)];
+      if (cell.count > 0) {
+        const idx_t begin = to_idx(inbox.size());
+        inbox.insert(inbox.end(),
+                     std::make_move_iterator(cell.staged.begin()),
+                     std::make_move_iterator(cell.staged.end()));
+        sources.push_back({from, begin, to_idx(inbox.size())});
+        if (transport != nullptr) {
+          transport->send(from, to, cell.count * units_per_item);
         }
-        cell.reset();
+        bytes += cell.bytes;
       }
+      cell.reset();
     }
     return bytes;
   }
@@ -657,6 +687,62 @@ class Exchange {
   /// but not the health counters. Used by the degraded path so the next
   /// step starts from a clean transport.
   void abort_step();
+
+  // -------------------------------------------------------------------------
+  // Channel-granular async delivery (AsyncExecutor). The barrier path above
+  // and these entry points share the per-cell validation and per-destination
+  // commit bodies, so fault schedules, detection counters, traffic charges,
+  // and payload-byte accounting stay bit-identical between the two
+  // schedules. A "group" is one ChannelMask a consuming phase reads; the
+  // executor validates and commits each destination's cells independently,
+  // then folds the group's accounting here as if one deliver(mask) barrier
+  // had run.
+  // -------------------------------------------------------------------------
+
+  /// Superstep id the next delivery — barrier or async group — will key its
+  /// fault decisions on. Async groups of one run are numbered consecutively
+  /// from this value in group order.
+  std::uint64_t next_superstep() const { return superstep_; }
+
+  /// One validation attempt of the (from, to) cell of channel `id` at
+  /// (superstep, attempt) — the barrier loop's exact injector decision key.
+  /// Detection counters accumulate into `health`, a caller-private scratch
+  /// folded later by async_fold_group. Returns true when the cell staged OK.
+  /// Thread-safe for distinct cells.
+  bool async_validate_cell(ChannelId id, std::uint64_t superstep,
+                           idx_t attempt, idx_t from, idx_t to,
+                           PipelineHealth& health);
+
+  /// Commits every staged cell addressed to `to` on channel `id` (ascending
+  /// source order), charging the channel's phase cluster, and adds the
+  /// payload bytes to `bytes` (caller-private scratch; async_fold_group
+  /// moves them into the per-channel accumulators for counted groups only).
+  /// Thread-safe for distinct `to`.
+  void async_commit_dst(ChannelId id, idx_t to, wgt_t& bytes);
+
+  /// Accounting of one completed (or exhausted) async group, folded into
+  /// the exchange exactly as the deliver(mask) barrier would have recorded
+  /// it: one delivery; `passes` validation passes (the barrier runs
+  /// min(1 + max per-cell failures, max_attempts) passes over the group);
+  /// passes-1 retries with exponential-backoff accounting; the
+  /// per-destination detection scratches merged in ascending rank order;
+  /// and the per-destination payload bytes added to the per-channel
+  /// accumulators. Advances the superstep counter by one. When `exhausted`,
+  /// also counts the exhausted delivery — the caller then abort_step()s and
+  /// throws exhausted_error(), matching the barrier's failure sequence.
+  struct AsyncGroupAccounting {
+    std::span<const PipelineHealth> dst_health;
+    std::span<const std::array<wgt_t, kNumChannels>> dst_bytes;
+    idx_t passes = 1;
+    bool exhausted = false;
+  };
+  void async_fold_group(const AsyncGroupAccounting& acc);
+
+  /// The TransportError deliver() throws on retry-budget exhaustion, with
+  /// the identical message text — shared so the async path's degraded-mode
+  /// handling is indistinguishable from the barrier's.
+  static TransportError exhausted_error(std::uint64_t superstep,
+                                        idx_t attempts, idx_t corrupt_cells);
 
   /// Health counters since the last take (reads reset them).
   PipelineHealth take_health() { return std::exchange(health_, {}); }

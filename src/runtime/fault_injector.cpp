@@ -1,5 +1,7 @@
 #include "runtime/fault_injector.hpp"
 
+#include <atomic>
+
 namespace cpart {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -69,9 +71,18 @@ FaultKind FaultInjector::pick_kind(Rng& rng) const {
 }
 
 void FaultInjector::record(FaultKind kind, ChannelId channel) {
-  ++stats_.faults_injected;
-  ++stats_.by_kind[static_cast<std::size_t>(static_cast<int>(kind))];
-  ++stats_.by_channel[static_cast<std::size_t>(static_cast<int>(channel))];
+  // Concurrent rank programs validate their own inbox cells under the async
+  // executor, so decisions land from several threads at once. The counters
+  // are commutative sums, so atomic increments keep the totals exact (and
+  // the Stats layout unchanged for single-threaded readers).
+  std::atomic_ref<wgt_t>(stats_.faults_injected)
+      .fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<wgt_t>(
+      stats_.by_kind[static_cast<std::size_t>(static_cast<int>(kind))])
+      .fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<wgt_t>(
+      stats_.by_channel[static_cast<std::size_t>(static_cast<int>(channel))])
+      .fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace cpart

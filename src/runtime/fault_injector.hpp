@@ -18,8 +18,11 @@
 //   drop, duplicate, truncate(tail) -> count mismatch
 //   bit-flip, reorder, truncate(payload) -> checksum mismatch
 //
-// maybe_corrupt() is called by the step driver only (delivery is the
-// single-threaded barrier), so the injector needs no synchronization.
+// maybe_corrupt() is thread-safe: the decision itself is a pure function of
+// the tuple (no shared state), and the stats counters are commutative sums
+// recorded with atomic increments — under the async executor concurrent
+// rank programs validate their own inbox cells, so decisions land from
+// several threads at once. Totals are exact and schedule-independent.
 #pragma once
 
 #include <array>

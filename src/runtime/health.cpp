@@ -33,7 +33,16 @@ ChannelHealth& ChannelHealth::operator+=(const ChannelHealth& other) {
   checksum_failures += other.checksum_failures;
   count_mismatches += other.count_mismatches;
   redelivered_bytes += other.redelivered_bytes;
+  readiness_stalls += other.readiness_stalls;
+  readiness_stall_ns += other.readiness_stall_ns;
   return *this;
+}
+
+bool ChannelHealth::operator==(const ChannelHealth& other) const {
+  return corrupt_cells == other.corrupt_cells &&
+         checksum_failures == other.checksum_failures &&
+         count_mismatches == other.count_mismatches &&
+         redelivered_bytes == other.redelivered_bytes;
 }
 
 bool PipelineHealth::clean() const {
@@ -54,6 +63,8 @@ PipelineHealth& PipelineHealth::operator+=(const PipelineHealth& other) {
   wire_parse_failures += other.wire_parse_failures;
   failed_ranks += other.failed_ranks;
   backoff_ms += other.backoff_ms;
+  readiness_stalls += other.readiness_stalls;
+  readiness_stall_ns += other.readiness_stall_ns;
   for (int c = 0; c < kNumChannels; ++c) {
     channels[static_cast<std::size_t>(c)] +=
         other.channels[static_cast<std::size_t>(c)];
@@ -61,12 +72,36 @@ PipelineHealth& PipelineHealth::operator+=(const PipelineHealth& other) {
   return *this;
 }
 
+bool PipelineHealth::operator==(const PipelineHealth& other) const {
+  if (!(deliveries == other.deliveries &&
+        delivery_attempts == other.delivery_attempts &&
+        retries == other.retries && corrupt_cells == other.corrupt_cells &&
+        checksum_failures == other.checksum_failures &&
+        count_mismatches == other.count_mismatches &&
+        redelivered_bytes == other.redelivered_bytes &&
+        exhausted_deliveries == other.exhausted_deliveries &&
+        degraded_steps == other.degraded_steps &&
+        wire_parse_failures == other.wire_parse_failures &&
+        failed_ranks == other.failed_ranks &&
+        backoff_ms == other.backoff_ms)) {
+    return false;
+  }
+  for (int c = 0; c < kNumChannels; ++c) {
+    if (!(channels[static_cast<std::size_t>(c)] ==
+          other.channels[static_cast<std::size_t>(c)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::string PipelineHealth::summary() const {
   std::ostringstream os;
   os << deliveries << " deliveries, " << retries << " retries, "
      << corrupt_cells << " corrupt cells (" << checksum_failures
      << " checksum, " << count_mismatches << " framing), " << degraded_steps
-     << " degraded steps";
+     << " degraded steps, " << readiness_stalls << " readiness stalls ("
+     << readiness_stall_ns / 1000000 << " ms blocked)";
   return os.str();
 }
 

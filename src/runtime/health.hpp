@@ -59,9 +59,19 @@ struct ChannelHealth {
   wgt_t checksum_failures = 0;  // payload hash mismatch (count matched)
   wgt_t count_mismatches = 0;   // message-count framing mismatch
   wgt_t redelivered_bytes = 0;  // payload bytes staged again after a failure
+  // Readiness stalls (async executor): times a rank blocked waiting for
+  // this channel's inbox cells to become ready, and the total nanoseconds
+  // spent blocked. A wait on a multi-channel group charges every channel
+  // in the group's mask. Timing-dependent by nature, so operator==
+  // deliberately ignores these two fields — bit-identity assertions compare
+  // what the transport *did*, not how long ranks waited for it.
+  wgt_t readiness_stalls = 0;    // waits that found inputs not yet ready
+  wgt_t readiness_stall_ns = 0;  // total blocked wall time, nanoseconds
 
   ChannelHealth& operator+=(const ChannelHealth& other);
-  bool operator==(const ChannelHealth&) const = default;
+  /// Compares the detection counters only (stall counters are wall-clock
+  /// measurements and differ run to run even on identical schedules).
+  bool operator==(const ChannelHealth& other) const;
 };
 
 /// Transport + recovery counters of one pipeline step (or, summed, of a
@@ -80,6 +90,10 @@ struct PipelineHealth {
   wgt_t wire_parse_failures = 0;   // descriptor wires the scanner rejected
   wgt_t failed_ranks = 0;          // rank programs that threw in a superstep
   double backoff_ms = 0;           // total backoff the retry loop applied
+  // Readiness stalls summed over channels (async executor; see
+  // ChannelHealth). Excluded from operator== like the per-channel fields.
+  wgt_t readiness_stalls = 0;
+  wgt_t readiness_stall_ns = 0;
   std::array<ChannelHealth, kNumChannels> channels{};
 
   const ChannelHealth& channel(ChannelId id) const {
@@ -95,7 +109,10 @@ struct PipelineHealth {
   bool clean() const;
 
   PipelineHealth& operator+=(const PipelineHealth& other);
-  bool operator==(const PipelineHealth&) const = default;
+  /// Compares everything except the readiness-stall counters, which are
+  /// wall-clock measurements (thread- and scheduling-dependent) rather than
+  /// part of the deterministic transport schedule.
+  bool operator==(const PipelineHealth& other) const;
 
   /// One-line human summary ("3 deliveries, 0 corrupt cells, ...").
   std::string summary() const;

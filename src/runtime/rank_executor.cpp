@@ -7,19 +7,12 @@
 #include <utility>
 #include <vector>
 
-#include "parallel/spmd_barrier.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/exchange.hpp"
 #include "util/timer.hpp"
 
 namespace cpart {
 
-namespace {
-
-/// Mirrors ThreadPool's dispatch outcome for per-rank failures collected by
-/// run_phases: one failing rank rethrows its original exception, several
-/// aggregate into a ParallelGroupError keyed by rank id — so a caller
-/// cannot tell whether a superstep ran through superstep() or run_phases().
 [[noreturn]] void raise_rank_errors(
     std::vector<std::pair<idx_t, std::exception_ptr>>&& errors) {
   if (errors.size() == 1) {
@@ -44,23 +37,7 @@ namespace {
   throw ParallelGroupError(std::move(failures));
 }
 
-}  // namespace
-
-RankExecutor::RankExecutor(idx_t k) : k_(k) {
-  require(k >= 1, "RankExecutor: k must be >= 1");
-}
-
-namespace {
-
-/// Worker count for a rank dispatch. Bounded by the pool (every worker must
-/// hold a real thread for the whole dispatch — a queued W+1'th barrier
-/// participant would deadlock), by k (parallel_tasks' static stride then
-/// gives each of the first W workers exactly one task), and by the
-/// machine's concurrency: workers beyond the physical threads cannot run
-/// anyway — they only add context switches and barrier convoying, which is
-/// pure per-step overhead when the pool is oversubscribed. Extra ranks
-/// fold into each worker's stride loop instead.
-unsigned rank_workers(const ThreadPool& pool, idx_t k) {
+unsigned rank_dispatch_workers(const ThreadPool& pool, idx_t k) {
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = pool.num_threads();  // unknown: trust the pool size
   const unsigned cap = std::min(std::max(1u, pool.num_threads()),
@@ -69,7 +46,9 @@ unsigned rank_workers(const ThreadPool& pool, idx_t k) {
       std::min<idx_t>(static_cast<idx_t>(cap), k));
 }
 
-}  // namespace
+RankExecutor::RankExecutor(idx_t k) : k_(k) {
+  require(k >= 1, "RankExecutor: k must be >= 1");
+}
 
 void RankExecutor::superstep(const std::function<void(idx_t)>& body) const {
   run_striped(body, {});
@@ -85,7 +64,7 @@ void RankExecutor::superstep_timed(const std::function<void(idx_t)>& body,
 void RankExecutor::run_striped(const std::function<void(idx_t)>& body,
                                std::span<double> ms_accum) const {
   ThreadPool& pool = ThreadPool::global();
-  const unsigned W = rank_workers(pool, k_);
+  const unsigned W = rank_dispatch_workers(pool, k_);
   std::vector<std::exception_ptr> rank_errors(static_cast<std::size_t>(k_));
   std::atomic<bool> failed{false};
   pool.parallel_tasks(static_cast<idx_t>(W), [&](idx_t w) {
@@ -111,81 +90,6 @@ void RankExecutor::run_striped(const std::function<void(idx_t)>& body,
     }
   }
   raise_rank_errors(std::move(errors));
-}
-
-void RankExecutor::run_phases(std::span<const Phase> phases,
-                              Exchange& exchange) const {
-  if (phases.empty()) return;
-  for (const Phase& phase : phases) {
-    require(static_cast<bool>(phase.body), "run_phases: phase without body");
-    require(phase.ms_accum.empty() ||
-                phase.ms_accum.size() == static_cast<std::size_t>(k_),
-            "run_phases: accumulator size mismatch");
-  }
-
-  ThreadPool& pool = ThreadPool::global();
-  const unsigned W = rank_workers(pool, k_);
-  SpmdBarrier barrier(W);
-
-  // Failure slots: rank r is owned by worker r % W, so no two workers
-  // write the same slot. `failed` and `abort` are advisory flags whose
-  // writes are ordered by the barrier (set before arrival, read after
-  // release), hence relaxed.
-  std::vector<std::exception_ptr> rank_errors(static_cast<std::size_t>(k_));
-  std::exception_ptr deliver_error;
-  std::atomic<bool> failed{false};
-  std::atomic<bool> abort{false};
-
-  pool.parallel_tasks(static_cast<idx_t>(W), [&](idx_t w) {
-    for (std::size_t p = 0; p < phases.size(); ++p) {
-      const Phase& phase = phases[p];
-      if (p > 0) {
-        barrier.arrive_and_wait([&] {
-          // Serial section: every rank of phase p-1 has completed (BSP —
-          // sibling ranks run to completion even past a failure), so this
-          // is the superstep boundary. Skip the delivery when a rank
-          // failed: the failure preempts the rest of the step.
-          if (failed.load(std::memory_order_relaxed)) {
-            abort.store(true, std::memory_order_relaxed);
-            return;
-          }
-          if (phase.pre_deliver != 0) {
-            try {
-              exchange.deliver(phase.pre_deliver);
-            } catch (...) {
-              deliver_error = std::current_exception();
-              abort.store(true, std::memory_order_relaxed);
-            }
-          }
-        });
-      }
-      if (abort.load(std::memory_order_relaxed)) return;
-      for (idx_t rank = w; rank < k_; rank += static_cast<idx_t>(W)) {
-        Timer timer;
-        try {
-          phase.body(rank);
-        } catch (...) {
-          rank_errors[static_cast<std::size_t>(rank)] =
-              std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-        }
-        if (!phase.ms_accum.empty()) {
-          phase.ms_accum[static_cast<std::size_t>(rank)] +=
-              timer.milliseconds();
-        }
-      }
-    }
-  });
-
-  if (deliver_error) std::rethrow_exception(deliver_error);
-  std::vector<std::pair<idx_t, std::exception_ptr>> errors;
-  for (idx_t rank = 0; rank < k_; ++rank) {
-    if (rank_errors[static_cast<std::size_t>(rank)]) {
-      errors.emplace_back(rank,
-                          std::move(rank_errors[static_cast<std::size_t>(rank)]));
-    }
-  }
-  if (!errors.empty()) raise_rank_errors(std::move(errors));
 }
 
 }  // namespace cpart

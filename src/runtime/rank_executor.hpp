@@ -1,5 +1,9 @@
 // BSP superstep executor: runs k rank programs concurrently on the shared
 // ThreadPool, with Exchange::deliver() as the barrier between supersteps.
+// Multi-phase rank schedules with channel dependencies run on AsyncExecutor
+// (runtime/async_executor.hpp) instead; this executor remains for single
+// supersteps whose cross-rank data already moved (scatter, migration
+// commit).
 //
 // Rank programs are plain callables body(rank). The executor dispatches
 // them through ThreadPool::parallel_tasks, whose completion wait IS the
@@ -17,8 +21,11 @@
 // message (see parallel/thread_pool.hpp).
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "runtime/health.hpp"
 #include "util/common.hpp"
@@ -26,19 +33,22 @@
 namespace cpart {
 
 class Exchange;
+class ThreadPool;
 
-/// One superstep of a fused phase sequence (RankExecutor::run_phases).
-struct Phase {
-  /// The rank program: body(rank) for every rank in [0, k).
-  std::function<void(idx_t)> body;
-  /// Channels the inter-phase barrier winner delivers
-  /// (Exchange::deliver(mask)) immediately before this phase's bodies run.
-  /// 0 = no delivery. Ignored on the first phase (there is no preceding
-  /// barrier — the caller delivers before calling run_phases if needed).
-  ChannelMask pre_deliver = 0;
-  /// Optional per-rank wall-ms accumulator (size k), as superstep_timed.
-  std::span<double> ms_accum = {};
-};
+/// Worker count for a rank dispatch. Bounded by the pool (every worker must
+/// hold a real thread for the whole dispatch), by k (static stride then
+/// gives each of the first W workers at least one rank), and by the
+/// machine's concurrency (workers beyond the physical threads only add
+/// context switches). Shared by RankExecutor and AsyncExecutor so both
+/// stripe ranks over the same W.
+unsigned rank_dispatch_workers(const ThreadPool& pool, idx_t k);
+
+/// Mirrors ThreadPool's dispatch outcome for per-rank failures collected by
+/// a rank executor: one failing rank rethrows its original exception,
+/// several aggregate into a ParallelGroupError keyed by rank id — so a
+/// caller cannot tell which executor ran the superstep.
+[[noreturn]] void raise_rank_errors(
+    std::vector<std::pair<idx_t, std::exception_ptr>>&& errors);
 
 class RankExecutor {
  public:
@@ -55,24 +65,6 @@ class RankExecutor {
   /// reports. Each rank writes only its own slot, so no synchronization.
   void superstep_timed(const std::function<void(idx_t)>& body,
                        std::span<double> ms_accum) const;
-
-  /// Runs a sequence of supersteps in ONE pool dispatch. W = min(pool
-  /// size, hardware concurrency, k) workers each own the ranks
-  /// w, w+W, ... for every phase; an
-  /// SpmdBarrier separates consecutive phases, and the last worker to
-  /// arrive ("winner") performs the next phase's pre_deliver inside the
-  /// barrier's serial section. Compared to one parallel_tasks dispatch per
-  /// superstep this removes per-phase pool wake/sleep round-trips and —
-  /// because only the masked channels are validated — lets ranks proceed
-  /// the moment the channels the next phase reads have committed.
-  ///
-  /// Failure semantics match superstep(): a phase in which ranks threw
-  /// completes for every rank, then the remaining phases are skipped and
-  /// the failure surfaces on the calling thread (single failure rethrown
-  /// unchanged, several aggregated into ParallelGroupError keyed by rank).
-  /// A pre_deliver that throws (TransportError) likewise skips the
-  /// remaining phases and rethrows on the calling thread.
-  void run_phases(std::span<const Phase> phases, Exchange& exchange) const;
 
  private:
   /// Shared dispatch for superstep()/superstep_timed(): W workers (capped

@@ -361,6 +361,75 @@ TEST_F(ChaosPipelineTest, SoakFiftyStepsBitIdenticalAtOneAndEightThreads) {
   }
 }
 
+// The dependency-driven executor lets ranks finish phases out of global
+// order (a rank may be searching while another is still shipping). This
+// soak pins down both halves of the contract across three fixed seeds:
+//   * fault-free, the fully-async schedule is bit-identical to itself at 1
+//     and 8 threads and to the fault-free baseline (no barrier anywhere);
+//   * with an injector armed, validation gates on phase completion, so the
+//     fault schedule, detection counters, and retry accounting are
+//     bit-identical across thread counts — and the events still match the
+//     fault-free run. Readiness-stall counters are timing-dependent by
+//     nature and deliberately excluded from PipelineHealth equality.
+TEST_F(ChaosPipelineTest, AsyncOutOfOrderSoakKeepsFaultScheduleAndBitIdentity) {
+  constexpr idx_t kSteps = 12;
+  const idx_t k = 6;
+
+  ThreadPool::set_global_threads(8);
+  std::vector<std::vector<ContactEvent>> baseline;
+  {
+    ContactPipeline pipeline(snap0_.mesh, snap0_.surface, dt_config(k));
+    for (idx_t s = 0; s < kSteps; ++s) {
+      const auto snap = sim_->snapshot(s);
+      PipelineStepReport r = pipeline.run_step(snap.mesh, snap.surface, body_);
+      ASSERT_TRUE(r.health.clean()) << "baseline s=" << s;
+      baseline.push_back(std::move(r.events));
+    }
+  }
+
+  for (const std::uint64_t seed :
+       {chaos_seed(), std::uint64_t{20260805}, std::uint64_t{987654321}}) {
+    FaultConfig fc;
+    fc.seed = seed;
+    fc.cell_fault_probability = 0.08;
+    const RetryPolicy retry{.max_attempts = 8, .backoff_base_ms = 0.1};
+
+    PipelineHealth health_at_1;
+    FaultInjector::Stats stats_at_1;
+    for (unsigned threads : {1u, 8u}) {
+      ThreadPool::set_global_threads(threads);
+      ContactPipeline pipeline(snap0_.mesh, snap0_.surface, dt_config(k));
+      FaultInjector injector(fc);
+      pipeline.exchange().set_fault_injector(&injector);
+      pipeline.exchange().set_retry_policy(retry);
+
+      PipelineHealth total;
+      for (idx_t s = 0; s < kSteps; ++s) {
+        const auto snap = sim_->snapshot(s);
+        const PipelineStepReport r =
+            pipeline.run_step(snap.mesh, snap.surface, body_);
+        total += r.health;
+        expect_events_identical(
+            r.events, baseline[static_cast<std::size_t>(s)],
+            "seed=" + std::to_string(seed) +
+                " threads=" + std::to_string(threads) +
+                " s=" + std::to_string(s));
+      }
+      EXPECT_EQ(total.corrupt_cells, injector.stats().faults_injected)
+          << "seed=" << seed;
+      EXPECT_EQ(total.degraded_steps, 0) << "seed=" << seed;
+      EXPECT_EQ(total.deliveries, wgt_t{3} * kSteps) << "seed=" << seed;
+      if (threads == 1) {
+        health_at_1 = total;
+        stats_at_1 = injector.stats();
+      } else {
+        EXPECT_EQ(total, health_at_1) << "seed=" << seed;
+        EXPECT_EQ(injector.stats(), stats_at_1) << "seed=" << seed;
+      }
+    }
+  }
+}
+
 TEST_F(ChaosPipelineTest, MlRcbSoakUnderFaultsMatchesFaultFreeTwin) {
   constexpr idx_t kSteps = 15;
   ThreadPool::set_global_threads(8);
