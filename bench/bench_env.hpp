@@ -55,6 +55,17 @@ inline std::string compiler() {
 /// two must never be conflated when reading a BENCH_*.json.
 inline unsigned hardware_threads() { return std::thread::hardware_concurrency(); }
 
+/// hardware_threads() with the 0 ("unknown") case resolved to `fallback`
+/// (itself clamped to >= 1). Use this — never raw hardware_threads() —
+/// whenever the value enters arithmetic (scaling denominators, efficiency
+/// ratios): the raw value is a legitimate 0 on platforms that cannot report
+/// their concurrency, and dividing by it poisons every derived number.
+inline unsigned resolved_hardware_threads(unsigned fallback = 1) {
+  const unsigned hw = hardware_threads();
+  if (hw != 0) return hw;
+  return fallback != 0 ? fallback : 1;
+}
+
 /// JSON object describing the recording environment. Embed as the "env"
 /// field of every BENCH_*.json. Per-record thread counts stay in the
 /// records (each row should carry the pool size it actually ran with).

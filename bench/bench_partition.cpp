@@ -20,18 +20,34 @@
 // each record:
 //   {mesh, n, k, threads, phase_ms: {coarsen, initial, refine},
 //    total_ms, edgecut, balance}
+//
+// --hierarchical additionally streams a large impact scene (--elements
+// hex8 cells, default 1e6) to the chunked on-disk format, builds the nodal
+// graph through the reader's bounded window, and sweeps the two-level
+// hierarchical partitioner over the same thread counts. Its output lands in
+// a "hierarchy" JSON block: per-level cut/balance/time per thread count,
+// the window accounting (peak resident bytes vs the configured limit — the
+// bounded-memory claim, asserted by CI), process peak RSS, and whether the
+// labels were bit-identical across all thread counts.
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench_env.hpp"
 #include "graph/graph_builder.hpp"
 #include "graph/graph_metrics.hpp"
+#include "mesh/chunked_mesh.hpp"
+#include "mesh/mesh_graphs.hpp"
 #include "parallel/thread_pool.hpp"
 #include "partition/coarsen.hpp"
 #include "partition/connectivity.hpp"
-#include "partition/partition.hpp"
+#include "partition/hierarchical.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -106,6 +122,121 @@ std::vector<idx_t> timed_kway(const CsrGraph& g, const PartitionOptions& options
   return part;
 }
 
+/// Process peak RSS in bytes (0 when the platform cannot report it).
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// The --hierarchical section: streamed large mesh -> bounded-window graph
+/// build -> two-level partition sweep. Returns the "hierarchy" JSON object.
+std::string run_hierarchical(const std::vector<unsigned>& thread_counts,
+                             idx_t elements, idx_t k, idx_t groups,
+                             std::uint64_t seed, int reps, Table& table) {
+  const LargeImpactSpec spec = LargeImpactSpec::for_elements(elements);
+  const std::string mesh_path =
+      "bench_large_impact_" + std::to_string(elements) + ".cpmk";
+  Timer timer;
+  const ChunkedMeshInfo info = make_large_impact(mesh_path, spec);
+  const double generate_ms = timer.milliseconds();
+
+  ChunkedMeshReader reader(mesh_path);
+  timer.reset();
+  const CsrGraph g = nodal_graph(reader);
+  const double graph_build_ms = timer.milliseconds();
+  const bool bounded =
+      reader.peak_resident_bytes() <= reader.window_limit_bytes();
+
+  std::ostringstream mesh_name;
+  mesh_name << "large_impact_" << spec.nx << "x" << spec.ny << "x" << spec.nz;
+  std::cout << "\nHierarchical partition: " << mesh_name.str() << " ("
+            << info.num_elements << " elements, " << info.num_nodes
+            << " nodes, k=" << k << ", groups=" << groups << ")\n"
+            << "  streamed generate " << generate_ms / 1000 << " s, graph "
+            << graph_build_ms / 1000 << " s; window peak "
+            << reader.peak_resident_bytes() << " / "
+            << reader.window_limit_bytes() << " bytes ("
+            << (bounded ? "bounded" : "EXCEEDED") << ")\n\n";
+
+  PartitionOptions base;
+  base.k = k;
+  base.seed = seed;
+  HierarchyOptions hierarchy;
+  hierarchy.groups = groups;
+
+  std::vector<HierarchyStats> best(thread_counts.size());
+  std::vector<std::vector<idx_t>> parts(thread_counts.size());
+  std::vector<double> best_ms(thread_counts.size(), 0);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      ThreadPool::set_global_threads(thread_counts[ti]);
+      Timer rep_timer;
+      HierarchicalResult result = hierarchical_partition(g, base, hierarchy);
+      const double ms = rep_timer.milliseconds();
+      if (rep == 0 || ms < best_ms[ti]) {
+        best_ms[ti] = ms;
+        best[ti] = result.stats;
+        parts[ti] = std::move(result.part);
+      }
+    }
+  }
+  bool labels_identical = true;
+  for (std::size_t ti = 1; ti < parts.size(); ++ti) {
+    if (parts[ti] != parts[0]) labels_identical = false;
+  }
+
+  std::ostringstream json;
+  json << "{\"mesh\": \"" << mesh_name.str() << "\", \"elements\": "
+       << info.num_elements << ", \"nodes\": " << info.num_nodes
+       << ", \"k\": " << k << ", \"groups\": " << groups
+       << ",\n  \"generate_ms\": " << generate_ms
+       << ", \"graph_build_ms\": " << graph_build_ms
+       << ",\n  \"window\": {\"peak_resident_bytes\": "
+       << reader.peak_resident_bytes()
+       << ", \"window_limit_bytes\": " << reader.window_limit_bytes()
+       << ", \"bounded\": " << (bounded ? "true" : "false")
+       << "},\n  \"peak_rss_bytes\": " << peak_rss_bytes()
+       << ",\n  \"labels_identical\": " << (labels_identical ? "true" : "false")
+       << ",\n  \"rows\": [\n";
+  for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+    const HierarchyStats& hs = best[ti];
+    table.begin_row();
+    table.add_cell(static_cast<long long>(thread_counts[ti]));
+    table.add_cell(hs.group_ms, 1);
+    table.add_cell(hs.local_ms, 1);
+    table.add_cell(best_ms[ti], 1);
+    table.add_cell(best_ms[0] / std::max(best_ms[ti], 1e-9), 2);
+    table.add_cell(static_cast<long long>(hs.final_cut));
+    table.add_cell(hs.final_balance, 3);
+
+    if (ti != 0) json << ",\n";
+    json << "   {\"threads\": " << thread_counts[ti]
+         << ", \"proxy_vertices\": " << hs.proxy_vertices
+         << ", \"group_ms\": " << hs.group_ms
+         << ", \"local_ms\": " << hs.local_ms
+         << ", \"total_ms\": " << best_ms[ti]
+         << ",\n    \"group_cut\": " << hs.group_cut
+         << ", \"group_balance\": " << hs.group_balance
+         << ", \"final_cut\": " << hs.final_cut
+         << ", \"final_balance\": " << hs.final_balance << "}";
+  }
+  json << "\n  ]}";
+  std::remove(mesh_path.c_str());
+  if (!labels_identical) {
+    std::cerr << "WARNING: hierarchical labels differ across thread counts\n";
+  }
+  return json.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +246,12 @@ int main(int argc, char** argv) {
   flags.define("threads", "1,2,4,8", "comma-separated thread counts");
   flags.define("seed", "1", "partitioner seed");
   flags.define("reps", "3", "measured repetitions; fastest is reported");
+  flags.define("hierarchical", "0",
+               "also run the two-level hierarchical sweep over a streamed "
+               "large impact mesh (adds the \"hierarchy\" JSON block)");
+  flags.define("elements", "1000000",
+               "element count of the streamed mesh (--hierarchical)");
+  flags.define("groups", "8", "rank groups of the hierarchy (--hierarchical)");
   flags.define("out", "BENCH_partition.json", "JSON output path");
   try {
     flags.parse(argc, argv);
@@ -199,10 +336,21 @@ int main(int argc, char** argv) {
            << times.total_ms() << ", \"edgecut\": " << cut
            << ", \"balance\": " << balance << "}";
     }
-    json << "\n]}\n";
-    ThreadPool::set_global_threads(0);
-
+    json << "\n]";
     table.print(std::cout);
+
+    if (flags.get_int("hierarchical") != 0) {
+      Table htable({"threads", "group_ms", "local_ms", "total_ms", "speedup",
+                    "final_cut", "final_balance"});
+      const std::string hierarchy_json = run_hierarchical(
+          thread_counts, static_cast<idx_t>(flags.get_int("elements")), k,
+          static_cast<idx_t>(flags.get_int("groups")), opts.seed, reps,
+          htable);
+      htable.print(std::cout);
+      json << ",\n \"hierarchy\": " << hierarchy_json;
+    }
+    json << "}\n";
+    ThreadPool::set_global_threads(0);
     const std::string out_path = flags.get_string("out");
     std::ofstream out(out_path);
     require(static_cast<bool>(out), "cannot open --out for writing");

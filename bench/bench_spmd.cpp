@@ -495,12 +495,26 @@ int main(int argc, char** argv) {
           doublings > 0 ? std::log2(std::max(spmd_ratio, 1e-9)) / doublings : 0;
       const double dist_slope =
           doublings > 0 ? std::log2(std::max(dist_ratio, 1e-9)) / doublings : 0;
+      // Efficiency normalizes the ratio by the cores the top row could use.
+      // resolved_hardware_threads (not raw hardware_threads) keeps the
+      // denominator nonzero when the platform reports 0 ("unknown") — it
+      // falls back to the row's own thread count.
+      const double usable = std::max<double>(
+          1.0, std::min<double>(
+                   hi.first, cpart::bench::resolved_hardware_threads(
+                                 static_cast<unsigned>(hi.first))));
+      const double spmd_efficiency = spmd_ratio / usable;
+      const double dist_efficiency = dist_ratio / usable;
       scaling_json << "{\"threads_lo\": " << lo.first
                    << ", \"threads_hi\": " << hi.first
+                   << ", \"usable_threads\": " << usable
                    << ", \"spmd_ratio\": " << spmd_ratio
                    << ", \"spmd_slope\": " << spmd_slope
+                   << ", \"spmd_efficiency\": " << spmd_efficiency
                    << ", \"distributed_ratio\": " << dist_ratio
-                   << ", \"distributed_slope\": " << dist_slope << "}";
+                   << ", \"distributed_slope\": " << dist_slope
+                   << ", \"distributed_efficiency\": " << dist_efficiency
+                   << "}";
       std::cout << "scaling " << lo.first << "t -> " << hi.first
                 << "t: spmd " << spmd_ratio << "x (slope " << spmd_slope
                 << "/doubling), distributed " << dist_ratio << "x (slope "

@@ -93,10 +93,12 @@ std::vector<idx_t> apriori_contact_partition(const Mesh& mesh,
   builder.set_vertex_weights(std::move(vwgt), 2);
   const CsrGraph g = builder.build();
 
-  PartitionOptions popts = config.partitioner;
-  popts.k = config.k;
-  popts.epsilon = config.epsilon;
-  return partition_graph(g, popts);
+  PartitionerConfig pc;
+  pc.options = config.partitioner;
+  pc.options.k = config.k;
+  pc.options.epsilon = config.epsilon;
+  pc.hierarchy = config.hierarchy;
+  return Partitioner(pc).partition(g);
 }
 
 double colocated_pair_fraction(const ContactPairs& pairs,

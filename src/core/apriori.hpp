@@ -15,7 +15,7 @@
 #include "graph/csr_graph.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/surface.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 
 namespace cpart {
 
@@ -25,6 +25,8 @@ struct AprioriConfig {
   /// Weight of the artificial contact-pair edges.
   wgt_t contact_pair_weight = 10;
   PartitionOptions partitioner{};
+  /// Two-level hierarchy (groups >= 2 enables; see partition/hierarchical.hpp).
+  HierarchyOptions hierarchy{};
 };
 
 /// Predicted contact pairs: node ids expected to come into contact.

@@ -61,12 +61,25 @@ FaceRecord record_from_msg(const FaceShipMsg& m) {
   return rec;
 }
 
+/// Repartitioning runs through the same facade the initial decomposition
+/// uses, with the same hierarchy — k is the rank count and the groups are
+/// contiguous rank ranges.
+PartitionerConfig repartitioner_config(const DistributedSimConfig& config) {
+  PartitionerConfig pc;
+  pc.options = config.decomposition.partitioner;
+  pc.options.k = config.decomposition.k;
+  pc.options.epsilon = config.decomposition.epsilon;
+  pc.hierarchy = config.decomposition.hierarchy;
+  return pc;
+}
+
 }  // namespace
 
 DistributedSim::DistributedSim(const ImpactSim& sim,
                                const DistributedSimConfig& config)
     : sim_(&sim),
       config_(config),
+      partitioner_(repartitioner_config(config)),
       topo_(sim.initial_mesh()),
       exchange_(config.decomposition.k),
       executor_(config.decomposition.k),
@@ -93,8 +106,8 @@ DistributedSim::DistributedSim(const ImpactSim& sim,
 }
 
 std::vector<idx_t> DistributedSim::compute_repartition(
-    idx_t s, std::span<const idx_t> owner,
-    std::span<const char> is_contact) const {
+    idx_t s, std::span<const idx_t> owner, std::span<const char> is_contact,
+    bool* cross_group) const {
   // The repartition graph is built over the immutable topology (eroded
   // elements included) — the same substrate the ownership machinery runs
   // on, so the protocol never needs a compacted central mesh.
@@ -102,9 +115,8 @@ std::vector<idx_t> DistributedSim::compute_repartition(
       build_two_phase_graph(sim_->initial_mesh(), is_contact,
                             config_.decomposition.contact_edge_weight);
   RepartitionOptions ro = config_.repartition;
-  ro.k = k();
   ro.seed = config_.repartition.seed + static_cast<std::uint64_t>(s);
-  return repartition_graph(g, owner, ro);
+  return partitioner_.repartition(g, owner, ro, cross_group);
 }
 
 DistributedStepReport DistributedSim::run_step(idx_t s) {
@@ -269,7 +281,8 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
         contact_mask_[static_cast<std::size_t>(v)] = 1;
       }
     }
-    new_part = compute_repartition(s, states_[0].node_owner, contact_mask_);
+    new_part = compute_repartition(s, states_[0].node_owner, contact_mask_,
+                                   &report.repart_cross_group);
   }
 
   // --- Driver section (was superstep C): rank 0's induction runs on the
@@ -602,7 +615,8 @@ void DistributedSim::run_reference_body(idx_t s, bool migrate,
   std::vector<idx_t> new_part;
   std::vector<idx_t> changed;
   if (migrate) {
-    new_part = compute_repartition(s, owner, is_contact);
+    new_part =
+        compute_repartition(s, owner, is_contact, &report.repart_cross_group);
     for (idx_t v = 0; v < nn; ++v) {
       if (new_part[static_cast<std::size_t>(v)] !=
           owner[static_cast<std::size_t>(v)]) {

@@ -62,7 +62,7 @@
 #include "core/mcml_dt.hpp"
 #include "core/pipeline.hpp"
 #include "mesh/mesh_topology.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "runtime/async_executor.hpp"
 #include "runtime/exchange.hpp"
 #include "runtime/rank_executor.hpp"
@@ -104,6 +104,11 @@ struct DistributedStepReport {
   wgt_t migration_payload_bytes = 0;
   idx_t repart_moved_nodes = 0;
   idx_t repart_moved_elements = 0;
+  /// True when a hierarchical repartition escalated past the group level:
+  /// some rank group breached cross_group_threshold and one global
+  /// repartition ran instead of the group-local ones. Always false with the
+  /// hierarchy disabled.
+  bool repart_cross_group = false;
   idx_t contact_events = 0;
   idx_t penetrating_events = 0;
   std::vector<ContactEvent> events;  // merged, sorted by (node, distance)
@@ -124,6 +129,15 @@ class DistributedSim {
   const DistributedSimConfig& config() const { return config_; }
   const MeshTopology& topology() const { return topo_; }
   const std::vector<SubdomainState>& states() const { return states_; }
+
+  /// Number of rank groups (1 when the hierarchy is disabled). Rank r is a
+  /// part id, so group g owns the contiguous rank range
+  /// [parts_begin(g, k, groups), parts_begin(g+1, k, groups)).
+  idx_t groups() const { return partitioner_.groups(); }
+  /// Group id of each rank under that contiguous assignment.
+  std::vector<idx_t> rank_groups() const {
+    return partitioner_.group_of_parts();
+  }
 
   /// Executes snapshot step `s` SPMD (k rank programs on the global
   /// ThreadPool). Steps must be run in the order the instance is driven —
@@ -166,10 +180,13 @@ class DistributedSim {
 
   /// Computes this step's repartition from the current labels and the
   /// contact mask (identical call on both flavors: same graph, same seed).
-  /// Runs on the driver thread — kway refinement dispatches pool work, so
-  /// it must never run inside a rank program.
+  /// Hierarchical configurations repartition group-locally by default and
+  /// escalate cross-group only on threshold breach (*cross_group reports
+  /// which). Runs on the driver thread — kway refinement dispatches pool
+  /// work, so it must never run inside a rank program.
   std::vector<idx_t> compute_repartition(idx_t s, std::span<const idx_t> owner,
-                                         std::span<const char> is_contact) const;
+                                         std::span<const char> is_contact,
+                                         bool* cross_group) const;
 
   /// Copies `owner`/`hits` into every rank state and rebuilds the views —
   /// how the reference body's results (and the degraded recovery) re-enter
@@ -182,6 +199,7 @@ class DistributedSim {
 
   const ImpactSim* sim_;
   DistributedSimConfig config_;
+  Partitioner partitioner_;  // the unified repartition entry (owns hierarchy)
   MeshTopology topo_;
   std::vector<int> body_of_node_;  // same-body search exclusion
   std::vector<SubdomainState> states_;

@@ -91,7 +91,10 @@ McmlDtPartitioner::McmlDtPartitioner(const Mesh& mesh, const Surface& surface,
     partition_ =
         geometric_multiconstraint_partition(mesh.nodes(), g.vwgt(), gopts);
   } else {
-    partition_ = partition_graph(g, popts);
+    PartitionerConfig pc;
+    pc.options = popts;
+    pc.hierarchy = config_.hierarchy;
+    partition_ = Partitioner(pc).partition(g, &hierarchy_stats_);
   }
   stats_.cut_initial = edge_cut(g, partition_);
   stats_.imbalance_initial = max_load_imbalance(g, partition_, config_.k);

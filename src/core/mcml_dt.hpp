@@ -22,7 +22,7 @@
 #include "graph/csr_graph.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/surface.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "tree/descriptor_tree.hpp"
 #include "tree/region_tree.hpp"
 
@@ -52,6 +52,9 @@ struct McmlDtConfig {
   RegionTreeOptions region{};
   /// Multilevel partitioner knobs (seed, coarsening, refinement).
   PartitionOptions partitioner{};
+  /// Two-level hierarchy (groups >= 2 partitions group-first; see
+  /// partition/hierarchical.hpp). Ignored by the geometric initializer.
+  HierarchyOptions hierarchy{};
   /// Descriptor induction (gap_alpha enables the Section-6 extension).
   DescriptorOptions descriptor{};
 };
@@ -87,6 +90,10 @@ class McmlDtPartitioner {
   };
   const PipelineStats& stats() const { return stats_; }
 
+  /// Per-level diagnostics of the initial partition (meaningful when
+  /// config().hierarchy.groups >= 2; flat runs fill the final level only).
+  const HierarchyStats& hierarchy_stats() const { return hierarchy_stats_; }
+
   /// Induces this snapshot's subdomain descriptors from the current contact
   /// points (the paper's fixed-partition update strategy: the partition
   /// stays, only the descriptors are rebuilt).
@@ -101,6 +108,7 @@ class McmlDtPartitioner {
   McmlDtConfig config_;
   std::vector<idx_t> partition_;
   PipelineStats stats_;
+  HierarchyStats hierarchy_stats_;
 };
 
 }  // namespace cpart

@@ -12,10 +12,12 @@ MlRcbPartitioner::MlRcbPartitioner(const Mesh& mesh, const Surface& surface,
   // FE decomposition: plain single-constraint multilevel partitioning of the
   // (unweighted) nodal graph — the role METIS plays for ML+RCB's first phase.
   const CsrGraph g = nodal_graph(mesh);
-  PartitionOptions popts = config_.partitioner;
-  popts.k = config_.k;
-  popts.epsilon = config_.epsilon;
-  fe_partition_ = partition_graph(g, popts);
+  PartitionerConfig pc;
+  pc.options = config_.partitioner;
+  pc.options.k = config_.k;
+  pc.options.epsilon = config_.epsilon;
+  pc.hierarchy = config_.hierarchy;
+  fe_partition_ = Partitioner(pc).partition(g);
 
   // Contact decomposition: RCB over the contact points.
   std::vector<Vec3> points;

@@ -14,7 +14,7 @@
 #include "geom/rcb.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/surface.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 
 namespace cpart {
 
@@ -22,6 +22,8 @@ struct MlRcbConfig {
   idx_t k = 25;
   double epsilon = 0.10;
   PartitionOptions partitioner{};
+  /// Two-level hierarchy for the FE decomposition (groups >= 2 enables).
+  HierarchyOptions hierarchy{};
 };
 
 class MlRcbPartitioner {

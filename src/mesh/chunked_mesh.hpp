@@ -1,0 +1,187 @@
+// Chunked on-disk mesh format with bounded-memory streaming access.
+//
+// Meshes an order of magnitude beyond RAM-comfortable never materialize as
+// a whole Mesh: the writer streams node/element blocks to disk as they are
+// generated, and ChunkedMeshReader loads blocks on demand through a
+// fixed-size LRU window whose resident-byte accounting is part of the API
+// (benches and CI assert peak residency against the configured limit).
+//
+// Format (version 1, little-endian; varints are the shared LEB128 codec of
+// util/varint.hpp, the same one the tree wire format and the label-batch
+// blobs use):
+//   magic "cpmk" (4 bytes) | version u8
+//   varint etype_code (0=tri3, 1=quad4, 2=tet4, 3=hex8)
+//   varint num_nodes | varint num_elements
+//   varint nodes_per_block | varint elems_per_block
+//   node blocks, ascending:    varint payload_bytes,
+//                              payload = count * 3 raw f64 (x, y, z)
+//   element blocks, ascending: varint payload_bytes,
+//                              payload = count * npe varint node ids
+// The final block of each section may be partial; nothing follows the last
+// element block. Decoding never trusts the input: bad magic/version,
+// truncated streams, payload-size mismatches, out-of-range node ids and
+// trailing garbage all throw InputError.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace cpart {
+
+/// Streams one mesh to the chunked format. Nodes must be added first (the
+/// node section precedes the element section on disk), then elements;
+/// finish() validates the declared counts were hit exactly.
+class ChunkedMeshWriter {
+ public:
+  ChunkedMeshWriter(const std::string& path, ElementType type,
+                    idx_t num_nodes, idx_t num_elements,
+                    idx_t nodes_per_block, idx_t elems_per_block);
+  ~ChunkedMeshWriter();
+
+  ChunkedMeshWriter(const ChunkedMeshWriter&) = delete;
+  ChunkedMeshWriter& operator=(const ChunkedMeshWriter&) = delete;
+
+  void add_node(Vec3 p);
+  /// `conn` is nodes_per_element(type) node ids.
+  void add_element(std::span<const idx_t> conn);
+  /// Flushes the final partial block and closes the file. Must be called
+  /// exactly once; throws InputError when counts do not match the header.
+  void finish();
+
+ private:
+  void flush_node_block();
+  void flush_element_block();
+
+  std::ofstream out_;
+  std::string path_;
+  ElementType type_;
+  idx_t npe_;
+  idx_t num_nodes_, num_elements_;
+  idx_t nodes_per_block_, elems_per_block_;
+  idx_t nodes_added_ = 0, elements_added_ = 0;
+  std::string node_buf_, elem_buf_;  // current partial block payloads
+  idx_t buf_nodes_ = 0, buf_elems_ = 0;
+  bool finished_ = false;
+};
+
+/// Convenience: writes an in-core mesh to the chunked format (tests, tools,
+/// format migration).
+void write_chunked_mesh(const std::string& path, const Mesh& mesh,
+                        idx_t nodes_per_block, idx_t elems_per_block);
+
+/// Bounded-memory random/streaming access to a chunked mesh file. Blocks
+/// decode on demand into an LRU window of at most `max_resident_blocks`
+/// decoded blocks (node and element blocks count against the same window);
+/// peak residency is tracked so callers can assert the bound held.
+class ChunkedMeshReader {
+ public:
+  struct Options {
+    /// Decoded blocks (node + element combined) kept in memory at once.
+    idx_t max_resident_blocks = 4;
+  };
+
+  explicit ChunkedMeshReader(const std::string& path)
+      : ChunkedMeshReader(path, Options{}) {}
+  ChunkedMeshReader(const std::string& path, Options options);
+
+  ElementType element_type() const { return type_; }
+  int nodes_per_element() const { return npe_; }
+  idx_t num_nodes() const { return num_nodes_; }
+  idx_t num_elements() const { return num_elements_; }
+  idx_t nodes_per_block() const { return nodes_per_block_; }
+  idx_t elems_per_block() const { return elems_per_block_; }
+  idx_t num_node_blocks() const { return to_idx(node_blocks_.size()); }
+  idx_t num_element_blocks() const { return to_idx(elem_blocks_.size()); }
+
+  /// First node id in node block b; the block holds
+  /// min(nodes_per_block, num_nodes - first) nodes.
+  idx_t node_block_first(idx_t b) const { return b * nodes_per_block_; }
+  /// First element id in element block b.
+  idx_t element_block_first(idx_t b) const { return b * elems_per_block_; }
+
+  /// Decoded coordinates of node block b. The span stays valid until the
+  /// block is evicted — i.e. at least until max_resident_blocks - 1 other
+  /// blocks have been touched since.
+  std::span<const Vec3> node_block(idx_t b);
+  /// Decoded connectivity of element block b: count * npe node ids.
+  std::span<const idx_t> element_block(idx_t b);
+
+  /// Random node access through the window (pulls the owning block).
+  Vec3 node(idx_t i);
+
+  /// Window accounting: decoded payload bytes currently resident, the high
+  /// water mark over the reader's lifetime, and the configured ceiling
+  /// (max_resident_blocks full blocks of the larger kind). The invariant
+  /// peak_resident_bytes() <= window_limit_bytes() is what the large-mesh
+  /// CI smoke asserts.
+  std::size_t resident_bytes() const { return resident_bytes_; }
+  std::size_t peak_resident_bytes() const { return peak_resident_bytes_; }
+  std::size_t window_limit_bytes() const;
+
+  /// Materializes the whole mesh in core (tests and small meshes only).
+  Mesh load_mesh();
+
+ private:
+  struct BlockRef {
+    std::uint64_t offset = 0;        // payload start
+    std::uint64_t payload_bytes = 0;
+  };
+  struct Resident {
+    bool is_node = false;
+    idx_t index = kInvalidIndex;
+    std::vector<Vec3> coords;
+    std::vector<idx_t> conn;
+    std::uint64_t last_use = 0;
+    std::size_t bytes() const {
+      return coords.size() * sizeof(Vec3) + conn.size() * sizeof(idx_t);
+    }
+  };
+
+  Resident& fetch(bool is_node, idx_t index);
+  std::string read_payload(const BlockRef& ref, const char* what);
+
+  std::ifstream in_;
+  std::string path_;
+  ElementType type_ = ElementType::kHex8;
+  int npe_ = 8;
+  idx_t num_nodes_ = 0, num_elements_ = 0;
+  idx_t nodes_per_block_ = 0, elems_per_block_ = 0;
+  std::vector<BlockRef> node_blocks_, elem_blocks_;
+  std::vector<Resident> window_;
+  idx_t max_resident_blocks_;
+  std::uint64_t use_tick_ = 0;
+  std::size_t resident_bytes_ = 0;
+  std::size_t peak_resident_bytes_ = 0;
+};
+
+/// Spec of the streamed large impact scene: a structured hex8 target plate
+/// of nx x ny x nz cells under a cubic hex8 impactor of `impactor_cells`
+/// cells per side, hovering over the plate center. Node coordinates and
+/// connectivity are closed-form, so generation streams straight into a
+/// ChunkedMeshWriter without ever holding the mesh in core.
+struct LargeImpactSpec {
+  idx_t nx = 100, ny = 100, nz = 100;
+  /// Impactor cube side in cells; 0 derives max(nx / 5, 1).
+  idx_t impactor_cells = 0;
+  idx_t nodes_per_block = 8192;
+  idx_t elems_per_block = 8192;
+
+  /// Smallest cubic plate whose element count alone reaches
+  /// `min_elements` (the impactor rides on top of that).
+  static LargeImpactSpec for_elements(idx_t min_elements);
+};
+
+struct ChunkedMeshInfo {
+  idx_t num_nodes = 0;
+  idx_t num_elements = 0;
+};
+
+/// Writes the large impact scene directly to the chunked on-disk format.
+ChunkedMeshInfo make_large_impact(const std::string& path,
+                                  const LargeImpactSpec& spec);
+
+}  // namespace cpart

@@ -56,6 +56,9 @@ class Mesh {
     return {elem_nodes_.data() + static_cast<std::size_t>(e) * npe, npe};
   }
 
+  /// The whole connectivity array: num_elements * npe node ids.
+  std::span<const idx_t> element_nodes() const { return elem_nodes_; }
+
   /// Centroid of element e.
   Vec3 element_center(idx_t e) const;
   /// Bounding box of element e's nodes.

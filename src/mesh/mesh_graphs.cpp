@@ -4,8 +4,31 @@
 #include <unordered_map>
 
 #include "graph/graph_builder.hpp"
+#include "mesh/chunked_mesh.hpp"
 
 namespace cpart {
+
+namespace {
+
+/// One-chunk source over an in-core connectivity array.
+ElementChunkSource whole_array_source(std::span<const idx_t> conn) {
+  return [conn, done = false]() mutable -> std::span<const idx_t> {
+    if (done) return {};
+    done = true;
+    return conn;
+  };
+}
+
+/// Source draining a ChunkedMeshReader's element blocks in order. Each
+/// pull touches exactly one block, so residency stays within the window.
+ElementChunkSource reader_source(ChunkedMeshReader& reader) {
+  return [&reader, b = idx_t{0}]() mutable -> std::span<const idx_t> {
+    if (b >= reader.num_element_blocks()) return {};
+    return reader.element_block(b++);
+  };
+}
+
+}  // namespace
 
 std::span<const std::pair<int, int>> element_edges(ElementType type) {
   static const std::vector<std::pair<int, int>> tri{{0, 1}, {1, 2}, {2, 0}};
@@ -26,17 +49,33 @@ std::span<const std::pair<int, int>> element_edges(ElementType type) {
   return {};
 }
 
-CsrGraph nodal_graph(const Mesh& mesh) {
-  GraphBuilder builder(mesh.num_nodes());
-  const auto edges = element_edges(mesh.element_type());
-  for (idx_t e = 0; e < mesh.num_elements(); ++e) {
-    const auto elem = mesh.element(e);
-    for (const auto& [a, b] : edges) {
-      builder.add_edge(elem[static_cast<std::size_t>(a)],
-                       elem[static_cast<std::size_t>(b)]);
+CsrGraph nodal_graph(idx_t num_nodes, ElementType type,
+                     const ElementChunkSource& chunks) {
+  GraphBuilder builder(num_nodes);
+  const auto edges = element_edges(type);
+  const auto npe = static_cast<std::size_t>(nodes_per_element(type));
+  for (std::span<const idx_t> chunk = chunks(); !chunk.empty();
+       chunk = chunks()) {
+    require(chunk.size() % npe == 0,
+            "nodal_graph: chunk length not a multiple of nodes_per_element");
+    for (std::size_t off = 0; off < chunk.size(); off += npe) {
+      for (const auto& [a, b] : edges) {
+        builder.add_edge(chunk[off + static_cast<std::size_t>(a)],
+                         chunk[off + static_cast<std::size_t>(b)]);
+      }
     }
   }
   return builder.build();
+}
+
+CsrGraph nodal_graph(const Mesh& mesh) {
+  return nodal_graph(mesh.num_nodes(), mesh.element_type(),
+                     whole_array_source(mesh.element_nodes()));
+}
+
+CsrGraph nodal_graph(ChunkedMeshReader& reader) {
+  return nodal_graph(reader.num_nodes(), reader.element_type(),
+                     reader_source(reader));
 }
 
 const CsrGraph& NodalGraphCache::get(const Mesh& mesh) {
@@ -69,28 +108,45 @@ struct FaceKeyHash {
 
 }  // namespace
 
-CsrGraph dual_graph(const Mesh& mesh) {
-  GraphBuilder builder(mesh.num_elements());
-  const auto faces = element_faces(mesh.element_type());
+CsrGraph dual_graph(idx_t num_elements, ElementType type,
+                    const ElementChunkSource& chunks) {
+  GraphBuilder builder(num_elements);
+  const auto faces = element_faces(type);
+  const auto npe = static_cast<std::size_t>(nodes_per_element(type));
   std::unordered_map<FaceKey, idx_t, FaceKeyHash> first_owner;
-  first_owner.reserve(static_cast<std::size_t>(mesh.num_elements()) *
-                      faces.size());
-  for (idx_t e = 0; e < mesh.num_elements(); ++e) {
-    const auto elem = mesh.element(e);
-    for (const auto& face : faces) {
-      FaceKey key;
-      for (std::size_t i = 0; i < face.size(); ++i) {
-        key.ids[i] = elem[static_cast<std::size_t>(face[i])];
-      }
-      std::sort(key.ids.begin(),
-                key.ids.begin() + static_cast<std::ptrdiff_t>(face.size()));
-      auto [it, inserted] = first_owner.try_emplace(key, e);
-      if (!inserted && it->second != e) {
-        builder.add_edge(it->second, e);
+  first_owner.reserve(static_cast<std::size_t>(num_elements) * faces.size());
+  idx_t e = 0;
+  for (std::span<const idx_t> chunk = chunks(); !chunk.empty();
+       chunk = chunks()) {
+    require(chunk.size() % npe == 0,
+            "dual_graph: chunk length not a multiple of nodes_per_element");
+    for (std::size_t off = 0; off < chunk.size(); off += npe, ++e) {
+      for (const auto& face : faces) {
+        FaceKey key;
+        for (std::size_t i = 0; i < face.size(); ++i) {
+          key.ids[i] = chunk[off + static_cast<std::size_t>(face[i])];
+        }
+        std::sort(key.ids.begin(),
+                  key.ids.begin() + static_cast<std::ptrdiff_t>(face.size()));
+        auto [it, inserted] = first_owner.try_emplace(key, e);
+        if (!inserted && it->second != e) {
+          builder.add_edge(it->second, e);
+        }
       }
     }
   }
+  require(e == num_elements, "dual_graph: element count mismatch");
   return builder.build();
+}
+
+CsrGraph dual_graph(const Mesh& mesh) {
+  return dual_graph(mesh.num_elements(), mesh.element_type(),
+                    whole_array_source(mesh.element_nodes()));
+}
+
+CsrGraph dual_graph(ChunkedMeshReader& reader) {
+  return dual_graph(reader.num_elements(), reader.element_type(),
+                    reader_source(reader));
 }
 
 }  // namespace cpart

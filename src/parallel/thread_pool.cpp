@@ -43,6 +43,13 @@ std::string group_message(const std::vector<ParallelGroupError::Failure>& fs) {
   throw ParallelGroupError(std::move(failures));
 }
 
+/// Set while this thread executes a chunk/task of any dispatch. Nested
+/// dispatches check it and run inline: the pool's one-task-at-a-time
+/// protocol (task_, generation_, pending_) cannot represent two concurrent
+/// dispatches, so a worker re-entering parallel_for would corrupt the
+/// in-flight one.
+thread_local bool t_in_worker = false;
+
 }  // namespace
 
 ParallelGroupError::ParallelGroupError(std::vector<Failure> failures)
@@ -86,8 +93,11 @@ void ThreadPool::run_task(const Task& task, unsigned chunk) {
   const idx_t end = std::min<idx_t>(task.n, begin + task.chunk_size);
   if (begin >= end) return;
   try {
+    t_in_worker = true;
     task.fn(chunk, begin, end);
+    t_in_worker = false;
   } catch (...) {
+    t_in_worker = false;
     std::lock_guard<std::mutex> lock(mutex_);
     errors_.emplace_back(chunk, std::current_exception());
   }
@@ -138,10 +148,12 @@ void ThreadPool::parallel_for_chunks(
     idx_t n, const std::function<void(unsigned, idx_t, idx_t)>& fn) {
   if (n <= 0) return;
   const unsigned width = dispatch_width();
-  // Small ranges or single-wide dispatches run inline: cheaper and keeps
-  // the pool re-entrant from within tasks (no nested dispatch).
+  // Small ranges, single-wide dispatches, and dispatches issued from inside
+  // a worker run inline: the first two are cheaper that way, the last keeps
+  // the pool re-entrant (nested dispatches cannot share the single Task
+  // slot; see t_in_worker).
   constexpr idx_t kInlineThreshold = 2048;
-  if (width <= 1 || n <= kInlineThreshold) {
+  if (width <= 1 || n <= kInlineThreshold || in_worker()) {
     fn(0, 0, n);
     return;
   }
@@ -171,7 +183,7 @@ void ThreadPool::parallel_tasks(idx_t n,
                                 const std::function<void(idx_t)>& task) {
   if (n <= 0) return;
   const unsigned width = dispatch_width();
-  if (width <= 1 || n == 1) {
+  if (width <= 1 || n == 1 || in_worker()) {
     // The inline path keeps the pool's BSP failure semantics: every task
     // runs even when an earlier one throws, and multiple failures
     // aggregate exactly as the threaded path would.
@@ -219,6 +231,8 @@ std::unique_ptr<ThreadPool>& global_pool_slot() {
 }
 
 }  // namespace
+
+bool ThreadPool::in_worker() { return t_in_worker; }
 
 ThreadPool& ThreadPool::global() {
   std::lock_guard<std::mutex> lock(global_pool_mutex());

@@ -140,6 +140,15 @@ class ThreadPool {
     return running;
   }
 
+  /// True on a thread currently executing a chunk or task of some dispatch
+  /// (any pool). Dispatches issued from such a thread run inline on the
+  /// caller — the pool's single-task protocol cannot nest — so library code
+  /// that uses the pool internally (the partitioner, graph builders) stays
+  /// safe to call from inside parallel_tasks bodies. Inline execution is
+  /// observationally identical: every parallel computation here is
+  /// bit-identical at any dispatch width, including width 1.
+  static bool in_worker();
+
   /// Process-wide default pool (lazily constructed, hardware concurrency).
   static ThreadPool& global();
 

@@ -3,13 +3,12 @@
 // quality, and writes the partition file.
 //
 //   cpart_partition <graph-file> --k 16 [--scheme rb|kway] [--eps 0.1]
-//                   [--seed 1] [--out graph.part.16]
+//                   [--seed 1] [--groups 4] [--out graph.part.16]
 #include <iostream>
 
 #include "graph/graph_io.hpp"
 #include "graph/graph_metrics.hpp"
-#include "partition/kway_multilevel.hpp"
-#include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 #include "util/flags.hpp"
 #include "util/timer.hpp"
 
@@ -21,6 +20,9 @@ int main(int argc, char** argv) {
   flags.define("eps", "0.10", "per-constraint imbalance tolerance");
   flags.define("seed", "1", "random seed");
   flags.define("scheme", "rb", "partitioning scheme: rb | kway");
+  flags.define("groups", "0",
+               "rank groups for two-level hierarchical partitioning "
+               "(>= 2 enables)");
   flags.define("out", "", "partition output file (default <graph>.part.<k>)");
   try {
     const auto positional = flags.parse(argc, argv);
@@ -33,20 +35,32 @@ int main(int argc, char** argv) {
     std::cout << "graph: " << g.num_vertices() << " vertices, "
               << g.num_edges() << " edges, " << g.ncon() << " constraint(s)\n";
 
-    PartitionOptions opts;
-    opts.k = k;
-    opts.epsilon = flags.get_double("eps");
-    opts.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     const std::string scheme = flags.get_string("scheme");
     require(scheme == "rb" || scheme == "kway",
             "--scheme must be 'rb' or 'kway'");
+    PartitionerConfig pc;
+    pc.scheme = scheme == "kway" ? PartitionScheme::kDirectKway
+                                 : PartitionScheme::kRecursiveBisection;
+    pc.options.k = k;
+    pc.options.epsilon = flags.get_double("eps");
+    pc.options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    pc.hierarchy.groups = static_cast<idx_t>(flags.get_int("groups"));
+    const Partitioner partitioner(pc);
 
     Timer timer;
-    const std::vector<idx_t> part = scheme == "rb"
-                                        ? partition_graph(g, opts)
-                                        : partition_graph_kway(g, opts);
+    HierarchyStats hs;
+    const std::vector<idx_t> part = partitioner.partition(g, &hs);
     std::cout << "partitioned in " << format_duration(timer.seconds())
-              << " (" << scheme << ")\n";
+              << " (" << scheme;
+    if (partitioner.hierarchical()) {
+      std::cout << ", " << partitioner.groups() << " groups";
+    }
+    std::cout << ")\n";
+    if (partitioner.hierarchical()) {
+      std::cout << "group-cut:   " << hs.group_cut << " (proxy "
+                << hs.proxy_vertices << " vertices, balance "
+                << hs.group_balance << ")\n";
+    }
     std::cout << "edge-cut:    " << edge_cut(g, part) << '\n';
     std::cout << "comm-volume: " << total_comm_volume(g, part) << '\n';
     for (idx_t c = 0; c < g.ncon(); ++c) {
