@@ -48,6 +48,7 @@
 #include "partition/coarsen.hpp"
 #include "partition/connectivity.hpp"
 #include "partition/hierarchical.hpp"
+#include "util/atomic_file.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -352,9 +353,8 @@ int main(int argc, char** argv) {
     json << "}\n";
     ThreadPool::set_global_threads(0);
     const std::string out_path = flags.get_string("out");
-    std::ofstream out(out_path);
-    require(static_cast<bool>(out), "cannot open --out for writing");
-    out << json.str();
+    require(atomic_write_file(out_path, json.str()),
+            "cannot write --out (atomic commit failed)");
     std::cout << "\nWrote " << out_path
               << ". The cut is identical at every thread count: the parallel "
                  "matching is schedule-independent.\n";

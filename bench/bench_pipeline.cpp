@@ -28,6 +28,7 @@
 #include "parallel/thread_pool.hpp"
 #include "runtime/step_pipeline.hpp"
 #include "sim/impact_sim.hpp"
+#include "util/atomic_file.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -234,9 +235,8 @@ int main(int argc, char** argv) {
 
     table.print(std::cout);
     const std::string out_path = flags.get_string("out");
-    std::ofstream out(out_path);
-    require(static_cast<bool>(out), "cannot open --out for writing");
-    out << json.str();
+    require(atomic_write_file(out_path, json.str()),
+            "cannot write --out (atomic commit failed)");
     std::cout << "\nWrote " << out_path << ".\n";
     if (!all_equal) {
       std::cerr << "warm/cold products differ — failing.\n";

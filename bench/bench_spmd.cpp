@@ -17,7 +17,9 @@
 //   ./bench_spmd [--resolution 1.0] [--snapshots 20] [--k 25]
 //                [--threads 1,2,4,8] [--stride 1] [--out BENCH_spmd.json]
 //                [--fault_rate 0.0] [--fault_seed 1] [--max_attempts 4]
-//                [--repart_period 8]
+//                [--repart_period 8] [--checkpoint_period 10]
+//                [--checkpoint_dir bench_spmd_ckpt] [--kill_rank -1]
+//                [--kill_step -1]
 //
 // JSON output: {"env": {...}, "results": [{threads, reference_mean_ms,
 // spmd_mean_ms, speedup, health: {...per-channel counters...},
@@ -34,11 +36,18 @@
 // --fault_rate > 0 arms the seeded FaultInjector on the exchange, which
 // exercises the checksummed retry path; events must STILL be bit-identical
 // to the reference as long as the schedule stays within --max_attempts.
+//
+// --checkpoint_period > 0 (the default) appends a "recovery" block: the
+// zero-fault checkpoint overhead (checkpointed vs plain distributed run,
+// A/B over the same snapshots) and an MTTR probe that kills --kill_rank at
+// --kill_step and requires the restored+replayed run to stay bit-identical
+// to the fault-free baseline at every step.
 #include <cmath>
-#include <fstream>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 #include "bench_env.hpp"
 #include "core/distributed_sim.hpp"
@@ -46,6 +55,7 @@
 #include "parallel/thread_pool.hpp"
 #include "runtime/fault_injector.hpp"
 #include "sim/impact_sim.hpp"
+#include "util/atomic_file.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -117,6 +127,11 @@ void health_json(std::ostream& os, const PipelineHealth& h) {
      << ", \"degraded_steps\": " << h.degraded_steps
      << ", \"wire_parse_failures\": " << h.wire_parse_failures
      << ", \"failed_ranks\": " << h.failed_ranks
+     << ", \"rank_deaths\": " << h.rank_deaths
+     << ", \"recoveries\": " << h.recoveries
+     << ", \"replay_steps\": " << h.replay_steps
+     << ", \"checkpoints_written\": " << h.checkpoints_written
+     << ", \"checkpoint_write_failures\": " << h.checkpoint_write_failures
      << ", \"backoff_ms\": " << h.backoff_ms
      << ", \"readiness_stalls\": " << h.readiness_stalls
      << ", \"readiness_stall_ns\": " << h.readiness_stall_ns
@@ -153,6 +168,16 @@ int main(int argc, char** argv) {
                "distributed run: repartition + migrate every N steps (0 = off)");
   flags.define("format", "binary",
                "descriptor wire format for the broadcast: text|binary");
+  flags.define("checkpoint_period", "10",
+               "recovery probe: durable checkpoint every N steps (0 = skip "
+               "the probe)");
+  flags.define("checkpoint_dir", "bench_spmd_ckpt",
+               "recovery probe: checkpoint directory (removed afterwards)");
+  flags.define("kill_rank", "-1",
+               "recovery probe: rank to kill (-1 = k / 2)");
+  flags.define("kill_step", "-1",
+               "recovery probe: step to kill it at (-1 = mid-run, placed "
+               "mid-way through a checkpoint period so replay is nonempty)");
   try {
     flags.parse(argc, argv);
     const std::string format_name = flags.get_string("format");
@@ -172,6 +197,11 @@ int main(int argc, char** argv) {
     retry.max_attempts = static_cast<idx_t>(flags.get_int("max_attempts"));
     const idx_t repart_period =
         static_cast<idx_t>(flags.get_int("repart_period"));
+    const idx_t checkpoint_period =
+        static_cast<idx_t>(flags.get_int("checkpoint_period"));
+    const std::string checkpoint_dir = flags.get_string("checkpoint_dir");
+    const idx_t kill_rank_flag = static_cast<idx_t>(flags.get_int("kill_rank"));
+    const idx_t kill_step_flag = static_cast<idx_t>(flags.get_int("kill_step"));
     std::vector<unsigned> thread_counts;
     {
       std::stringstream ss(flags.get_string("threads"));
@@ -520,14 +550,159 @@ int main(int argc, char** argv) {
                 << "/doubling), distributed " << dist_ratio << "x (slope "
                 << dist_slope << "/doubling)\n";
     }
-    json << "\n],\n \"scaling\": " << scaling_json.str() << "}\n";
+    // Rank-death recovery probe at the largest thread count: (1) zero-fault
+    // checkpoint overhead, A/B over the same distributed run, and (2) MTTR
+    // for a seeded one-shot kill — the recovered run must stay bit-identical
+    // to the fault-free baseline at every step.
+    std::ostringstream recovery_json;
+    if (checkpoint_period > 0) {
+      ThreadPool::set_global_threads(thread_counts.back());
+      DistributedSimConfig dconfig;
+      dconfig.decomposition = config.decomposition;
+      dconfig.search = config.search;
+      dconfig.wire_format = wire_format;
+      dconfig.repartition_period = repart_period;
+
+      const auto run_all = [&](DistributedSim& dsim,
+                               std::vector<DistributedStepReport>* out,
+                               double* ckpt_ms, double* rec_ms) {
+        double sum = 0;
+        idx_t steady = 0;
+        for (idx_t s = 0; s < sim.num_snapshots(); s += stride) {
+          Timer timer;
+          DistributedStepReport got = dsim.run_step(s);
+          const double ms = timer.milliseconds();
+          if (s > 0) {
+            sum += ms;
+            ++steady;
+          }
+          if (ckpt_ms != nullptr) *ckpt_ms += got.checkpoint_ms;
+          if (rec_ms != nullptr) *rec_ms += got.recovery_ms;
+          if (out != nullptr) out->push_back(std::move(got));
+        }
+        return sum / static_cast<double>(std::max<idx_t>(steady, 1));
+      };
+
+      // Fault-free baseline, checkpointing off.
+      std::vector<DistributedStepReport> baseline;
+      double base_mean = 0;
+      {
+        DistributedSim base(sim, dconfig);
+        base.exchange().set_retry_policy(retry);
+        base_mean = run_all(base, &baseline, nullptr, nullptr);
+      }
+
+      // Checkpointing on, zero faults: the steady-state overhead.
+      double ckpt_mean = 0;
+      double overhead_checkpoint_ms = 0;
+      PipelineHealth overhead_health;
+      bool overhead_equal = true;
+      {
+        DistributedSimConfig oconfig = dconfig;
+        oconfig.checkpoint_period = checkpoint_period;
+        oconfig.checkpoint_dir = checkpoint_dir + "/overhead";
+        DistributedSim withckpt(sim, oconfig);
+        withckpt.exchange().set_retry_policy(retry);
+        std::vector<DistributedStepReport> got;
+        ckpt_mean = run_all(withckpt, &got, &overhead_checkpoint_ms, nullptr);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          overhead_health += got[i].health;
+          overhead_equal = overhead_equal &&
+                           distributed_reports_identical(got[i], baseline[i]);
+        }
+      }
+      const double overhead = ckpt_mean / std::max(base_mean, 1e-9) - 1.0;
+
+      // MTTR: the same run with a seeded one-shot kill. Recovery restores
+      // the last checkpoint and replays; every report — including the kill
+      // step's — must match the baseline bit-for-bit.
+      const idx_t kill_rank = kill_rank_flag >= 0 ? kill_rank_flag : k / 2;
+      // Default kill point: half a period past the commit boundary nearest
+      // mid-run, so the MTTR number includes replayed steps (a kill landing
+      // exactly on a boundary replays nothing).
+      const idx_t mid_boundary =
+          sim.num_snapshots() / 2 / checkpoint_period * checkpoint_period;
+      const idx_t kill_step =
+          kill_step_flag >= 0
+              ? kill_step_flag
+              : std::min<idx_t>(
+                    sim.num_snapshots() - 1,
+                    mid_boundary + std::max<idx_t>(1, checkpoint_period / 2));
+      double mttr_recovery_ms = 0;
+      double mttr_checkpoint_ms = 0;
+      PipelineHealth mttr_health;
+      bool mttr_equal = true;
+      idx_t mttr_replayed = 0;
+      {
+        DistributedSimConfig mconfig = dconfig;
+        mconfig.checkpoint_period = checkpoint_period;
+        mconfig.checkpoint_dir = checkpoint_dir + "/mttr";
+        DistributedSim victim(sim, mconfig);
+        victim.exchange().set_retry_policy(retry);
+        FaultConfig fc;
+        fc.seed = fault_seed;
+        fc.kill_rank = kill_rank;
+        fc.kill_step = kill_step;
+        FaultInjector kill_injector(fc);
+        victim.exchange().set_fault_injector(&kill_injector);
+        std::vector<DistributedStepReport> got;
+        run_all(victim, &got, &mttr_checkpoint_ms, &mttr_recovery_ms);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          mttr_health += got[i].health;
+          mttr_replayed += got[i].replayed_steps;
+          mttr_equal = mttr_equal &&
+                       distributed_reports_identical(got[i], baseline[i]);
+        }
+        if (mttr_health.rank_deaths == 0) {
+          std::cerr << "recovery probe: the seeded kill never fired\n";
+          all_equal = false;
+        }
+      }
+      if (!overhead_equal || !mttr_equal) {
+        std::cerr << "RECOVERY EQUIVALENCE FAILURE\n";
+        all_equal = false;
+      }
+      std::error_code ec;
+      std::filesystem::remove_all(checkpoint_dir, ec);
+
+      recovery_json << "{\"threads\": " << thread_counts.back()
+                    << ", \"checkpoint_period\": " << checkpoint_period
+                    << ", \"baseline_mean_ms\": " << base_mean
+                    << ", \"checkpointed_mean_ms\": " << ckpt_mean
+                    << ", \"checkpoint_overhead\": " << overhead
+                    << ", \"checkpoint_ms\": " << overhead_checkpoint_ms
+                    << ", \"checkpoints_written\": "
+                    << overhead_health.checkpoints_written
+                    << ", \"overhead_equivalent\": "
+                    << (overhead_equal ? "true" : "false")
+                    << ",\n  \"mttr\": {\"kill_rank\": " << kill_rank
+                    << ", \"kill_step\": " << kill_step
+                    << ", \"recovery_ms\": " << mttr_recovery_ms
+                    << ", \"checkpoint_ms\": " << mttr_checkpoint_ms
+                    << ", \"replayed_steps\": " << mttr_replayed
+                    << ", \"rank_deaths\": " << mttr_health.rank_deaths
+                    << ", \"recoveries\": " << mttr_health.recoveries
+                    << ", \"checkpoints_written\": "
+                    << mttr_health.checkpoints_written
+                    << ", \"recovered_equivalent\": "
+                    << (mttr_equal ? "true" : "false") << "}}";
+      std::cout << "recovery: checkpoint overhead " << overhead * 100
+                << "% at period " << checkpoint_period << ", MTTR "
+                << mttr_recovery_ms << " ms (" << mttr_replayed
+                << " replayed steps)\n";
+    }
+
+    json << "\n],\n \"scaling\": " << scaling_json.str();
+    if (checkpoint_period > 0) {
+      json << ",\n \"recovery\": " << recovery_json.str();
+    }
+    json << "}\n";
     ThreadPool::set_global_threads(0);
 
     table.print(std::cout);
     const std::string out_path = flags.get_string("out");
-    std::ofstream out(out_path);
-    require(static_cast<bool>(out), "cannot open --out for writing");
-    out << json.str();
+    require(atomic_write_file(out_path, json.str()),
+            "cannot write --out (atomic commit failed)");
     std::cout << "\nWrote " << out_path << ".\n";
     if (!all_equal) {
       std::cerr << "SPMD and reference reports differ — failing.\n";

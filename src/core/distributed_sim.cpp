@@ -6,6 +6,7 @@
 
 #include "runtime/label_codec.hpp"
 #include "tree/tree_io.hpp"
+#include "util/timer.hpp"
 
 namespace cpart {
 
@@ -120,8 +121,146 @@ std::vector<idx_t> DistributedSim::compute_repartition(
 }
 
 DistributedStepReport DistributedSim::run_step(idx_t s) {
+  PipelineHealth recovery_health;
+  double checkpoint_ms = 0;
+  double recovery_ms = 0;
+  idx_t replayed = 0;
+  bool recovered = false;
+
+  // Lazy store init plus a baseline checkpoint before the first step, so a
+  // restore is always possible — a death before the first period boundary
+  // replays from the initial decomposition.
+  if (config_.checkpoint_period > 0 && store_ == nullptr) {
+    require(!config_.checkpoint_dir.empty(),
+            "DistributedSim: checkpoint_period > 0 requires checkpoint_dir");
+    store_ = std::make_unique<CheckpointStore>(config_.checkpoint_dir,
+                                               *checkpoint_shim_);
+    Timer baseline_timer;
+    if (store_->write(make_checkpoint_data(), config_.checkpoint_retry,
+                      &recovery_health.backoff_ms)) {
+      ++recovery_health.checkpoints_written;
+    } else {
+      ++recovery_health.checkpoint_write_failures;
+    }
+    checkpoint_ms += baseline_timer.milliseconds();
+  }
+
+  step_history_.push_back(s);
+
+  DistributedStepReport report;
+  for (;;) {
+    try {
+      // Run every uncompleted history entry. On the fault-free path that is
+      // exactly the one step just pushed; after a restore the cursor is
+      // rewound and all but the last entry are replays — re-executions of
+      // steps lost to the rollback, bit-identical to their first run, whose
+      // reports are discarded (the caller already has them; replay exists
+      // to rebuild state).
+      while (replay_pos_ < step_history_.size()) {
+        const bool is_replay = replay_pos_ + 1 < step_history_.size();
+        Timer attempt_timer;
+        report = DistributedStepReport{};
+        run_step_attempt(step_history_[replay_pos_], report);
+        ++steps_run_;
+        ++replay_pos_;
+        if (is_replay) {
+          ++replayed;
+          ++recovery_health.replay_steps;
+          recovery_health += report.health;
+          recovery_ms += attempt_timer.milliseconds();
+        }
+      }
+      break;
+    } catch (const RankDeathError& death) {
+      Timer restore_timer;
+      exchange_.abort_step();
+      // Drain the dead attempt's transport counters so they do not leak
+      // into the next attempt's report; they stay in the recovery tally —
+      // those deliveries did happen.
+      recovery_health += exchange_.take_health();
+      recovery_health.rank_deaths += static_cast<wgt_t>(death.ranks().size());
+      recovery_health.failed_ranks += static_cast<wgt_t>(death.ranks().size());
+      recovered = true;
+      if (restore_from_checkpoint()) {
+        ++recovery_health.recoveries;
+      } else {
+        // No durable checkpoint (checkpointing disabled, or the store is
+        // unreadable): complete this step degraded from the start-of-step
+        // snapshot and continue unprotected — the same fallback the
+        // transport-exhaustion path uses.
+        report = DistributedStepReport{};
+        std::vector<idx_t> owner = start_owner_;
+        std::vector<wgt_t> hits = start_hits_;
+        run_reference_body(step_history_[replay_pos_], is_migration_step(),
+                           owner, hits, report);
+        scatter_global_state(owner, hits);
+        ++recovery_health.degraded_steps;
+        ++steps_run_;
+        ++replay_pos_;
+      }
+      recovery_ms += restore_timer.milliseconds();
+    }
+  }
+
+  // Period boundary: commit a fresh checkpoint. A failed commit never
+  // destroys the previous one (keep-last-good) — the history keeps
+  // accumulating so a later death still replays from the last durable
+  // state.
+  if (store_ != nullptr && config_.checkpoint_period > 0 &&
+      steps_run_ % config_.checkpoint_period == 0) {
+    Timer commit_timer;
+    if (store_->write(make_checkpoint_data(), config_.checkpoint_retry,
+                      &recovery_health.backoff_ms)) {
+      ++recovery_health.checkpoints_written;
+      step_history_.clear();
+      replay_pos_ = 0;
+    } else {
+      ++recovery_health.checkpoint_write_failures;
+    }
+    checkpoint_ms += commit_timer.milliseconds();
+  }
+
+  report.recovered = recovered;
+  report.replayed_steps = replayed;
+  report.checkpoint_ms = checkpoint_ms;
+  report.recovery_ms = recovery_ms;
+  report.health += recovery_health;
+  return report;
+}
+
+void DistributedSim::run_step_attempt(idx_t s, DistributedStepReport& report) {
   const bool migrate = is_migration_step();
   const idx_t nn = topo_.num_nodes();
+
+  // This execution's injected rank faults, decided up front as a pure
+  // function of (seed, logical step, rank, incarnation). The incarnation is
+  // the execution count of the logical step, so a replayed step draws kNone
+  // and recovery always makes progress.
+  any_death_ = false;
+  any_hang_ = false;
+  FaultInjector* injector = exchange_.fault_injector();
+  if (injector != nullptr) {
+    const auto step_id = static_cast<std::size_t>(steps_run_);
+    if (step_attempts_.size() <= step_id) {
+      step_attempts_.resize(step_id + 1, 0);
+    }
+    const idx_t incarnation = step_attempts_[step_id]++;
+    death_mask_.assign(static_cast<std::size_t>(k()), 0);
+    hang_mask_.assign(static_cast<std::size_t>(k()), 0);
+    for (idx_t r = 0; r < k(); ++r) {
+      const RankFaultKind kind =
+          injector->rank_fault(steps_run_, r, incarnation);
+      if (kind == RankFaultKind::kNone) continue;
+      injector->record_rank_fault(kind);
+      if (kind == RankFaultKind::kDeath) {
+        death_mask_[static_cast<std::size_t>(r)] = 1;
+        any_death_ = true;
+      } else {
+        hang_mask_[static_cast<std::size_t>(r)] = 1;
+        any_hang_ = true;
+      }
+    }
+  }
 
   // Start-of-step recovery snapshot: if the transport gives up mid-step the
   // reference body reruns the whole step from here (positions need no
@@ -134,7 +273,6 @@ DistributedStepReport DistributedSim::run_step(idx_t s) {
         states_[static_cast<std::size_t>(start_owner_[sv])].contact_hits[sv];
   }
 
-  DistributedStepReport report;
   PipelineHealth health;
   const bool ok = try_spmd_step(exchange_, health, [&] {
     run_step_spmd(s, migrate, report);
@@ -149,8 +287,6 @@ DistributedStepReport DistributedSim::run_step(idx_t s) {
     scatter_global_state(owner, hits);
     report.health = health;
   }
-  ++steps_run_;
-  return report;
 }
 
 DistributedStepReport DistributedSim::run_step_reference(idx_t s) {
@@ -203,6 +339,12 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
   // contact-point gather to rank 0. The gather commits in the driver
   // delivery below. ---------------------------------------------------------
   const auto phase_a = [&](idx_t r) {
+    if (any_death_ && death_mask_[static_cast<std::size_t>(r)]) {
+      // The injected death: the rank vanishes at step entry, before any of
+      // its sends. RankDeathError is not degradable — it unwinds through
+      // try_spmd_step into the recovery loop of run_step.
+      throw RankDeathError({r});
+    }
     SubdomainState& st = states_[static_cast<std::size_t>(r)];
     st.begin_step();
     for (idx_t v : st.owned_nodes) {
@@ -260,7 +402,14 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
                  .writes = channel_bit(ChannelId::kCouplingForward),
                  .providers = &halo_providers_},
   };
-  async_.run(kinematics_phases, exchange_);  // delivery #1 inside
+  // Injected hangs arm the executor's watchdog so a rank that never
+  // publishes is declared dead instead of deadlocking the run.
+  AsyncRunOptions fault_options;
+  if (any_hang_) {
+    fault_options.watchdog_deadline_ms = config_.watchdog_deadline_ms;
+    fault_options.hung = hang_mask_;
+  }
+  async_.run(kinematics_phases, exchange_, fault_options);  // delivery #1
   report.fe_exchange = exchange_.take_fe_traffic();
   report.halo_payload_bytes = exchange_.take_halo_bytes();
 
@@ -475,7 +624,9 @@ void DistributedSim::run_step_spmd(idx_t s, bool migrate,
     search_phases.push_back(AsyncPhase{.body = phase_f,
                                        .reads = migrate_mask});
   }
-  async_.run(search_phases, exchange_);  // deliveries #3, #4 (+ #5) inside
+  // deliveries #3, #4 (+ #5) inside (unreachable with a hang armed — the
+  // first run already unwound — but the options are step-scoped)
+  async_.run(search_phases, exchange_, fault_options);
   report.descriptor_broadcast_bytes = exchange_.take_descriptor_bytes();
   report.label_broadcast_bytes = exchange_.take_label_bytes();
   report.search_exchange = exchange_.take_search_traffic();
@@ -728,6 +879,64 @@ void DistributedSim::scatter_global_state(std::span<const idx_t> owner,
     st.contact_hits.assign(hits.begin(), hits.end());
     st.rebuild_views(topo_, k());
   });
+}
+
+std::uint64_t DistributedSim::config_hash() const {
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a_value(h, k());
+  h = fnv1a_value(h, static_cast<int>(config_.wire_format));
+  h = fnv1a_value(h, config_.repartition_period);
+  h = fnv1a_value(h, config_.repartition.seed);
+  h = fnv1a_value(h, topo_.num_nodes());
+  h = fnv1a_value(h, topo_.num_elements());
+  return h;
+}
+
+CheckpointData DistributedSim::make_checkpoint_data() const {
+  const idx_t nn = topo_.num_nodes();
+  CheckpointData ck;
+  ck.config_hash = config_hash();
+  ck.step = steps_run_;
+  ck.superstep = exchange_.next_superstep();
+  ck.k = k();
+  ck.node_owner = states_[0].node_owner;
+  ck.positions.resize(static_cast<std::size_t>(nn));
+  ck.contact_hits.resize(static_cast<std::size_t>(nn));
+  for (idx_t v = 0; v < nn; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    const SubdomainState& st =
+        states_[static_cast<std::size_t>(ck.node_owner[sv])];
+    ck.positions[sv] = st.positions[sv];
+    ck.contact_hits[sv] = st.contact_hits[sv];
+  }
+  return ck;
+}
+
+bool DistributedSim::restore_from_checkpoint() {
+  if (store_ == nullptr) return false;
+  const std::optional<CheckpointData> ck = store_->load();
+  if (!ck.has_value()) return false;
+  if (ck->config_hash != config_hash() || ck->k != k() ||
+      to_idx(ck->node_owner.size()) != topo_.num_nodes()) {
+    // A decodable checkpoint from some other run shares the directory —
+    // unusable for this instance; treat as no checkpoint at all.
+    return false;
+  }
+  executor_.superstep([&](idx_t r) {
+    SubdomainState& st = states_[static_cast<std::size_t>(r)];
+    st.node_owner = ck->node_owner;
+    st.positions = ck->positions;
+    st.contact_hits = ck->contact_hits;
+    st.rebuild_views(topo_, k());
+  });
+  // Roll the cursors back: the step counter drives the migration cadence
+  // and the rank-fault schedule; the exchange superstep cursor keys the
+  // transport fault schedule, so the replayed deliveries re-draw exactly
+  // the decisions of the original run.
+  steps_run_ = ck->step;
+  exchange_.set_next_superstep(ck->superstep);
+  replay_pos_ = 0;
+  return true;
 }
 
 std::uint64_t DistributedSim::ownership_hash(

@@ -56,7 +56,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/mcml_dt.hpp"
@@ -64,6 +66,7 @@
 #include "mesh/mesh_topology.hpp"
 #include "partition/partitioner.hpp"
 #include "runtime/async_executor.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/exchange.hpp"
 #include "runtime/rank_executor.hpp"
 #include "runtime/subdomain_state.hpp"
@@ -85,6 +88,23 @@ struct DistributedSimConfig {
   /// `seed` is offset by the snapshot index so every migration step draws
   /// an independent (but reproducible) refinement sequence.
   RepartitionOptions repartition{};
+  /// Durable checkpoint cadence: commit a checkpoint after every `period`
+  /// completed steps (plus a baseline before the first step); 0 disables
+  /// checkpointing, in which case a detected rank death degrades the step
+  /// to the centralized reference body instead of restore+replay. Requires
+  /// checkpoint_dir when > 0.
+  idx_t checkpoint_period = 0;
+  /// Directory holding the checkpoint blobs and manifest (created on first
+  /// use; see CheckpointStore).
+  std::string checkpoint_dir;
+  /// Commit budget/backoff for checkpoint writes. An exhausted budget never
+  /// destroys the previous checkpoint (keep-last-good): the sim counts a
+  /// checkpoint_write_failure and continues unprotected until the next
+  /// period boundary.
+  RetryPolicy checkpoint_retry{};
+  /// Watchdog deadline handed to the async runs whenever a hang is injected
+  /// this step; see AsyncRunOptions::watchdog_deadline_ms.
+  double watchdog_deadline_ms = 250.0;
 };
 
 struct DistributedStepReport {
@@ -116,6 +136,15 @@ struct DistributedStepReport {
   /// FNV-1a over the end-of-step ownership map and the owner-authoritative
   /// contact-hit accumulators — the cheap cross-flavor state oracle.
   std::uint64_t ownership_hash = 0;
+  /// Rank-death recovery accounting: `recovered` is set when at least one
+  /// death was detected and repaired while producing this report, and
+  /// `replayed_steps` counts previously completed steps re-executed from
+  /// the restored checkpoint. checkpoint_ms covers encoding + durable
+  /// commit; recovery_ms covers restore + replay (the step's MTTR share).
+  bool recovered = false;
+  idx_t replayed_steps = 0;
+  double checkpoint_ms = 0;
+  double recovery_ms = 0;
   PipelineHealth health;
 };
 
@@ -144,6 +173,15 @@ class DistributedSim {
   /// the migration cadence counts steps run, not snapshot indices. Degrades
   /// to the reference body on transport/rank failure, with
   /// health.degraded_steps == 1 on the report.
+  ///
+  /// Rank-death tolerance: with checkpoint_period > 0 the sim keeps a
+  /// durable checkpoint (runtime/checkpoint.hpp) and, when the injected
+  /// death/hang schedule kills a rank mid-step, restores every rank from
+  /// the last checkpoint and deterministically replays the lost steps —
+  /// the returned report (and all later ones) is bit-identical to a
+  /// fault-free run. Replay cannot re-fire the original fault: the
+  /// injector keys rank faults on the per-step incarnation, which the sim
+  /// bumps on every re-execution.
   DistributedStepReport run_step(idx_t s);
 
   /// The centralized oracle: gathers the rank states, computes the same
@@ -155,6 +193,11 @@ class DistributedSim {
   /// The exchange the SPMD supersteps run over — for fault injection and
   /// retry-policy tuning by tests/benches.
   Exchange& exchange() { return exchange_; }
+
+  /// Routes checkpoint I/O through `shim` (fault injection: short writes,
+  /// ENOSPC, read bit-flips — see FaultyFileShim). Must be called before
+  /// the first run_step; `shim` must outlive the sim.
+  void set_checkpoint_shim(FileShim& shim) { checkpoint_shim_ = &shim; }
 
   /// The replicated ownership map, validated identical across all ranks.
   std::vector<idx_t> ownership_map() const;
@@ -168,8 +211,32 @@ class DistributedSim {
            steps_run_ % config_.repartition_period == 0;
   }
 
+  /// One attempt at snapshot step `s`: the SPMD path with the degraded
+  /// reference fallback — exactly the pre-recovery run_step body, minus the
+  /// step-counter bump. Throws RankDeathError when a rank dies (injected
+  /// death or watchdog-declared hang); every other failure completes the
+  /// step degraded as before.
+  void run_step_attempt(idx_t s, DistributedStepReport& report);
+
   /// The SPMD supersteps; throws on transport/parse/rank failure.
   void run_step_spmd(idx_t s, bool migrate, DistributedStepReport& report);
+
+  /// FNV-1a over the immutable run parameters a checkpoint must have been
+  /// written under to be restorable into this instance.
+  std::uint64_t config_hash() const;
+
+  /// The durable state as of now: ownership labels, owner-authoritative
+  /// positions and hit accumulators, the step counter, and the exchange
+  /// superstep cursor (so replayed deliveries key the exact transport
+  /// fault schedule).
+  CheckpointData make_checkpoint_data() const;
+
+  /// Restores every rank from the last durable checkpoint: scatters the
+  /// checkpointed state, rolls back steps_run_ and the exchange superstep
+  /// cursor, and rewinds the replay cursor to the start of step_history_.
+  /// False when no usable checkpoint exists (checkpointing disabled, or
+  /// the store has no loadable manifest).
+  bool restore_from_checkpoint();
 
   /// The centralized step body over explicit global state (owner + hits are
   /// read and updated in place). Shared by run_step_reference and the
@@ -219,6 +286,22 @@ class DistributedSim {
   std::vector<char> contact_mask_;
   std::vector<idx_t> start_owner_;   // start-of-step recovery snapshot
   std::vector<wgt_t> start_hits_;
+  // Rank-death tolerance (see run_step). step_history_ records the snapshot
+  // ids of every step since the last durable checkpoint; replay_pos_ is its
+  // completed prefix, rewound to 0 by a restore. step_attempts_ counts
+  // executions per logical step — the incarnation the injector keys rank
+  // faults on, so a replayed step never re-fires its kill.
+  FileShim* checkpoint_shim_ = &FileShim::real();
+  std::unique_ptr<CheckpointStore> store_;  // created lazily by run_step
+  std::vector<idx_t> step_history_;
+  std::size_t replay_pos_ = 0;
+  std::vector<idx_t> step_attempts_;
+  // This attempt's injected rank faults (sized k while an injector with a
+  // rank-fault schedule is armed; consulted by run_step_spmd).
+  std::vector<char> death_mask_;
+  std::vector<char> hang_mask_;
+  bool any_death_ = false;
+  bool any_hang_ = false;
 };
 
 }  // namespace cpart

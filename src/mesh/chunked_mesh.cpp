@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 
+#include "util/atomic_file.hpp"
 #include "util/varint.hpp"
 
 namespace cpart {
@@ -71,7 +72,7 @@ ChunkedMeshWriter::ChunkedMeshWriter(const std::string& path, ElementType type,
                                      idx_t num_nodes, idx_t num_elements,
                                      idx_t nodes_per_block,
                                      idx_t elems_per_block)
-    : out_(path, std::ios::binary | std::ios::trunc),
+    : out_(path + ".tmp", std::ios::binary | std::ios::trunc),
       path_(path),
       type_(type),
       npe_(nodes_per_element(type)),
@@ -94,7 +95,14 @@ ChunkedMeshWriter::ChunkedMeshWriter(const std::string& path, ElementType type,
   out_.write(header.data(), static_cast<std::streamsize>(header.size()));
 }
 
-ChunkedMeshWriter::~ChunkedMeshWriter() = default;
+ChunkedMeshWriter::~ChunkedMeshWriter() {
+  // An abandoned writer (exception before finish()) leaves the final path
+  // untouched; drop the partial temp file best-effort.
+  if (!finished_) {
+    out_.close();
+    FileShim::real().remove_file(path_ + ".tmp");
+  }
+}
 
 void ChunkedMeshWriter::flush_node_block() {
   if (buf_nodes_ == 0) return;
@@ -157,6 +165,11 @@ void ChunkedMeshWriter::finish() {
   out_.flush();
   require(static_cast<bool>(out_), "chunked mesh " + path_ + ": write failed");
   out_.close();
+  // Durable commit: the file streamed under a temp name; sync + rename make
+  // it appear at the final path all-or-nothing, so a crash mid-stream (or
+  // mid-finish) never leaves a torn mesh where a reader expects one.
+  require(atomic_finalize_file(path_ + ".tmp", path_),
+          "chunked mesh " + path_ + ": atomic finalize failed");
   finished_ = true;
 }
 

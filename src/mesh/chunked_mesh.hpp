@@ -34,7 +34,10 @@ namespace cpart {
 
 /// Streams one mesh to the chunked format. Nodes must be added first (the
 /// node section precedes the element section on disk), then elements;
-/// finish() validates the declared counts were hit exactly.
+/// finish() validates the declared counts were hit exactly. The stream
+/// lands under `path + ".tmp"` and is sync+renamed into place by finish()
+/// (util/atomic_file.hpp), so the final path either holds a complete mesh
+/// or nothing — a crash mid-stream never leaves a torn file there.
 class ChunkedMeshWriter {
  public:
   ChunkedMeshWriter(const std::string& path, ElementType type,

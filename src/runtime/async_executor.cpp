@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
+#include <sstream>
+#include <thread>
 #include <utility>
 
 #include "parallel/thread_pool.hpp"
@@ -15,6 +18,26 @@
 namespace cpart {
 
 namespace {
+
+std::string rank_death_message(const std::vector<idx_t>& ranks) {
+  std::ostringstream os;
+  os << "rank death detected: rank";
+  if (ranks.size() > 1) os << "s";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    os << (i == 0 ? " " : ", ") << ranks[i];
+  }
+  return os.str();
+}
+
+bool is_rank_death(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const RankDeathError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
 
 /// One channel group: the mask a consuming phase reads, delivered as one
 /// async superstep. Groups are ordered by consuming phase, and group j of a
@@ -47,14 +70,30 @@ constexpr int kSpinIterations = 128;
 
 }  // namespace
 
+RankDeathError::RankDeathError(std::vector<idx_t> ranks)
+    : std::runtime_error(rank_death_message(ranks)), ranks_(std::move(ranks)) {}
+
 AsyncExecutor::AsyncExecutor(idx_t k) : k_(k) {
   require(k >= 1, "AsyncExecutor: k must be >= 1");
 }
 
-void AsyncExecutor::run(std::span<const AsyncPhase> phases,
-                        Exchange& exchange) const {
+void AsyncExecutor::run(std::span<const AsyncPhase> phases, Exchange& exchange,
+                        const AsyncRunOptions& options) const {
   if (phases.empty()) return;
   require(exchange.num_ranks() == k_, "AsyncExecutor: exchange rank mismatch");
+  require(options.hung.empty() ||
+              options.hung.size() == static_cast<std::size_t>(k_),
+          "AsyncExecutor: hang mask size mismatch");
+  const auto hung_of = [&options](idx_t r) {
+    return !options.hung.empty() && options.hung[static_cast<std::size_t>(r)];
+  };
+  bool any_hung = false;
+  for (idx_t r = 0; r < k_; ++r) any_hung = any_hung || hung_of(r);
+  require(!any_hung || options.watchdog_deadline_ms > 0,
+          "AsyncExecutor: hung ranks require a watchdog deadline");
+  // The watchdog only ever declares injected hung ranks; with none, waits
+  // park on the futex as usual and the deadline is moot.
+  const bool watchdog_armed = any_hung && options.watchdog_deadline_ms > 0;
 
   const idx_t P = to_idx(phases.size());
   std::vector<Group> groups;
@@ -154,6 +193,38 @@ void AsyncExecutor::run(std::span<const AsyncPhase> phases,
     }
   };
 
+  // Watchdog declaration (first expired waiter wins the CAS): every hung
+  // rank is declared dead at once — its rows force-closed (the exhaustion
+  // drain idiom: no waiter can deadlock on a row the rank will never close)
+  // and its phase completions force-counted so the gated readiness check
+  // can still resolve — then the run unwinds as a failure at phase 0, the
+  // earliest phase the dead ranks never executed.
+  std::atomic<bool> watchdog_fired{false};
+  const auto fire_watchdog = [&] {
+    bool expected = false;
+    if (!watchdog_fired.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+      return;
+    }
+    for (idx_t d = 0; d < k_; ++d) {
+      if (!hung_of(d)) continue;
+      for (idx_t h = 0; h < G; ++h) {
+        if (groups[static_cast<std::size_t>(h)].close_phase < 0) continue;
+        if (row_closed[static_cast<std::size_t>(h * k_ + d)].exchange(
+                1, std::memory_order_release) == 0) {
+          rows_closed[static_cast<std::size_t>(h)].fetch_add(
+              1, std::memory_order_release);
+        }
+      }
+      for (idx_t q = 0; q < P; ++q) {
+        phase_done[static_cast<std::size_t>(q)].fetch_add(
+            1, std::memory_order_release);
+      }
+    }
+    fetch_min(min_failed, 0);
+    publish();
+  };
+
   // Full per-cell validation of destination r's column of group g: every
   // (channel, src, r) cell gets its own retry loop with the barrier-exact
   // injector keys (attempt numbers 0..), then the column commits atomically
@@ -246,7 +317,17 @@ void AsyncExecutor::run(std::span<const AsyncPhase> phases,
           ++spins;
           continue;
         }
-        epoch.wait(e, std::memory_order_acquire);
+        if (watchdog_armed) {
+          // Bounded polling instead of the futex: the publication that
+          // would wake us may never come if the provider is hung, so check
+          // the deadline between short sleeps and declare on expiry.
+          if (timer.milliseconds() > options.watchdog_deadline_ms) {
+            fire_watchdog();
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else {
+          epoch.wait(e, std::memory_order_acquire);
+        }
       }
       wait_ms = timer.milliseconds();
       return out;
@@ -256,6 +337,9 @@ void AsyncExecutor::run(std::span<const AsyncPhase> phases,
       const AsyncPhase& phase = phases[static_cast<std::size_t>(p)];
       const idx_t g = group_of_phase[static_cast<std::size_t>(p)];
       for (idx_t r = w; r < k_; r += static_cast<idx_t>(W)) {
+        // A hung rank vanished: no waits, no validation, no body, no row
+        // closes, no phase completions. Only the watchdog accounts for it.
+        if (hung_of(r)) continue;
         idx_t ex = exhausted.load(std::memory_order_acquire);
         // After an exhaustion, the only remaining work is draining the
         // exhausting group's validation (below) so the detection counters
@@ -343,12 +427,19 @@ void AsyncExecutor::run(std::span<const AsyncPhase> phases,
   const idx_t ex_g = exhausted.load(std::memory_order_acquire);
   const bool is_ex = ex_g != kNoGroup;
 
+  // A run invoked with hung ranks has by definition failed at phase 0 (the
+  // earliest phase they never executed) even if no waiter happened to
+  // depend on them and expire the watchdog — e.g. k == 1, or a provider
+  // topology that routes around the hung rank. Clamping here also keeps the
+  // group fold from counting deliveries the hung ranks never validated.
+  const idx_t p_cut = any_hung ? std::min<idx_t>(p_fail, 0) : p_fail;
+
   idx_t counted = 0;
   if (is_ex) {
     counted = ex_g + 1;
   } else {
     for (idx_t g = 0; g < G; ++g) {
-      if (groups[static_cast<std::size_t>(g)].consume_phase <= p_fail) {
+      if (groups[static_cast<std::size_t>(g)].consume_phase <= p_cut) {
         counted = g + 1;
       }
     }
@@ -383,17 +474,33 @@ void AsyncExecutor::run(std::span<const AsyncPhase> phases,
     throw Exchange::exhausted_error(base + static_cast<std::uint64_t>(ex_g),
                                     max_attempts, corrupt);
   }
+  // Deaths take precedence and merge: every hung rank plus any bodies that
+  // threw RankDeathError surface as one RankDeathError naming the whole
+  // casualty list at once, so the recovery path never degrades a death via
+  // ParallelGroupError.
+  std::vector<idx_t> dead;
+  for (idx_t r = 0; r < k_; ++r) {
+    if (hung_of(r)) dead.push_back(r);
+  }
+  std::vector<std::pair<idx_t, std::exception_ptr>> errors;
   if (p_fail != kNoPhase) {
-    std::vector<std::pair<idx_t, std::exception_ptr>> errors;
     for (idx_t r = 0; r < k_; ++r) {
       if (rank_errors[static_cast<std::size_t>(r)] &&
           rank_error_phase[static_cast<std::size_t>(r)] == p_fail) {
-        errors.emplace_back(
-            r, std::move(rank_errors[static_cast<std::size_t>(r)]));
+        if (is_rank_death(rank_errors[static_cast<std::size_t>(r)])) {
+          dead.push_back(r);
+        } else {
+          errors.emplace_back(
+              r, std::move(rank_errors[static_cast<std::size_t>(r)]));
+        }
       }
     }
-    if (!errors.empty()) raise_rank_errors(std::move(errors));
   }
+  if (!dead.empty()) {
+    std::sort(dead.begin(), dead.end());
+    throw RankDeathError(std::move(dead));
+  }
+  if (!errors.empty()) raise_rank_errors(std::move(errors));
 }
 
 }  // namespace cpart

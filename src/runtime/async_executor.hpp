@@ -50,6 +50,7 @@
 
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "runtime/health.hpp"
@@ -58,6 +59,23 @@
 namespace cpart {
 
 class Exchange;
+
+/// One or more rank programs were declared dead: either a body threw this
+/// (the seeded death schedule's injection point), or the run's watchdog
+/// expired on a rank that never published its rows. The step's state is
+/// unusable — unlike TransportError/ParallelGroupError, the pipelines do
+/// NOT degrade this to the centralized reference; DistributedSim restores
+/// the last durable checkpoint and replays (see runtime/checkpoint.hpp).
+class RankDeathError : public std::runtime_error {
+ public:
+  explicit RankDeathError(std::vector<idx_t> ranks);
+
+  /// The dead ranks, ascending.
+  const std::vector<idx_t>& ranks() const { return ranks_; }
+
+ private:
+  std::vector<idx_t> ranks_;
+};
 
 /// One rank phase of a dependency-driven run.
 struct AsyncPhase {
@@ -88,6 +106,22 @@ struct AsyncPhase {
   const std::vector<std::vector<idx_t>>* providers = nullptr;
 };
 
+/// Failure-detection knobs of one run.
+struct AsyncRunOptions {
+  /// Watchdog deadline: a readiness wait blocked longer than this declares
+  /// every hung rank dead — their rows are force-closed (the exhaustion
+  /// drain idiom, so no waiter deadlocks) and the run unwinds with
+  /// RankDeathError instead of blocking forever. 0 disables the watchdog.
+  double watchdog_deadline_ms = 0;
+  /// Per-rank hang mask (size k, or empty for none): a rank with a nonzero
+  /// entry never executes — no bodies, no row closes, no publications —
+  /// simulating a vanished process. In-process rank programs cannot
+  /// genuinely disappear mid-body, so death candidates are restricted to
+  /// this injected set; a deployment over real processes would feed its
+  /// liveness signal in here. Requires watchdog_deadline_ms > 0.
+  std::span<const char> hung = {};
+};
+
 class AsyncExecutor {
  public:
   explicit AsyncExecutor(idx_t k);
@@ -100,7 +134,8 @@ class AsyncExecutor {
   /// phase p before phase p+1), blocking per owned rank only on that
   /// rank's input rows. Consumes one Exchange superstep per group (a
   /// phase with non-zero reads), in phase order.
-  void run(std::span<const AsyncPhase> phases, Exchange& exchange) const;
+  void run(std::span<const AsyncPhase> phases, Exchange& exchange,
+           const AsyncRunOptions& options = {}) const;
 
  private:
   idx_t k_;

@@ -87,8 +87,7 @@ void Exchange::deliver(ChannelMask mask) {
       throw exhausted_error(superstep, attempts, corrupt);
     }
     ++health_.retries;
-    const double backoff = retry_.backoff_base_ms * static_cast<double>(
-                               std::uint64_t{1} << attempt);
+    const double backoff = retry_.backoff_for(attempt);
     health_.backoff_ms += backoff;
     if (retry_.sleep_on_backoff) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
@@ -207,8 +206,7 @@ void Exchange::async_fold_group(const AsyncGroupAccounting& acc) {
   health_.delivery_attempts += acc.passes;
   for (idx_t pass = 0; pass + 1 < acc.passes; ++pass) {
     ++health_.retries;
-    health_.backoff_ms += retry_.backoff_base_ms *
-                          static_cast<double>(std::uint64_t{1} << pass);
+    health_.backoff_ms += retry_.backoff_for(pass);
   }
   if (acc.exhausted) ++health_.exhausted_deliveries;
   for (const PipelineHealth& scratch : acc.dst_health) health_ += scratch;

@@ -391,6 +391,21 @@ struct RetryPolicy {
   /// benches keep it off).
   double backoff_base_ms = 0.5;
   bool sleep_on_backoff = false;
+
+  /// Doublings after which the backoff stops growing. 2^62 stays exactly
+  /// representable as a double and inside std::uint64_t, so the shift is
+  /// well-defined for every retry count instead of overflowing (shifting a
+  /// 64-bit one by >= 64 is UB, and callers like the checkpoint store retry
+  /// far past 64 attempts).
+  static constexpr idx_t kBackoffSaturation = 62;
+
+  /// Backoff before retry `retry` (0-based): base * 2^min(retry,
+  /// saturation). Total so far grows linearly once saturated.
+  double backoff_for(idx_t retry) const {
+    const idx_t capped = retry < kBackoffSaturation ? retry : kBackoffSaturation;
+    return backoff_base_ms *
+           static_cast<double>(std::uint64_t{1} << capped);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -703,6 +718,12 @@ class Exchange {
   /// fault decisions on. Async groups of one run are numbered consecutively
   /// from this value in group order.
   std::uint64_t next_superstep() const { return superstep_; }
+
+  /// Rewinds (or advances) the superstep cursor. Checkpoint recovery
+  /// restores the cursor recorded at checkpoint time so a replayed step
+  /// keys the exact fault schedule of the original run — the determinism
+  /// that makes replay bit-identical under an armed injector.
+  void set_next_superstep(std::uint64_t superstep) { superstep_ = superstep; }
 
   /// One validation attempt of the (from, to) cell of channel `id` at
   /// (superstep, attempt) — the barrier loop's exact injector decision key.

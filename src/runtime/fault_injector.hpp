@@ -26,9 +26,11 @@
 #pragma once
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "runtime/health.hpp"
+#include "util/atomic_file.hpp"
 #include "util/common.hpp"
 #include "util/rng.hpp"
 
@@ -46,6 +48,17 @@ inline constexpr int kNumFaultKinds = 5;
 
 const char* fault_kind_name(FaultKind kind);
 
+/// Whole-rank faults: a rank program that dies mid-step (throws before
+/// producing its sends) or hangs (never runs, never closes its rows — the
+/// watchdog's job to detect). Decided per (step, rank, incarnation), where
+/// the incarnation counts recovery restarts: a replayed step is a new
+/// incarnation, so the same schedule does not re-kill the rank forever.
+enum class RankFaultKind : int {
+  kNone = 0,
+  kDeath,
+  kHang,
+};
+
 struct FaultConfig {
   std::uint64_t seed = 1;
   /// Probability that a given non-empty cell is corrupted on a given
@@ -56,6 +69,19 @@ struct FaultConfig {
   /// Inject only from this superstep (deliver() counter) on — lets a
   /// schedule spare the warm-up step.
   std::uint64_t first_superstep = 0;
+  /// Per-(step, rank) probability that the rank dies this step (throws out
+  /// of its phase body). Applies to incarnation 0 only — replays survive.
+  double rank_death_probability = 0.0;
+  /// Per-(step, rank) probability that the rank hangs this step (never
+  /// publishes; only the executor watchdog can unblock the run).
+  double rank_hang_probability = 0.0;
+  /// Explicit one-shot kill: rank `kill_rank` fails at step `kill_step`
+  /// (incarnation 0 only). kInvalidIndex disables. Combines with the
+  /// probabilistic schedule above.
+  idx_t kill_rank = kInvalidIndex;
+  idx_t kill_step = kInvalidIndex;
+  /// When true the explicit kill hangs instead of dying.
+  bool kill_hang = false;
 };
 
 class FaultInjector {
@@ -68,6 +94,8 @@ class FaultInjector {
     wgt_t faults_injected = 0;
     std::array<wgt_t, kNumFaultKinds> by_kind{};
     std::array<wgt_t, kNumChannels> by_channel{};
+    wgt_t rank_deaths = 0;
+    wgt_t rank_hangs = 0;
 
     bool operator==(const Stats&) const = default;
   };
@@ -77,6 +105,18 @@ class FaultInjector {
   const FaultConfig& config() const { return config_; }
   const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
+
+  /// Whole-rank fault decision for (step, rank, incarnation) — a pure
+  /// function of the tuple and the seed, independent of thread count and of
+  /// everything the cell-fault schedule draws. The explicit kill_rank /
+  /// kill_step pair fires at incarnation 0 only, as does the probabilistic
+  /// schedule: a replayed step must be survivable or recovery could never
+  /// make progress.
+  RankFaultKind rank_fault(idx_t step, idx_t rank, idx_t incarnation) const;
+
+  /// Counts an armed whole-rank fault into the stats (the step driver calls
+  /// this once per rank it actually sabotages).
+  void record_rank_fault(RankFaultKind kind);
 
   /// Decides deterministically whether to corrupt `wire` (the staged copy of
   /// one cell) and applies at most one fault. Returns true when a fault was
@@ -148,6 +188,60 @@ class FaultInjector {
   }
 
   FaultConfig config_;
+  Stats stats_;
+};
+
+/// Seeded I/O fault schedule for FaultyFileShim. Decisions are counter-based
+/// (a hash of the seed and the per-shim operation index), so a fixed
+/// sequence of file operations draws a reproducible fault schedule.
+struct IoFaultConfig {
+  std::uint64_t seed = 1;
+  /// Probability that a write_file() fails — split evenly between a short
+  /// write (a prefix lands on disk before the failure is reported) and an
+  /// ENOSPC-style failure (nothing lands).
+  double write_fault_probability = 0.0;
+  /// Probability that a read_file() returns the payload with one bit
+  /// flipped (silent media corruption; checksums must catch it).
+  double read_bitflip_probability = 0.0;
+};
+
+/// A FileShim that injects I/O faults in front of a base shim. Used by the
+/// checkpoint tests to prove the durable-commit protocol never loses the
+/// last-good checkpoint: failed and torn writes surface as write_file /
+/// rename_file returning false (or leaving a prefix under the temp name),
+/// and flipped reads surface as checksum rejections at load.
+class FaultyFileShim : public FileShim {
+ public:
+  struct Stats {
+    wgt_t short_writes = 0;
+    wgt_t enospc_failures = 0;
+    wgt_t read_bitflips = 0;
+    wgt_t dropped_renames = 0;
+
+    bool operator==(const Stats&) const = default;
+  };
+
+  explicit FaultyFileShim(const IoFaultConfig& config,
+                          FileShim& base = FileShim::real());
+
+  const Stats& stats() const { return stats_; }
+
+  /// Arms a one-shot torn commit: the next rename_file() is skipped (the
+  /// temp file stays, the final name keeps its old content) — the exact
+  /// state a crash between temp write and rename leaves behind.
+  void fail_next_rename() { fail_next_rename_ = true; }
+
+  bool write_file(const std::string& path, const std::string& bytes) override;
+  bool sync_file(const std::string& path) override;
+  bool rename_file(const std::string& from, const std::string& to) override;
+  bool read_file(const std::string& path, std::string& out) override;
+  bool remove_file(const std::string& path) override;
+
+ private:
+  IoFaultConfig config_;
+  FileShim& base_;
+  std::uint64_t op_counter_ = 0;
+  bool fail_next_rename_ = false;
   Stats stats_;
 };
 

@@ -47,7 +47,9 @@ bool ChannelHealth::operator==(const ChannelHealth& other) const {
 
 bool PipelineHealth::clean() const {
   return corrupt_cells == 0 && retries == 0 && exhausted_deliveries == 0 &&
-         degraded_steps == 0 && wire_parse_failures == 0 && failed_ranks == 0;
+         degraded_steps == 0 && wire_parse_failures == 0 &&
+         failed_ranks == 0 && rank_deaths == 0 &&
+         checkpoint_write_failures == 0;
 }
 
 PipelineHealth& PipelineHealth::operator+=(const PipelineHealth& other) {
@@ -62,6 +64,11 @@ PipelineHealth& PipelineHealth::operator+=(const PipelineHealth& other) {
   degraded_steps += other.degraded_steps;
   wire_parse_failures += other.wire_parse_failures;
   failed_ranks += other.failed_ranks;
+  rank_deaths += other.rank_deaths;
+  recoveries += other.recoveries;
+  replay_steps += other.replay_steps;
+  checkpoints_written += other.checkpoints_written;
+  checkpoint_write_failures += other.checkpoint_write_failures;
   backoff_ms += other.backoff_ms;
   readiness_stalls += other.readiness_stalls;
   readiness_stall_ns += other.readiness_stall_ns;
@@ -83,6 +90,10 @@ bool PipelineHealth::operator==(const PipelineHealth& other) const {
         degraded_steps == other.degraded_steps &&
         wire_parse_failures == other.wire_parse_failures &&
         failed_ranks == other.failed_ranks &&
+        rank_deaths == other.rank_deaths && recoveries == other.recoveries &&
+        replay_steps == other.replay_steps &&
+        checkpoints_written == other.checkpoints_written &&
+        checkpoint_write_failures == other.checkpoint_write_failures &&
         backoff_ms == other.backoff_ms)) {
     return false;
   }
@@ -102,6 +113,13 @@ std::string PipelineHealth::summary() const {
      << " checksum, " << count_mismatches << " framing), " << degraded_steps
      << " degraded steps, " << readiness_stalls << " readiness stalls ("
      << readiness_stall_ns / 1000000 << " ms blocked)";
+  if (rank_deaths > 0 || recoveries > 0 || checkpoints_written > 0 ||
+      checkpoint_write_failures > 0) {
+    os << ", " << rank_deaths << " rank deaths, " << recoveries
+       << " recoveries (" << replay_steps << " replayed steps), "
+       << checkpoints_written << " checkpoints ("
+       << checkpoint_write_failures << " failed writes)";
+  }
   return os.str();
 }
 

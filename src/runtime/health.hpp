@@ -89,6 +89,14 @@ struct PipelineHealth {
   wgt_t degraded_steps = 0;        // steps completed via run_step_reference
   wgt_t wire_parse_failures = 0;   // descriptor wires the scanner rejected
   wgt_t failed_ranks = 0;          // rank programs that threw in a superstep
+  // Rank-death tolerance (see runtime/checkpoint.hpp and the recovery loop
+  // of DistributedSim). All five are deterministic counts of what recovery
+  // did, so they participate in += and ==.
+  wgt_t rank_deaths = 0;        // ranks declared dead (thrown or watchdogged)
+  wgt_t recoveries = 0;         // checkpoint restores performed
+  wgt_t replay_steps = 0;       // steps re-executed during recovery replays
+  wgt_t checkpoints_written = 0;        // durable checkpoint commits
+  wgt_t checkpoint_write_failures = 0;  // commits that exhausted their budget
   double backoff_ms = 0;           // total backoff the retry loop applied
   // Readiness stalls summed over channels (async executor; see
   // ChannelHealth). Excluded from operator== like the per-channel fields.

@@ -1,0 +1,83 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define CPART_HAS_FSYNC 1
+#else
+#define CPART_HAS_FSYNC 0
+#endif
+
+namespace cpart {
+
+bool FileShim::write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool FileShim::sync_file(const std::string& path) {
+#if CPART_HAS_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  // No portable fsync: the buffered write already flushed, which is the
+  // best durability this platform offers.
+  std::ifstream probe(path, std::ios::binary);
+  return static_cast<bool>(probe);
+#endif
+}
+
+bool FileShim::rename_file(const std::string& from, const std::string& to) {
+  return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool FileShim::read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return false;
+  out = buf.str();
+  return true;
+}
+
+bool FileShim::remove_file(const std::string& path) {
+  return std::remove(path.c_str()) == 0;
+}
+
+FileShim& FileShim::real() {
+  static FileShim shim;
+  return shim;
+}
+
+bool atomic_write_file(const std::string& path, const std::string& bytes,
+                       FileShim& shim) {
+  const std::string temp = path + ".tmp";
+  if (!shim.write_file(temp, bytes)) {
+    shim.remove_file(temp);
+    return false;
+  }
+  if (!atomic_finalize_file(temp, path, shim)) {
+    shim.remove_file(temp);
+    return false;
+  }
+  return true;
+}
+
+bool atomic_finalize_file(const std::string& temp_path,
+                          const std::string& final_path, FileShim& shim) {
+  if (!shim.sync_file(temp_path)) return false;
+  return shim.rename_file(temp_path, final_path);
+}
+
+}  // namespace cpart

@@ -1,0 +1,65 @@
+// Durable file commits: temp file + fsync + atomic rename.
+//
+// Every on-disk artifact that must never be observed torn — checkpoint
+// blobs and manifests, finalized cpmk meshes, bench JSON — goes through
+// this layer. The protocol is the classic one: write the full payload to a
+// temporary name in the same directory, fsync it, then rename() over the
+// final name. POSIX rename is atomic within a filesystem, so a reader (or
+// a crash) sees either the complete old file or the complete new one,
+// never a prefix.
+//
+// All primitive operations go through a FileShim so fault-injection tests
+// can fail them deterministically (short write, ENOSPC, torn rename, read
+// bit-flips) without touching a real filesystem error path.
+#pragma once
+
+#include <string>
+
+namespace cpart {
+
+/// Primitive file operations behind the durable-commit protocol. The
+/// default implementation (FileShim::real()) talks to the actual
+/// filesystem; tests substitute a faulting subclass.
+class FileShim {
+ public:
+  virtual ~FileShim() = default;
+
+  /// Writes `bytes` to `path`, replacing any existing content. Returns
+  /// false on any I/O failure (the file may then hold a prefix — exactly
+  /// why callers write to a temp name first).
+  virtual bool write_file(const std::string& path, const std::string& bytes);
+
+  /// Flushes `path`'s data to stable storage (fsync). Returns false on
+  /// failure.
+  virtual bool sync_file(const std::string& path);
+
+  /// Atomically renames `from` over `to`. Returns false on failure.
+  virtual bool rename_file(const std::string& from, const std::string& to);
+
+  /// Reads the whole of `path` into `out`. Returns false when the file
+  /// cannot be opened or read.
+  virtual bool read_file(const std::string& path, std::string& out);
+
+  /// Removes `path`; best-effort, returns false when nothing was removed.
+  virtual bool remove_file(const std::string& path);
+
+  /// The real-filesystem shim (process-wide singleton).
+  static FileShim& real();
+};
+
+/// Durably commits `bytes` to `path`: writes `path` + ".tmp", syncs it and
+/// renames it over `path`. On failure the temp file is removed best-effort
+/// and any previous content of `path` is left intact. Returns true on a
+/// complete commit.
+bool atomic_write_file(const std::string& path, const std::string& bytes,
+                       FileShim& shim = FileShim::real());
+
+/// Durably finalizes a file a caller already streamed to `temp_path`:
+/// syncs it and renames it over `final_path`. For writers too large to
+/// buffer in memory (ChunkedMeshWriter). Returns true on success; on
+/// failure `temp_path` is left in place for inspection.
+bool atomic_finalize_file(const std::string& temp_path,
+                          const std::string& final_path,
+                          FileShim& shim = FileShim::real());
+
+}  // namespace cpart
