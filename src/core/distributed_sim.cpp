@@ -121,6 +121,7 @@ std::vector<idx_t> DistributedSim::compute_repartition(
 }
 
 DistributedStepReport DistributedSim::run_step(idx_t s) {
+  require(!suspended_, "DistributedSim::run_step: sim is suspended");
   PipelineHealth recovery_health;
   double checkpoint_ms = 0;
   double recovery_ms = 0;
@@ -937,6 +938,91 @@ bool DistributedSim::restore_from_checkpoint() {
   exchange_.set_next_superstep(ck->superstep);
   replay_pos_ = 0;
   return true;
+}
+
+bool DistributedSim::suspend(double* backoff_ms_accum) {
+  if (suspended_) return true;
+  require(!config_.checkpoint_dir.empty(),
+          "DistributedSim::suspend: requires checkpoint_dir");
+  if (store_ == nullptr) {
+    store_ = std::make_unique<CheckpointStore>(config_.checkpoint_dir,
+                                               *checkpoint_shim_);
+  }
+  double scratch = 0;
+  if (!store_->write(
+          make_checkpoint_data(), config_.checkpoint_retry,
+          backoff_ms_accum != nullptr ? backoff_ms_accum : &scratch)) {
+    // Keep-last-good: the previous checkpoint (if any) survives and the
+    // rank states stay resident, so the sim remains runnable as if the
+    // suspend was never asked for.
+    return false;
+  }
+  // The checkpoint now IS the session. Drop the per-rank states — the
+  // dominant resident cost — and the replay history: the commit above is
+  // a zero-replay restore point, so resume never re-executes a step the
+  // caller already saw.
+  states_.clear();
+  states_.shrink_to_fit();
+  step_history_.clear();
+  replay_pos_ = 0;
+  suspended_ = true;
+  return true;
+}
+
+bool DistributedSim::resume() {
+  if (!suspended_) return true;
+  const std::optional<CheckpointData> ck = store_->load();
+  if (!ck.has_value() || ck->config_hash != config_hash() || ck->k != k() ||
+      to_idx(ck->node_owner.size()) != topo_.num_nodes()) {
+    return false;  // unusable blob: stay suspended, state intact on disk
+  }
+  // Rebuild the rank states from scratch (suspend released them), then
+  // overwrite the authoritative per-node state with the checkpoint — the
+  // same scatter the rank-death recovery performs, minus replay (the
+  // suspend commit was taken at the current step).
+  states_.resize(static_cast<std::size_t>(k()));
+  executor_.superstep([&](idx_t r) {
+    SubdomainState& st = states_[static_cast<std::size_t>(r)];
+    st.init(topo_, r, ck->node_owner, k());
+    st.positions = ck->positions;
+    st.contact_hits = ck->contact_hits;
+  });
+  steps_run_ = ck->step;
+  exchange_.set_next_superstep(ck->superstep);
+  replay_pos_ = 0;
+  suspended_ = false;
+  return true;
+}
+
+std::size_t DistributedSim::resident_bytes() const {
+  std::size_t total = 0;
+  for (const SubdomainState& st : states_) {
+    total += st.node_owner.capacity() * sizeof(idx_t);
+    total += st.owned_nodes.capacity() * sizeof(idx_t);
+    total += st.owned_elements.capacity() * sizeof(idx_t);
+    total += st.tracked_elements.capacity() * sizeof(idx_t);
+    total += st.halo_sends.capacity() * sizeof(HaloSend);
+    total += st.positions.capacity() * sizeof(Vec3);
+    total += st.contact_hits.capacity() * sizeof(wgt_t);
+    total += st.node_mask.capacity() * sizeof(char);
+    total += st.elem_mask.capacity() * sizeof(char);
+    total += st.rank_seen.capacity() * sizeof(char);
+    total += st.touched.capacity() * sizeof(idx_t);
+  }
+  return total;
+}
+
+std::size_t DistributedSim::estimate_resident_bytes(idx_t num_nodes,
+                                                    idx_t num_elements,
+                                                    idx_t k) {
+  // Per rank, the full-mesh dense arrays dominate: node_owner, positions,
+  // contact_hits, and the two per-node/per-element masks. The ownership
+  // views (owned/tracked lists, halo sends) sum to roughly one more
+  // node-sized array across all ranks, which the mask terms absorb.
+  const auto nn = static_cast<std::size_t>(num_nodes);
+  const auto ne = static_cast<std::size_t>(num_elements);
+  return static_cast<std::size_t>(k) *
+         (nn * (sizeof(idx_t) + sizeof(Vec3) + sizeof(wgt_t) + 2) + ne);
 }
 
 std::uint64_t DistributedSim::ownership_hash(

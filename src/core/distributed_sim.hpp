@@ -199,6 +199,36 @@ class DistributedSim {
   /// the first run_step; `shim` must outlive the sim.
   void set_checkpoint_shim(FileShim& shim) { checkpoint_shim_ = &shim; }
 
+  /// Suspends the session: commits a durable checkpoint at the current
+  /// step (a zero-replay restore point) and releases the per-rank states —
+  /// the dominant resident cost, so a suspended sim keeps only topology
+  /// and configuration in memory. Requires checkpoint_dir; must be called
+  /// between steps. False (with everything still resident and runnable)
+  /// when the commit exhausts its retry budget — keep-last-good means a
+  /// failed suspend never loses state. Idempotent. `backoff_ms_accum`,
+  /// when given, accumulates the commit's retry backoff.
+  bool suspend(double* backoff_ms_accum = nullptr);
+
+  /// Resumes a suspended session: restores every rank from the suspend
+  /// checkpoint through exactly the rank-death recovery path (rebuild rank
+  /// states, scatter checkpointed ownership/positions/hits, roll the step
+  /// and superstep cursors) — so a resumed run is bit-identical to one
+  /// that never suspended. False (still suspended) when the checkpoint
+  /// cannot be loaded or fails validation. Idempotent.
+  bool resume();
+
+  bool suspended() const { return suspended_; }
+
+  /// Bytes held by the per-rank states right now (0 while suspended) —
+  /// what a service's resident-bytes budget meters.
+  std::size_t resident_bytes() const;
+
+  /// Admission-control estimate of resident_bytes() for a not-yet-built
+  /// sim: the k-replicated dense arrays dominate, so the model is
+  /// k * (num_nodes * (owner + position + hits + masks) + num_elements).
+  static std::size_t estimate_resident_bytes(idx_t num_nodes,
+                                             idx_t num_elements, idx_t k);
+
   /// The replicated ownership map, validated identical across all ranks.
   std::vector<idx_t> ownership_map() const;
 
@@ -302,6 +332,7 @@ class DistributedSim {
   std::vector<char> hang_mask_;
   bool any_death_ = false;
   bool any_hang_ = false;
+  bool suspended_ = false;  // see suspend()/resume()
 };
 
 }  // namespace cpart

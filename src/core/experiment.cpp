@@ -8,6 +8,7 @@
 #include "core/pipeline.hpp"
 #include "graph/graph_metrics.hpp"
 #include "mesh/mesh_graphs.hpp"
+#include "parallel/thread_pool.hpp"
 #include "runtime/step_pipeline.hpp"
 #include "util/timer.hpp"
 
@@ -44,6 +45,8 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
   require(config.k >= 1, "run_contact_experiment: k must be >= 1");
   require(config.snapshot_stride >= 1,
           "run_contact_experiment: stride must be >= 1");
+  // Baseline for the scheduler-activity delta reported in the result.
+  const SchedulerStats sched_start = ThreadPool::global().scheduler_stats();
   const ImpactSim sim(config.sim);
 
   // Contact tolerance from the plate cell size (geometry-scale aware).
@@ -251,9 +254,16 @@ ExperimentResult run_contact_experiment(const ExperimentConfig& config,
       result.mcml_dt.fe_comm + result.mcml_dt.repart_moved;
   result.ml_rcb.total_step_comm = result.ml_rcb.fe_comm +
                                   2.0 * result.ml_rcb.m2m + result.ml_rcb.upd;
+  result.scheduler = ThreadPool::global().scheduler_stats();
+  result.scheduler.items_executed -= sched_start.items_executed;
+  result.scheduler.gang_slots_executed -= sched_start.gang_slots_executed;
   if (probe && progress != nullptr) {
     *progress << "spmd health over " << result.spmd_probe_steps
-              << " probe steps: " << result.spmd_health.summary() << "\n";
+              << " probe steps: " << result.spmd_health.summary()
+              << "\nscheduler: " << result.scheduler.items_executed
+              << " arena items, " << result.scheduler.gang_slots_executed
+              << " gang slots on " << result.scheduler.total_workers
+              << " workers\n";
   }
   if (dist_probe && progress != nullptr) {
     *progress << "distributed probe over " << result.distributed_probe_steps

@@ -16,6 +16,7 @@
 
 #include "core/mcml_dt.hpp"
 #include "core/ml_rcb.hpp"
+#include "parallel/worker_pool.hpp"
 #include "runtime/exchange.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/health.hpp"
@@ -125,6 +126,11 @@ struct ExperimentResult {
   wgt_t distributed_moved_nodes = 0;
   wgt_t distributed_moved_elements = 0;
   wgt_t distributed_migration_bytes = 0;
+  /// Shared-scheduler activity over this experiment: the global pool's
+  /// counters as a delta from experiment start (items_executed,
+  /// gang_slots_executed), with the instantaneous gauges (worker counts,
+  /// queue depths, registered arenas) sampled at the end.
+  SchedulerStats scheduler;
 };
 
 /// Runs the full experiment. When `progress` is non-null, one line per

@@ -1,222 +1,9 @@
 #include "parallel/thread_pool.hpp"
 
-#include <algorithm>
-#include <sstream>
-#include <utility>
+#include <memory>
+#include <mutex>
 
 namespace cpart {
-
-namespace {
-
-std::string group_message(const std::vector<ParallelGroupError::Failure>& fs) {
-  std::ostringstream os;
-  os << fs.size() << " parallel tasks failed:";
-  for (const auto& f : fs) {
-    os << " [" << f.index << "] " << f.message << ";";
-  }
-  return os.str();
-}
-
-/// Turns the collected (chunk, exception) list into the dispatch's outcome:
-/// nothing, the single original exception, or one aggregated group error.
-[[noreturn]] void raise_collected(
-    std::vector<std::pair<unsigned, std::exception_ptr>>&& errors) {
-  if (errors.size() == 1) {
-    std::rethrow_exception(errors.front().second);
-  }
-  std::sort(errors.begin(), errors.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<ParallelGroupError::Failure> failures;
-  failures.reserve(errors.size());
-  for (auto& [chunk, err] : errors) {
-    ParallelGroupError::Failure f;
-    f.index = static_cast<idx_t>(chunk);
-    try {
-      std::rethrow_exception(err);
-    } catch (const std::exception& e) {
-      f.message = e.what();
-    } catch (...) {
-      f.message = "unknown exception";
-    }
-    failures.push_back(std::move(f));
-  }
-  throw ParallelGroupError(std::move(failures));
-}
-
-/// Set while this thread executes a chunk/task of any dispatch. Nested
-/// dispatches check it and run inline: the pool's one-task-at-a-time
-/// protocol (task_, generation_, pending_) cannot represent two concurrent
-/// dispatches, so a worker re-entering parallel_for would corrupt the
-/// in-flight one.
-thread_local bool t_in_worker = false;
-
-}  // namespace
-
-ParallelGroupError::ParallelGroupError(std::vector<Failure> failures)
-    : std::runtime_error(group_message(failures)),
-      failures_(std::move(failures)) {}
-
-ThreadPool::ThreadPool(unsigned num_threads) {
-  // The requested worker count is honored even above the hardware
-  // concurrency. Oversubscription costs context switches, but a worker is
-  // also a unit of barrier-phased SPMD execution (runtime/rank_executor
-  // run_phases): thread-count sweeps and sanitizer runs need W real workers
-  // to exercise W-way interleavings whatever box they land on. Results are
-  // unaffected — every parallel computation in this library is
-  // bit-identical at any pool size (see docs/parallelism.md).
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) {
-    workers_.emplace_back([this, t] { worker_loop(t); });
-  }
-}
-
-unsigned ThreadPool::dispatch_width() const {
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = num_threads();  // unknown: trust the pool size
-  return std::min(num_threads(), std::max(1u, hw));
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-  }
-  cv_start_.notify_all();
-  for (auto& w : workers_) w.join();
-}
-
-void ThreadPool::run_task(const Task& task, unsigned chunk) {
-  const idx_t begin = static_cast<idx_t>(chunk) * task.chunk_size;
-  const idx_t end = std::min<idx_t>(task.n, begin + task.chunk_size);
-  if (begin >= end) return;
-  try {
-    t_in_worker = true;
-    task.fn(chunk, begin, end);
-    t_in_worker = false;
-  } catch (...) {
-    t_in_worker = false;
-    std::lock_guard<std::mutex> lock(mutex_);
-    errors_.emplace_back(chunk, std::current_exception());
-  }
-}
-
-void ThreadPool::wait_and_rethrow() {
-  std::vector<std::pair<unsigned, std::exception_ptr>> errors;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return pending_ == 0; });
-    task_ = nullptr;
-    errors = std::exchange(errors_, {});
-  }
-  if (!errors.empty()) raise_collected(std::move(errors));
-}
-
-void ThreadPool::worker_loop(unsigned worker_id) {
-  std::uint64_t seen_generation = 0;
-  for (;;) {
-    const Task* task = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_start_.wait(lock, [&] {
-        return stop_ || (task_ != nullptr && generation_ != seen_generation);
-      });
-      if (stop_) return;
-      seen_generation = generation_;
-      // Workers past the dispatch's participant count own no chunks and do
-      // not check in: the dispatch completes without waiting for their
-      // wake, and they must not copy the Task pointer — the Task lives on
-      // the dispatcher's stack only until the last participant checks in.
-      if (worker_id >= task_->participants) continue;
-      task = task_;
-    }
-    // Static stride assignment: supports more chunks than participating
-    // workers (used by parallel_tasks for coarse-grained task lists).
-    for (unsigned c = worker_id; c < task->num_chunks; c += task->stride) {
-      run_task(*task, c);
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_ == 0) cv_done_.notify_all();
-    }
-  }
-}
-
-void ThreadPool::parallel_for_chunks(
-    idx_t n, const std::function<void(unsigned, idx_t, idx_t)>& fn) {
-  if (n <= 0) return;
-  const unsigned width = dispatch_width();
-  // Small ranges, single-wide dispatches, and dispatches issued from inside
-  // a worker run inline: the first two are cheaper that way, the last keeps
-  // the pool re-entrant (nested dispatches cannot share the single Task
-  // slot; see t_in_worker).
-  constexpr idx_t kInlineThreshold = 2048;
-  if (width <= 1 || n <= kInlineThreshold || in_worker()) {
-    fn(0, 0, n);
-    return;
-  }
-  Task task;
-  task.fn = fn;
-  task.n = n;
-  task.num_chunks = std::min<unsigned>(width, static_cast<unsigned>(
-      ceil_div<idx_t>(n, kInlineThreshold / 2)));
-  // Callers size per-chunk scratch buffers by num_threads(); the chunk index
-  // handed to fn must stay below that.
-  assert(task.num_chunks <= num_threads());
-  task.chunk_size = ceil_div<idx_t>(n, static_cast<idx_t>(task.num_chunks));
-  // One chunk per participating worker (num_chunks <= width == stride).
-  task.participants = task.num_chunks;
-  task.stride = width;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    task_ = &task;
-    pending_ = task.participants;
-    ++generation_;
-  }
-  cv_start_.notify_all();
-  wait_and_rethrow();
-}
-
-void ThreadPool::parallel_tasks(idx_t n,
-                                const std::function<void(idx_t)>& task) {
-  if (n <= 0) return;
-  const unsigned width = dispatch_width();
-  if (width <= 1 || n == 1 || in_worker()) {
-    // The inline path keeps the pool's BSP failure semantics: every task
-    // runs even when an earlier one throws, and multiple failures
-    // aggregate exactly as the threaded path would.
-    std::vector<std::pair<unsigned, std::exception_ptr>> errors;
-    for (idx_t i = 0; i < n; ++i) {
-      try {
-        task(i);
-      } catch (...) {
-        errors.emplace_back(static_cast<unsigned>(i),
-                            std::current_exception());
-      }
-    }
-    if (!errors.empty()) raise_collected(std::move(errors));
-    return;
-  }
-  Task t;
-  t.fn = [&task](unsigned, idx_t begin, idx_t end) {
-    for (idx_t i = begin; i < end; ++i) task(i);
-  };
-  t.n = n;
-  t.chunk_size = 1;
-  t.num_chunks = static_cast<unsigned>(n);
-  t.participants = std::min(width, t.num_chunks);
-  t.stride = width;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    task_ = &t;
-    pending_ = t.participants;
-    ++generation_;
-  }
-  cv_start_.notify_all();
-  wait_and_rethrow();
-}
 
 namespace {
 
@@ -231,8 +18,6 @@ std::unique_ptr<ThreadPool>& global_pool_slot() {
 }
 
 }  // namespace
-
-bool ThreadPool::in_worker() { return t_in_worker; }
 
 ThreadPool& ThreadPool::global() {
   std::lock_guard<std::mutex> lock(global_pool_mutex());

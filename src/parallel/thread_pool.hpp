@@ -1,73 +1,67 @@
-// Shared-memory parallel substrate: a fixed-size thread pool with blocked
-// parallel_for and parallel reductions.
+// Shared-memory parallel substrate: the process-wide WorkerPool plus a
+// default TaskArena, behind the original single-owner facade.
 //
 // The paper's algorithms were designed for distributed-memory machines; the
 // quantities its evaluation reports (communication volumes, tree sizes) are
 // analytic counts, so this library executes on shared memory and uses the
 // pool to parallelize the heavy loops (metric accounting, global search,
-// per-snapshot processing). The pool is deliberately simple: static blocked
-// scheduling, no nested parallelism, deterministic results for associative
-// reductions via ordered per-chunk combination.
+// per-snapshot processing). The multi-tenant refactor split the machinery
+// into WorkerPool (threads + deficit-round-robin scheduler over arena
+// queues) and TaskArena (per-session dispatch handle); ThreadPool bundles
+// one of each and keeps the historical surface, so single-sim code — the
+// solvers, the benches, the tests — is unaware of tenancy. Dispatch
+// semantics are unchanged: static blocked chunking fixed at dispatch time,
+// deterministic results for associative reductions via ordered per-chunk
+// combination, bit-identical output at any width (docs/parallelism.md).
+//
+// Multi-session hosts (src/service/) create one TaskArena per session on
+// ThreadPool::workers() and bind it with ArenaScope; the facade's dispatch
+// methods route through the bound arena, so library code deep inside a
+// session lands on that session's queue with its fair-share weight.
 #pragma once
 
-#include <condition_variable>
-#include <exception>
 #include <functional>
-#include <memory>
-#include <mutex>
-#include <stdexcept>
-#include <string>
-#include <thread>
-#include <utility>
-#include <vector>
+#include <span>
 
+#include "parallel/task_arena.hpp"
+#include "parallel/worker_pool.hpp"
 #include "util/common.hpp"
 
 namespace cpart {
-
-/// Thrown when more than one chunk (or task) of a single dispatch throws.
-/// Carries every failure — for parallel_tasks the index is the task index,
-/// i.e. the rank id of a failing rank program — so a superstep in which
-/// several ranks fail reports all of them, not an arbitrary first one.
-/// A dispatch with exactly one failing chunk rethrows the original
-/// exception unchanged.
-class ParallelGroupError : public std::runtime_error {
- public:
-  struct Failure {
-    idx_t index = 0;       // chunk/task index, ascending
-    std::string message;   // what() of the original exception
-  };
-
-  explicit ParallelGroupError(std::vector<Failure> failures);
-
-  const std::vector<Failure>& failures() const { return failures_; }
-
- private:
-  std::vector<Failure> failures_;
-};
 
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
   /// Requests above the hardware concurrency are honored (oversubscribed):
-  /// a worker is also a unit of barrier-phased SPMD execution, so sweeps
+  /// a worker is also a unit of gang-phased SPMD execution, so sweeps
   /// and sanitizer runs get W real workers regardless of the host. Results
   /// are identical at any pool size; only speed differs.
-  explicit ThreadPool(unsigned num_threads = 0);
-  ~ThreadPool();
+  explicit ThreadPool(unsigned num_threads = 0)
+      : pool_(num_threads), default_arena_(pool_) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+  unsigned num_threads() const { return pool_.num_threads(); }
+
+  /// The underlying worker pool — what multi-session hosts build their
+  /// per-session TaskArenas on.
+  WorkerPool& workers() { return pool_; }
+
+  /// The arena facade dispatches use when no ArenaScope is bound.
+  TaskArena& default_arena() { return default_arena_; }
+
+  SchedulerStats scheduler_stats() const { return pool_.stats(); }
 
   /// Runs fn(chunk_index, begin, end) on every chunk of [0, n), blocked into
-  /// one contiguous range per worker, and waits for completion. Runs inline
-  /// when n is small or the pool has one thread. If a chunk throws, the
+  /// one contiguous range per participant, and waits for completion. Runs
+  /// inline when n is small or the width is 1. If a chunk throws, the
   /// remaining chunks still run; a single failure is rethrown unchanged, and
   /// multiple failures are aggregated into one ParallelGroupError.
   void parallel_for_chunks(
-      idx_t n, const std::function<void(unsigned, idx_t, idx_t)>& fn);
+      idx_t n, const std::function<void(unsigned, idx_t, idx_t)>& fn) {
+    arena_for_caller().parallel_for_chunks(n, fn);
+  }
 
   /// Element-wise parallel for: body(i) for i in [0, n).
   template <typename Body>
@@ -77,77 +71,55 @@ class ThreadPool {
     });
   }
 
-  /// Runs task(i) for each i in [0, n) with one dispatch per index,
-  /// distributed across workers (static stride). For small counts of
-  /// coarse-grained tasks where parallel_for's inline threshold would
-  /// serialize them. Every task runs to completion even when siblings throw
-  /// (BSP semantics: the superstep finishes for every rank). A single
-  /// failing task has its exception rethrown unchanged on the calling
-  /// thread; several failing tasks are aggregated into one
-  /// ParallelGroupError carrying each task index (== rank id for rank
-  /// programs) and message — this is what lets rank programs use require()
-  /// and have every failure surface to the step driver at once.
-  void parallel_tasks(idx_t n, const std::function<void(idx_t)>& task);
+  /// Runs task(i) for each i in [0, n) with one claimable unit per index,
+  /// distributed across workers. For small counts of coarse-grained tasks
+  /// where parallel_for's inline threshold would serialize them. Every task
+  /// runs to completion even when siblings throw (BSP semantics: the
+  /// superstep finishes for every rank). A single failing task has its
+  /// exception rethrown unchanged on the calling thread; several failing
+  /// tasks are aggregated into one ParallelGroupError carrying each task
+  /// index (== rank id for rank programs) and message — this is what lets
+  /// rank programs use require() and have every failure surface to the
+  /// step driver at once.
+  void parallel_tasks(idx_t n, const std::function<void(idx_t)>& task) {
+    arena_for_caller().parallel_tasks(n, task);
+  }
 
   /// Parallel sum-reduction: combines per-chunk partial results in chunk
   /// order, so the result is deterministic for a fixed thread count.
   template <typename T, typename Body>
   T parallel_reduce(idx_t n, T init, Body&& body) {
-    std::vector<T> partial(std::max<unsigned>(1u, num_threads()), T{});
-    parallel_for_chunks(n, [&](unsigned chunk, idx_t begin, idx_t end) {
-      assert(static_cast<std::size_t>(chunk) < partial.size());
-      T local{};
-      for (idx_t i = begin; i < end; ++i) local += body(i);
-      partial[static_cast<std::size_t>(chunk)] = local;
-    });
-    T total = init;
-    for (const T& p : partial) total += p;
-    return total;
+    return arena_for_caller().parallel_reduce(n, init,
+                                              std::forward<Body>(body));
   }
 
   /// In-place parallel exclusive prefix scan: data[i] becomes the sum of all
-  /// elements before i; returns the grand total. Two passes over the same
-  /// chunking (per-chunk sums, ordered combine, per-chunk rewrite). For
-  /// integral T the result is bit-identical regardless of thread count
-  /// (integer addition is associative), which is what the partitioner's
-  /// deterministic contraction relies on.
+  /// elements before i; returns the grand total. For integral T the result
+  /// is bit-identical regardless of thread count (integer addition is
+  /// associative), which is what the partitioner's deterministic
+  /// contraction relies on.
   template <typename T>
   T parallel_exclusive_scan(std::span<T> data) {
-    const idx_t n = to_idx(data.size());
-    std::vector<T> chunk_sum(std::max<unsigned>(1u, num_threads()), T{});
-    parallel_for_chunks(n, [&](unsigned chunk, idx_t begin, idx_t end) {
-      assert(static_cast<std::size_t>(chunk) < chunk_sum.size());
-      T local{};
-      for (idx_t i = begin; i < end; ++i) {
-        local += data[static_cast<std::size_t>(i)];
-      }
-      chunk_sum[static_cast<std::size_t>(chunk)] = local;
-    });
-    T running{};
-    for (T& cs : chunk_sum) {
-      const T next = running + cs;
-      cs = running;
-      running = next;
-    }
-    parallel_for_chunks(n, [&](unsigned chunk, idx_t begin, idx_t end) {
-      T prefix = chunk_sum[static_cast<std::size_t>(chunk)];
-      for (idx_t i = begin; i < end; ++i) {
-        const T value = data[static_cast<std::size_t>(i)];
-        data[static_cast<std::size_t>(i)] = prefix;
-        prefix += value;
-      }
-    });
-    return running;
+    return arena_for_caller().parallel_exclusive_scan(data);
   }
 
-  /// True on a thread currently executing a chunk or task of some dispatch
-  /// (any pool). Dispatches issued from such a thread run inline on the
-  /// caller — the pool's single-task protocol cannot nest — so library code
-  /// that uses the pool internally (the partitioner, graph builders) stays
-  /// safe to call from inside parallel_tasks bodies. Inline execution is
-  /// observationally identical: every parallel computation here is
-  /// bit-identical at any dispatch width, including width 1.
-  static bool in_worker();
+  /// Gang dispatch: fn(participant, granted_width) on min(want, 1 + idle
+  /// workers) concurrent participants, caller included as participant 0.
+  /// Gang bodies MAY block on each other (the async executor's futex
+  /// handshakes) — see TaskArena::run_gang. Returns the granted width.
+  unsigned run_gang(unsigned want,
+                    const std::function<void(idx_t, unsigned)>& fn) {
+    return arena_for_caller().run_gang(want, fn);
+  }
+
+  /// True on a thread currently executing a chunk, task, job, or gang slot
+  /// of some dispatch (any pool). Dispatches issued from such a thread run
+  /// inline on the caller — so library code that uses the pool internally
+  /// (the partitioner, graph builders) stays safe to call from inside
+  /// parallel_tasks bodies. Inline execution is observationally identical:
+  /// every parallel computation here is bit-identical at any dispatch
+  /// width, including width 1.
+  static bool in_worker() { return WorkerPool::in_worker(); }
 
   /// Process-wide default pool (lazily constructed, hardware concurrency).
   static ThreadPool& global();
@@ -159,48 +131,19 @@ class ThreadPool {
   static void set_global_threads(unsigned num_threads);
 
  private:
-  struct Task {
-    std::function<void(unsigned, idx_t, idx_t)> fn;
-    idx_t n = 0;
-    idx_t chunk_size = 0;
-    unsigned num_chunks = 0;
-    // Workers with id >= participants own no chunks this dispatch and do
-    // not check in, so completion never waits on waking an idle worker —
-    // the dominant dispatch cost when the pool is wider than the work.
-    unsigned participants = 0;
-    // Chunk-assignment stride: worker w owns chunks w, w+stride, ... —
-    // the dispatch width, not the pool size (see dispatch_width()).
-    unsigned stride = 1;
-  };
+  /// The arena this call should land on: the ArenaScope-bound arena when
+  /// it lives on this pool (a session's worker mid-step), otherwise the
+  /// default arena (single-sim code, tests, benches).
+  TaskArena& arena_for_caller() {
+    TaskArena* bound = ArenaScope::current();
+    if (bound != nullptr && &bound->pool() == &pool_) return *bound;
+    return default_arena_;
+  }
 
-  /// Worker count a single dispatch spreads across: pool size capped at
-  /// the machine's concurrency. A pool wider than the hardware exists so
-  /// thread-count sweeps and barrier-phased SPMD keep W real workers on
-  /// any host, but fanning one dispatch across more runnable workers than
-  /// physical threads only adds context switches — the extra chunks fold
-  /// into the participating workers' stride loops instead. Results are
-  /// unchanged: every parallel computation here is bit-identical at any
-  /// width (see docs/parallelism.md).
-  unsigned dispatch_width() const;
-
-  void worker_loop(unsigned worker_id);
-  void run_task(const Task& task, unsigned chunk);
-  void wait_and_rethrow();
-
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const Task* task_ = nullptr;
-  std::uint64_t generation_ = 0;
-  unsigned pending_ = 0;
-  bool stop_ = false;
-  // Every exception thrown by the current dispatch, tagged with its chunk
-  // index; surfaced on the calling thread once all workers have checked in
-  // (an exception never cancels sibling chunks — they run to completion
-  // first). One failure rethrows the original; several become a single
-  // ParallelGroupError.
-  std::vector<std::pair<unsigned, std::exception_ptr>> errors_;
+  // Declaration order is destruction order in reverse: the default arena
+  // must unregister from the pool before the pool joins its workers.
+  WorkerPool pool_;
+  TaskArena default_arena_;
 };
 
 }  // namespace cpart

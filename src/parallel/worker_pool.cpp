@@ -1,0 +1,322 @@
+#include "parallel/worker_pool.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cpart {
+
+namespace {
+
+std::string group_message(const std::vector<ParallelGroupError::Failure>& fs) {
+  std::ostringstream os;
+  os << fs.size() << " parallel tasks failed:";
+  for (const auto& f : fs) {
+    os << " [" << f.index << "] " << f.message << ";";
+  }
+  return os.str();
+}
+
+/// Set while this thread executes a chunk, task, job, or gang slot of any
+/// dispatch. Nested dispatches check it and run inline: an inner dispatch
+/// queued behind the outer one's unclaimed slots could otherwise wait on
+/// workers that are all busy executing outer chunks, and inline execution
+/// is observationally identical anyway (width-independence invariant).
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+ParallelGroupError::ParallelGroupError(std::vector<Failure> failures)
+    : std::runtime_error(group_message(failures)),
+      failures_(std::move(failures)) {}
+
+namespace detail {
+
+void raise_collected(
+    std::vector<std::pair<unsigned, std::exception_ptr>>&& errors) {
+  if (errors.size() == 1) {
+    std::rethrow_exception(errors.front().second);
+  }
+  std::sort(errors.begin(), errors.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<ParallelGroupError::Failure> failures;
+  failures.reserve(errors.size());
+  for (auto& [chunk, err] : errors) {
+    ParallelGroupError::Failure f;
+    f.index = static_cast<idx_t>(chunk);
+    try {
+      std::rethrow_exception(err);
+    } catch (const std::exception& e) {
+      f.message = e.what();
+    } catch (...) {
+      f.message = "unknown exception";
+    }
+    failures.push_back(std::move(f));
+  }
+  throw ParallelGroupError(std::move(failures));
+}
+
+ScopedWorkerFlag::ScopedWorkerFlag() : prev_(t_in_worker) {
+  t_in_worker = true;
+}
+
+ScopedWorkerFlag::~ScopedWorkerFlag() { t_in_worker = prev_; }
+
+}  // namespace detail
+
+bool WorkerPool::in_worker() { return t_in_worker; }
+
+WorkerPool::WorkerPool(unsigned num_threads) {
+  // The requested worker count is honored even above the hardware
+  // concurrency. Oversubscription costs context switches, but a worker is
+  // also a unit of gang-phased SPMD execution (runtime/async_executor):
+  // thread-count sweeps and sanitizer runs need W real workers to exercise
+  // W-way interleavings whatever box they land on. Results are unaffected —
+  // every parallel computation in this library is bit-identical at any pool
+  // size (see docs/parallelism.md).
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+SchedulerStats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SchedulerStats s;
+  s.total_workers = static_cast<idx_t>(workers_.size());
+  s.active_workers = active_count_;
+  s.idle_workers = idle_count_;
+  idx_t queued = 0;
+  for (const ArenaQueue* q : ring_) queued += to_idx(q->items.size());
+  s.queued_items = queued;
+  s.queued_gang_slots = to_idx(gang_slots_.size());
+  s.registered_arenas = registered_;
+  s.items_executed = items_executed_;
+  s.gang_slots_executed = gang_slots_executed_;
+  return s;
+}
+
+std::unique_ptr<WorkerPool::ArenaQueue> WorkerPool::register_arena(
+    idx_t weight) {
+  auto q = std::make_unique<ArenaQueue>();
+  q->weight = std::max<idx_t>(1, weight);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++registered_;
+  return q;
+}
+
+void WorkerPool::unregister_arena(ArenaQueue* q) {
+  wait_arena_idle(q);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // wait_arena_idle left the queue empty, so it is already unlinked.
+  require(!q->linked && q->items.empty() && q->inflight == 0,
+          "WorkerPool: arena still has work at unregister");
+  --registered_;
+}
+
+void WorkerPool::enqueue_slots(ArenaQueue* q, const void* tag, idx_t count,
+                               const std::function<void()>& slot) {
+  if (count <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (idx_t i = 0; i < count; ++i) q->items.push_back(Item{tag, slot});
+    if (!q->linked) {
+      ring_.push_back(q);
+      q->linked = true;
+    }
+  }
+  if (count == 1) {
+    cv_work_.notify_one();
+  } else {
+    cv_work_.notify_all();
+  }
+}
+
+void WorkerPool::enqueue_job(ArenaQueue* q, std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    q->items.push_back(Item{nullptr, std::move(job)});
+    if (!q->linked) {
+      ring_.push_back(q);
+      q->linked = true;
+    }
+  }
+  cv_work_.notify_one();
+}
+
+void WorkerPool::remove_stale(ArenaQueue* q, const void* tag) {
+  bool now_idle = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& items = q->items;
+    items.erase(std::remove_if(items.begin(), items.end(),
+                               [tag](const Item& it) { return it.tag == tag; }),
+                items.end());
+    if (items.empty() && q->linked) {
+      const auto it = std::find(ring_.begin(), ring_.end(), q);
+      const std::size_t idx = static_cast<std::size_t>(it - ring_.begin());
+      ring_.erase(it);
+      if (idx < cursor_) --cursor_;
+      if (cursor_ >= ring_.size()) cursor_ = 0;
+      q->linked = false;
+      q->deficit = 0;
+    }
+    now_idle = items.empty() && q->inflight == 0;
+  }
+  if (now_idle) cv_done_.notify_all();
+}
+
+void WorkerPool::wait_arena_idle(ArenaQueue* q) {
+  require(!in_worker(),
+          "WorkerPool: cannot wait for an arena from inside a worker");
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return q->items.empty() && q->inflight == 0; });
+}
+
+idx_t WorkerPool::queue_depth(ArenaQueue* q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return to_idx(q->items.size());
+}
+
+wgt_t WorkerPool::items_run(ArenaQueue* q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return q->items_run;
+}
+
+bool WorkerPool::pop_next(ArenaQueue** q_out, Item* item_out) {
+  if (ring_.empty()) return false;
+  if (cursor_ >= ring_.size()) cursor_ = 0;
+  ArenaQueue* q = ring_[cursor_];
+  // DRR: a queue arriving at the cursor with no credit gets one quantum
+  // (its weight) and is served that many items before the cursor moves on.
+  // Ring membership is maintained as linked <=> has queued items, so the
+  // queue at the cursor always yields an item.
+  if (q->deficit <= 0) q->deficit = q->weight;
+  *item_out = std::move(q->items.front());
+  q->items.pop_front();
+  --q->deficit;
+  ++q->inflight;
+  *q_out = q;
+  if (q->items.empty()) {
+    ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+    if (cursor_ >= ring_.size()) cursor_ = 0;
+    q->linked = false;
+    q->deficit = 0;
+  } else if (q->deficit <= 0) {
+    ++cursor_;
+    if (cursor_ >= ring_.size()) cursor_ = 0;
+  }
+  return true;
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Gang slots first, strictly: each queued slot was granted against an
+    // idle worker, and a gang's participants may block on one another, so
+    // delaying a slot behind arena items could stall a whole gang.
+    if (!gang_slots_.empty()) {
+      GangSlot slot = std::move(gang_slots_.front());
+      gang_slots_.pop_front();
+      ++active_count_;
+      lock.unlock();
+      {
+        detail::ScopedWorkerFlag flag;
+        run_gang_participant(*slot.gang, slot.participant);
+      }
+      slot.gang.reset();
+      lock.lock();
+      --active_count_;
+      ++gang_slots_executed_;
+      continue;
+    }
+    ArenaQueue* q = nullptr;
+    Item item;
+    if (pop_next(&q, &item)) {
+      ++active_count_;
+      lock.unlock();
+      {
+        detail::ScopedWorkerFlag flag;
+        item.run();
+      }
+      item.run = nullptr;  // release captures before reporting completion
+      lock.lock();
+      --active_count_;
+      ++items_executed_;
+      ++q->items_run;
+      --q->inflight;
+      if (q->items.empty() && q->inflight == 0) cv_done_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    ++idle_count_;
+    cv_work_.wait(lock);
+    --idle_count_;
+  }
+}
+
+unsigned WorkerPool::run_gang(unsigned want,
+                              const std::function<void(idx_t, unsigned)>& fn) {
+  if (want <= 1 || in_worker()) {
+    detail::ScopedWorkerFlag flag;
+    fn(0, 1);
+    return 1;
+  }
+  auto gang = std::make_shared<GangState>();
+  gang->fn = &fn;
+  unsigned helpers = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Grant only workers that are idle right now and not already spoken
+    // for by a queued slot of another gang: every granted participant is
+    // then backed by a distinct live thread (gang slots are consumed
+    // before anything else), so participants may block on each other and
+    // two concurrent gangs can never deadlock.
+    const idx_t promised = to_idx(gang_slots_.size());
+    const idx_t avail = idle_count_ > promised ? idle_count_ - promised : 0;
+    helpers = static_cast<unsigned>(
+        std::min<idx_t>(static_cast<idx_t>(want - 1), avail));
+    gang->width = 1 + helpers;
+    gang->remaining = helpers;
+    for (unsigned p = 1; p <= helpers; ++p) {
+      gang_slots_.push_back(GangSlot{gang, p});
+    }
+  }
+  if (helpers > 0) cv_work_.notify_all();
+  {
+    detail::ScopedWorkerFlag flag;
+    run_gang_participant(*gang, 0);  // the caller is participant 0
+  }
+  {
+    std::unique_lock<std::mutex> lock(gang->m);
+    gang->cv.wait(lock, [&] { return gang->remaining == 0; });
+  }
+  if (!gang->errors.empty()) detail::raise_collected(std::move(gang->errors));
+  return gang->width;
+}
+
+void WorkerPool::run_gang_participant(GangState& gang, unsigned participant) {
+  try {
+    (*gang.fn)(static_cast<idx_t>(participant), gang.width);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(gang.m);
+    gang.errors.emplace_back(participant, std::current_exception());
+  }
+  if (participant != 0) {
+    std::lock_guard<std::mutex> lock(gang.m);
+    if (--gang.remaining == 0) gang.cv.notify_all();
+  }
+}
+
+}  // namespace cpart

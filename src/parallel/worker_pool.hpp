@@ -1,0 +1,218 @@
+// Process-wide worker pool with weighted fair scheduling over arena queues.
+//
+// The multi-tenant refactor splits the old single-owner ThreadPool into two
+// pieces: this WorkerPool — the process's threads plus a deficit-round-robin
+// scheduler over per-arena run queues — and TaskArena (task_arena.hpp), the
+// per-session handle work is submitted through. One pool serves every
+// session; the scheduler decides whose queued item the next free worker
+// takes, so a session fanning out a million-element dispatch cannot starve
+// a hundred small sessions: each arena is served in proportion to its
+// weight, one item per deficit unit, round after round.
+//
+// Two kinds of work reach the workers:
+//   * arena items — participant slots of fork-join dispatches and queued
+//     session jobs. Items never block on other items, so any number can be
+//     queued regardless of pool size (the claiming caller always makes
+//     progress by itself; see task_arena.cpp).
+//   * gang slots — participants of a gang dispatch (TaskArena::run_gang),
+//     whose bodies MAY block on each other (the async executor's futex
+//     handshakes). Gangs are granted only currently-idle workers and take
+//     strict priority, so every granted participant is backed by a live
+//     thread and two concurrent gangs can never deadlock on each other.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cpart {
+
+/// Thrown when more than one chunk (or task) of a single dispatch throws.
+/// Carries every failure — for parallel_tasks the index is the task index,
+/// i.e. the rank id of a failing rank program — so a superstep in which
+/// several ranks fail reports all of them, not an arbitrary first one.
+/// A dispatch with exactly one failing chunk rethrows the original
+/// exception unchanged.
+class ParallelGroupError : public std::runtime_error {
+ public:
+  struct Failure {
+    idx_t index = 0;      // chunk/task index, ascending
+    std::string message;  // what() of the original exception
+  };
+
+  explicit ParallelGroupError(std::vector<Failure> failures);
+
+  const std::vector<Failure>& failures() const { return failures_; }
+
+ private:
+  std::vector<Failure> failures_;
+};
+
+namespace detail {
+
+/// Turns a collected (chunk, exception) list into the dispatch's outcome:
+/// the single original exception rethrown unchanged, or one aggregated
+/// ParallelGroupError sorted by chunk index. The list must be non-empty.
+[[noreturn]] void raise_collected(
+    std::vector<std::pair<unsigned, std::exception_ptr>>&& errors);
+
+/// RAII: marks the current thread as executing parallel work for the
+/// duration (WorkerPool::in_worker() returns true), restoring the previous
+/// state on destruction. Workers set it around every item; dispatch callers
+/// set it while claiming chunks of their own dispatch, so nested dispatches
+/// from chunk bodies run inline wherever the chunk happens to execute.
+class ScopedWorkerFlag {
+ public:
+  ScopedWorkerFlag();
+  ~ScopedWorkerFlag();
+  ScopedWorkerFlag(const ScopedWorkerFlag&) = delete;
+  ScopedWorkerFlag& operator=(const ScopedWorkerFlag&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace detail
+
+/// Point-in-time scheduler counters (queue depths are instantaneous, the
+/// *_executed totals are lifetime sums). bench_service and the SPMD health
+/// probe report these so scheduler saturation — queued work per free
+/// worker — is visible next to the transport health.
+struct SchedulerStats {
+  idx_t total_workers = 0;
+  idx_t active_workers = 0;     // executing an item or gang slot right now
+  idx_t idle_workers = 0;       // parked, waiting for work
+  idx_t queued_items = 0;       // arena items waiting across all queues
+  idx_t queued_gang_slots = 0;  // granted gang participants not yet running
+  idx_t registered_arenas = 0;
+  wgt_t items_executed = 0;      // lifetime arena items run by pool workers
+  wgt_t gang_slots_executed = 0; // lifetime gang participants run by workers
+};
+
+class TaskArena;
+
+class WorkerPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  /// Requests above the hardware concurrency are honored (oversubscribed):
+  /// a worker is also a unit of gang-phased SPMD execution, so sweeps and
+  /// sanitizer runs get W real workers regardless of the host. Results are
+  /// identical at any pool size; only speed differs.
+  explicit WorkerPool(unsigned num_threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  SchedulerStats stats() const;
+
+  /// True on a thread currently executing a chunk, task, job, or gang slot
+  /// of some dispatch (any pool). Dispatches issued from such a thread run
+  /// inline on the caller; inline execution is observationally identical
+  /// because every parallel computation here is bit-identical at any
+  /// dispatch width, including width 1 (docs/parallelism.md).
+  static bool in_worker();
+
+ private:
+  friend class TaskArena;
+
+  /// One queued unit of arena work. `tag` identifies the dispatch that
+  /// enqueued a participant slot, so a finished dispatch can sweep its
+  /// stale slots out of the queue; plain jobs use tag == nullptr.
+  struct Item {
+    const void* tag = nullptr;
+    std::function<void()> run;
+  };
+
+  /// Scheduler-side state of one registered arena. Owned by the TaskArena
+  /// (via unique_ptr); every field is guarded by the pool mutex.
+  struct ArenaQueue {
+    std::deque<Item> items;
+    idx_t weight = 1;    // DRR quantum: items served per scheduling round
+    idx_t deficit = 0;   // remaining service credit this round
+    bool linked = false; // member of ring_ (has queued items)
+    idx_t inflight = 0;  // popped items still executing
+    wgt_t items_run = 0; // lifetime items executed from this queue
+  };
+
+  /// Shared state of one gang dispatch (see TaskArena::run_gang). The
+  /// caller is participant 0; granted slots 1..width-1 are queued for
+  /// idle workers. remaining counts unfinished *helper* participants.
+  struct GangState {
+    const std::function<void(idx_t, unsigned)>* fn = nullptr;
+    unsigned width = 0;
+    std::mutex m;
+    std::condition_variable cv;
+    unsigned remaining = 0;
+    std::vector<std::pair<unsigned, std::exception_ptr>> errors;  // under m
+  };
+
+  struct GangSlot {
+    std::shared_ptr<GangState> gang;
+    unsigned participant = 0;
+  };
+
+  std::unique_ptr<ArenaQueue> register_arena(idx_t weight);
+  /// Waits until the queue is empty and nothing is inflight, then unlinks
+  /// it from the scheduler. The queue's storage stays with the arena.
+  void unregister_arena(ArenaQueue* q);
+
+  /// Appends `count` copies of `make()`'s item to the arena's queue under
+  /// one lock and wakes workers. Used for dispatch participant slots.
+  void enqueue_slots(ArenaQueue* q, const void* tag, idx_t count,
+                     const std::function<void()>& slot);
+  void enqueue_job(ArenaQueue* q, std::function<void()> job);
+  /// Removes the not-yet-popped items of dispatch `tag` (a finished
+  /// dispatch's stale participant slots claim nothing and would only
+  /// pollute queue-depth accounting and drain()).
+  void remove_stale(ArenaQueue* q, const void* tag);
+  /// Blocks until the arena's queue is empty and no popped item is still
+  /// executing. Must not be called from a worker.
+  void wait_arena_idle(ArenaQueue* q);
+  idx_t queue_depth(ArenaQueue* q) const;
+  wgt_t items_run(ArenaQueue* q) const;
+
+  /// Gang dispatch mechanics (width decision + slot grant + caller
+  /// participation); the arena-facing contract is TaskArena::run_gang.
+  unsigned run_gang(unsigned want,
+                    const std::function<void(idx_t, unsigned)>& fn);
+
+  static void run_gang_participant(GangState& gang, unsigned participant);
+
+  /// DRR pick across the ring of arenas with queued items. Returns false
+  /// when every queue is empty. Caller holds mutex_.
+  bool pop_next(ArenaQueue** q_out, Item* item_out);
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;  // an arena queue went idle
+  std::vector<ArenaQueue*> ring_;  // arenas with queued items
+  std::size_t cursor_ = 0;         // DRR position in ring_
+  std::deque<GangSlot> gang_slots_;
+  idx_t idle_count_ = 0;
+  idx_t active_count_ = 0;
+  idx_t registered_ = 0;
+  wgt_t items_executed_ = 0;
+  wgt_t gang_slots_executed_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cpart

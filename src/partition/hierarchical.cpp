@@ -5,6 +5,7 @@
 #include "graph/graph_metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "partition/coarsen.hpp"
+#include "util/seed_stream.hpp"
 #include "util/timer.hpp"
 
 namespace cpart {
@@ -95,13 +96,6 @@ void split_groups(const CsrGraph& g, std::span<const idx_t> parent, idx_t g0,
   }
 }
 
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 }  // namespace
 
 double hierarchy_group_imbalance(const CsrGraph& g,
@@ -162,7 +156,7 @@ HierarchicalResult hierarchical_partition(const CsrGraph& g,
   }
 
   Timer timer;
-  Rng rng(mix_seed(base.seed, 0x9c0a));
+  Rng rng(seed_mix(base.seed, 0x9c0a));
 
   // Level 1: coarsen to the proxy, split the proxy into G groups, project
   // the labels back through the chain. The proxy partition sees summed
@@ -224,7 +218,7 @@ HierarchicalResult hierarchical_partition(const CsrGraph& g,
     const idx_t first = parts_begin(grp, k, groups);
     PartitionOptions sub_opts = base;
     sub_opts.k = parts_begin(grp + 1, k, groups) - first;
-    sub_opts.seed = mix_seed(base.seed, static_cast<std::uint64_t>(grp));
+    sub_opts.seed = seed_mix(base.seed, static_cast<std::uint64_t>(grp));
     const std::vector<idx_t> sub_part = partition_graph(sub.graph, sub_opts);
     for (idx_t sv = 0; sv < sub.graph.num_vertices(); ++sv) {
       result.part[static_cast<std::size_t>(

@@ -5,20 +5,10 @@
 #include "graph/graph_metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "partition/kway_multilevel.hpp"
+#include "util/seed_stream.hpp"
 #include "util/timer.hpp"
 
 namespace cpart {
-
-namespace {
-
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
 
 Partitioner::Partitioner(PartitionerConfig config)
     : config_(std::move(config)) {
@@ -113,7 +103,7 @@ std::vector<idx_t> Partitioner::repartition(const CsrGraph& g,
     }
     RepartitionOptions sub_ro = ro;
     sub_ro.k = group_k;
-    sub_ro.seed = mix_seed(ro.seed, static_cast<std::uint64_t>(grp));
+    sub_ro.seed = seed_mix(ro.seed, static_cast<std::uint64_t>(grp));
     const std::vector<idx_t> sub_new =
         repartition_graph(sub.graph, sub_old, sub_ro);
     for (idx_t sv = 0; sv < sub.graph.num_vertices(); ++sv) {

@@ -264,10 +264,13 @@ void AsyncExecutor::run(std::span<const AsyncPhase> phases, Exchange& exchange,
     return true;
   };
 
+  // Gang dispatch, not parallel_tasks: the worker bodies block on each
+  // other (futex readiness waits), so every participant must hold a real
+  // thread for the whole superstep. run_gang grants exactly that — only
+  // currently idle workers join, and the granted width W is handed to the
+  // body so the rank striping matches the width actually running.
   ThreadPool& pool = ThreadPool::global();
-  const unsigned W = rank_dispatch_workers(pool, k_);
-
-  pool.parallel_tasks(static_cast<idx_t>(W), [&](idx_t w) {
+  pool.run_gang(rank_dispatch_workers(pool, k_), [&](idx_t w, unsigned W) {
     // Readiness wait for destination r of group g (consumed by phase p).
     // Polls, in order: ready (rows closed — all k, or just r's providers;
     // under the injector gate, all ranks through every prior phase),

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "util/seed_stream.hpp"
+
 namespace cpart {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -43,30 +45,19 @@ FaultInjector::FaultInjector(const FaultConfig& config) : config_(config) {
           "FaultInjector: kill_rank and kill_step must be set together");
 }
 
-namespace {
-
-/// SplitMix64 finalizer — used to fold each coordinate of the decision
-/// tuple into the seed so the schedule is a pure function of the tuple.
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  std::uint64_t z = h;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
-
+// Decision seeds fold each coordinate of the tuple via the shared
+// seed_mix (util/seed_stream.hpp), so the schedule is a pure function of
+// the tuple and the formula is the same one every seeded subsystem uses.
 std::uint64_t FaultInjector::decision_seed(ChannelId channel,
                                            std::uint64_t superstep,
                                            idx_t attempt, idx_t from,
                                            idx_t to) const {
   std::uint64_t h = config_.seed;
-  h = mix(h, superstep);
-  h = mix(h, static_cast<std::uint64_t>(attempt));
-  h = mix(h, static_cast<std::uint64_t>(static_cast<int>(channel)));
-  h = mix(h, static_cast<std::uint64_t>(from));
-  h = mix(h, static_cast<std::uint64_t>(to));
+  h = seed_mix(h, superstep);
+  h = seed_mix(h, static_cast<std::uint64_t>(attempt));
+  h = seed_mix(h, static_cast<std::uint64_t>(static_cast<int>(channel)));
+  h = seed_mix(h, static_cast<std::uint64_t>(from));
+  h = seed_mix(h, static_cast<std::uint64_t>(to));
   return h;
 }
 
@@ -96,9 +87,9 @@ RankFaultKind FaultInjector::rank_fault(idx_t step, idx_t rank,
   // constant keeps a rank-fault draw from ever correlating with a
   // maybe_corrupt draw at the same coordinates.
   std::uint64_t h = config_.seed;
-  h = mix(h, 0x52414e4b44544831ULL);
-  h = mix(h, static_cast<std::uint64_t>(step));
-  h = mix(h, static_cast<std::uint64_t>(rank));
+  h = seed_mix(h, 0x52414e4b44544831ULL);
+  h = seed_mix(h, static_cast<std::uint64_t>(step));
+  h = seed_mix(h, static_cast<std::uint64_t>(rank));
   Rng rng(h);
   const double u = rng.uniform();
   if (u < config_.rank_death_probability) return RankFaultKind::kDeath;
@@ -145,7 +136,7 @@ FaultyFileShim::FaultyFileShim(const IoFaultConfig& config, FileShim& base)
 
 bool FaultyFileShim::write_file(const std::string& path,
                                 const std::string& bytes) {
-  Rng rng(mix(config_.seed, 0x494f5752ULL + op_counter_++));
+  Rng rng(seed_mix(config_.seed, 0x494f5752ULL + op_counter_++));
   if (rng.uniform() < config_.write_fault_probability) {
     if (rng.uniform() < 0.5 && !bytes.empty()) {
       // Short write: a prefix lands before the failure is reported.
@@ -177,7 +168,7 @@ bool FaultyFileShim::rename_file(const std::string& from,
 
 bool FaultyFileShim::read_file(const std::string& path, std::string& out) {
   if (!base_.read_file(path, out)) return false;
-  Rng rng(mix(config_.seed, 0x494f5244ULL + op_counter_++));
+  Rng rng(seed_mix(config_.seed, 0x494f5244ULL + op_counter_++));
   if (!out.empty() && rng.uniform() < config_.read_bitflip_probability) {
     ++stats_.read_bitflips;
     const std::size_t byte =

@@ -38,6 +38,12 @@ namespace cpart {
 }
 
 unsigned rank_dispatch_workers(const ThreadPool& pool, idx_t k) {
+  // Inside parallel work (a session step job, a parallel_tasks body) the
+  // dispatch runs inline on the calling thread only, so a striped loop at
+  // W > 1 would execute its workers sequentially — fatal for gang bodies
+  // that block on sibling workers (the async executor's futex waits).
+  // Width 1 is always valid: results are width-independent by invariant.
+  if (ThreadPool::in_worker()) return 1;
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = pool.num_threads();  // unknown: trust the pool size
   const unsigned cap = std::min(std::max(1u, pool.num_threads()),

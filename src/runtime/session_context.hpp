@@ -1,0 +1,87 @@
+// Per-session runtime identity: the state that used to be ambient,
+// one-per-process context for "the sim".
+//
+// Hosting many simulations in one process means nothing sim-scoped may be
+// global: each session needs its own seed domain (so chaos schedules never
+// correlate across tenants), its own checkpoint directory (so durable
+// commits never clobber a neighbor's manifest), its own fault injector,
+// and its own accumulated transport health. SessionContext bundles exactly
+// those. It lives in runtime/ — below core/ and service/ — because it owns
+// no simulation: DistributedSim consumes its pieces (checkpoint_dir wired
+// into DistributedSimConfig, the fault seed into the exchange's injector),
+// and the service's StatRegistry folds its health record upward.
+//
+// Seeds are hierarchical (util/seed_stream.hpp): the service holds one
+// root, each session derives its stream from (root, session_key), and the
+// fault injector's seed is a further split of that — so a session's chaos
+// schedule is a pure function of (service seed, session key), independent
+// of admission order, scheduling, and every other tenant.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "runtime/fault_injector.hpp"
+#include "runtime/health.hpp"
+#include "util/seed_stream.hpp"
+
+namespace cpart {
+
+struct SessionContextConfig {
+  /// Unique within the service; names the checkpoint subdirectory.
+  std::string name;
+  /// The service's root seed; every session derivation starts here.
+  std::uint64_t service_seed = 0;
+  /// Distinct per session (the admission ordinal, or a name hash).
+  std::uint64_t session_key = 0;
+  /// Service-level checkpoint root; the session gets the subdirectory
+  /// `<root>/<name>`. Empty = this session has no durable home (it can
+  /// still run, but cannot suspend).
+  std::string checkpoint_root;
+};
+
+class SessionContext {
+ public:
+  explicit SessionContext(SessionContextConfig config);
+
+  const std::string& name() const { return config_.name; }
+
+  /// This session's seed stream: SeedStream(service_seed).split(key).
+  const SeedStream& seeds() const { return seeds_; }
+
+  /// Seed of the session's fault-injection domain (a keyed split of
+  /// seeds(), shared with nothing else).
+  std::uint64_t fault_seed() const;
+
+  /// The session's private checkpoint directory (`<root>/<name>`), or
+  /// empty when no root was configured.
+  const std::string& checkpoint_dir() const { return checkpoint_dir_; }
+
+  /// Arms fault injection for this session: `base` supplies the schedule
+  /// shape (probabilities, weights, kill switches); the seed is replaced
+  /// with fault_seed() so no two sessions ever draw correlated schedules.
+  FaultInjector& arm_faults(FaultConfig base);
+
+  /// The armed injector, or nullptr.
+  FaultInjector* injector() { return injector_.get(); }
+
+  /// Folds one step report's health into the session accumulator.
+  void record_step(const PipelineHealth& step_health);
+
+  /// Health accumulated over every recorded step (survives suspends — the
+  /// context outlives the sim's resident state).
+  const PipelineHealth& health() const { return health_; }
+  wgt_t steps_recorded() const { return steps_recorded_; }
+
+ private:
+  SessionContextConfig config_;
+  SeedStream seeds_;
+  std::string checkpoint_dir_;
+  std::unique_ptr<FaultInjector> injector_;
+  PipelineHealth health_{};
+  wgt_t steps_recorded_ = 0;
+};
+
+}  // namespace cpart

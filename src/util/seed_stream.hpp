@@ -1,0 +1,59 @@
+// Seeded stream derivation shared by every subsystem that splits one root
+// seed into independent decision domains.
+//
+// Three layers used to re-derive child seeds ad hoc — the fault injector's
+// decision tuples, the hierarchical partitioner's per-group seeds, and the
+// repartitioner's group streams — each with its own private mix function.
+// They now share this one: a SplitMix64-style fold of a 64-bit key into a
+// 64-bit seed. The fold is a pure function of (seed, key), so derived
+// schedules are independent of call order, thread count, and wall clock —
+// the property every seeded subsystem here (chaos schedules, partition
+// randomization, per-session streams) is built on.
+//
+// The derivation is hierarchical by construction: derive() of a derived
+// seed opens a fresh sub-domain, so a service can hand every session a
+// split of its root seed, each session can hand its fault injector a split
+// of that, and no two streams ever correlate. SeedStream is the small
+// value-type wrapper for exactly that chaining.
+#pragma once
+
+#include <cstdint>
+
+namespace cpart {
+
+/// Folds `key` into `seed` and finalizes with the SplitMix64 mixer.
+/// Chain calls to fold a tuple coordinate by coordinate (the fault
+/// injector's (superstep, attempt, channel, src, dst) schedule does).
+constexpr std::uint64_t seed_mix(std::uint64_t seed, std::uint64_t key) {
+  seed ^= key + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  std::uint64_t z = seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// A seed plus the derivation operations over it: derive(key) yields the
+/// child seed of a keyed sub-domain, split(key) the child stream rooted
+/// there. Distinct keys give independent streams; the same (root, key)
+/// always gives the same stream.
+class SeedStream {
+ public:
+  explicit constexpr SeedStream(std::uint64_t root) : seed_(root) {}
+
+  constexpr std::uint64_t seed() const { return seed_; }
+
+  /// Seed of the sub-domain `key` — seed_mix(seed(), key).
+  constexpr std::uint64_t derive(std::uint64_t key) const {
+    return seed_mix(seed_, key);
+  }
+
+  /// Child stream rooted at derive(key).
+  constexpr SeedStream split(std::uint64_t key) const {
+    return SeedStream(derive(key));
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace cpart

@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/distributed_sim.hpp"
@@ -249,6 +250,67 @@ TEST_F(CheckpointStoreTest, TornRenameKeepsLastGood) {
   auto loaded = store.load();
   ASSERT_TRUE(loaded.has_value());
   EXPECT_TRUE(data_equal(first, *loaded));
+}
+
+TEST_F(CheckpointStoreTest, ConcurrentPerSessionStoresStayIsolated) {
+  // Multi-tenant layout: every session commits into its own subdirectory
+  // of one shared root (SessionContext::checkpoint_dir). Concurrent
+  // writers in different subdirectories must never cross-contaminate —
+  // each store's manifest ends on its own last committed data.
+  constexpr int kStores = 4;
+  constexpr int kWrites = 12;
+  std::vector<std::thread> writers;
+  for (int i = 0; i < kStores; ++i) {
+    writers.emplace_back([&, i] {
+      CheckpointStore store(dir() + "/s" + std::to_string(i));
+      RetryPolicy retry;
+      for (int w = 0; w < kWrites; ++w) {
+        CheckpointData data = sample_data();
+        data.step = w;
+        data.contact_hits[0] = static_cast<wgt_t>(100 * i + w);
+        EXPECT_TRUE(store.write(data, retry));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  for (int i = 0; i < kStores; ++i) {
+    CheckpointStore store(dir() + "/s" + std::to_string(i));
+    const auto loaded = store.load();
+    ASSERT_TRUE(loaded.has_value()) << "store " << i;
+    EXPECT_EQ(loaded->step, kWrites - 1);
+    EXPECT_EQ(loaded->contact_hits[0],
+              static_cast<wgt_t>(100 * i + kWrites - 1));
+  }
+}
+
+TEST_F(CheckpointStoreTest, TornRenameInOneSessionLeavesNeighborsIntact) {
+  // A torn commit in one session's store is that session's problem alone:
+  // the victim keeps its last good checkpoint, the neighbor's manifest
+  // never even notices.
+  FaultyFileShim shim{IoFaultConfig{}};
+  CheckpointStore victim(dir() + "/victim", shim);
+  CheckpointStore neighbor(dir() + "/neighbor");
+  RetryPolicy retry;
+  const CheckpointData vdata = sample_data();
+  ASSERT_TRUE(victim.write(vdata, retry));
+  CheckpointData ndata = sample_data();
+  ndata.step = 7;
+  ndata.contact_hits[0] = 42;
+  ASSERT_TRUE(neighbor.write(ndata, retry));
+
+  CheckpointData torn = sample_data();
+  torn.step = 24;
+  shim.fail_next_rename();
+  RetryPolicy one_shot;
+  one_shot.max_attempts = 1;
+  EXPECT_FALSE(victim.write(torn, one_shot));
+
+  const auto v = victim.load();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(data_equal(vdata, *v));  // keep-last-good in the torn store
+  const auto nb = neighbor.load();
+  ASSERT_TRUE(nb.has_value());
+  EXPECT_TRUE(data_equal(ndata, *nb));  // untouched next door
 }
 
 TEST_F(CheckpointStoreTest, WriteFaultSoakNeverLosesLastGood) {

@@ -4,10 +4,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "parallel/spmd_barrier.hpp"
+#include "parallel/task_arena.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace cpart {
@@ -312,6 +317,182 @@ TEST(SpmdBarrier, PhasesAreTotallyOrderedAcrossThreads) {
   for (int r = 0; r < kRounds; ++r) {
     EXPECT_EQ(arrivals[static_cast<std::size_t>(r)], 1) << "round " << r;
   }
+}
+
+TEST(TaskArena, SubmitAndDrainRunsEveryJob) {
+  ThreadPool pool(3);
+  TaskArena arena(pool.workers());
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 50; ++i) {
+    arena.submit([&] { runs.fetch_add(1, std::memory_order_relaxed); });
+  }
+  arena.drain();
+  EXPECT_EQ(runs.load(), 50);
+  EXPECT_EQ(arena.stats().queue_depth, 0);
+  EXPECT_EQ(arena.stats().jobs_failed, 0);
+}
+
+TEST(TaskArena, ThrowingJobIsCountedNotPropagated) {
+  ThreadPool pool(2);
+  TaskArena arena(pool.workers());
+  std::atomic<int> runs{0};
+  arena.submit([] { throw std::runtime_error("boom"); });
+  arena.submit([&] { runs.fetch_add(1, std::memory_order_relaxed); });
+  arena.drain();
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(arena.stats().jobs_failed, 1);
+}
+
+TEST(TaskArena, MaxParallelismCapsWidth) {
+  ThreadPool pool(8);
+  ArenaOptions opts;
+  opts.max_parallelism = 2;
+  TaskArena arena(pool.workers(), opts);
+  // The uncapped width already folds in hardware concurrency (this may be
+  // a 1-core machine); the cap can only lower it further.
+  TaskArena uncapped(pool.workers());
+  EXPECT_EQ(arena.width(), std::min(2u, uncapped.width()));
+  EXPECT_LE(arena.width(), 2u);
+  EXPECT_EQ(arena.stats().width, arena.width());
+  // The cap changes only the dispatch width, never the results.
+  std::vector<std::atomic<int>> hits(10000);
+  arena.parallel_for(10000, [&](idx_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskArena, DeficitRoundRobinHonorsWeights) {
+  // One worker, two arenas with weights 3:1, the worker parked on a latch
+  // while both queues fill. On release the scheduler's deficit round-robin
+  // must interleave 3 heavy items per light one, deterministically.
+  ThreadPool pool(1);
+  TaskArena parking(pool.workers());
+  ArenaOptions heavy_opts;
+  heavy_opts.weight = 3;
+  TaskArena heavy(pool.workers(), heavy_opts);
+  TaskArena light(pool.workers());
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool go = false;
+  parking.submit([&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return go; });
+  });
+
+  std::vector<char> order;
+  std::mutex order_m;
+  const auto record = [&](char tag) {
+    std::lock_guard<std::mutex> lock(order_m);
+    order.push_back(tag);
+  };
+  for (int i = 0; i < 6; ++i) {
+    heavy.submit([&] { record('H'); });
+  }
+  for (int i = 0; i < 2; ++i) {
+    light.submit([&] { record('L'); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(m);
+    go = true;
+  }
+  cv.notify_all();
+  heavy.drain();
+  light.drain();
+  ASSERT_EQ(order.size(), 8u);
+  const auto heavy_in_first = [&](std::size_t n) {
+    return std::count(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(n), 'H');
+  };
+  EXPECT_EQ(heavy_in_first(4), 3);  // 3 heavy per round trip of the ring
+  EXPECT_EQ(heavy_in_first(8), 6);
+  EXPECT_EQ(heavy.stats().items_run, 6);
+  EXPECT_EQ(light.stats().items_run, 2);
+}
+
+TEST(TaskArena, ArenaScopeRoutesFacadeDispatch) {
+  ThreadPool pool(4);
+  ArenaOptions opts;
+  opts.max_parallelism = 1;  // observable: bound dispatch runs inline
+  TaskArena arena(pool.workers(), opts);
+  ArenaScope scope(arena);
+  ASSERT_EQ(ArenaScope::current(), &arena);
+  // With the width-1 arena bound, the facade must run the whole range
+  // inline on the calling thread, even though the pool has 4 workers and
+  // the range is far past the inline threshold.
+  const std::thread::id caller = std::this_thread::get_id();
+  const idx_t n = 10000;
+  std::vector<std::thread::id> ran_on(static_cast<std::size_t>(n));
+  pool.parallel_for(n, [&](idx_t i) {
+    ran_on[static_cast<std::size_t>(i)] = std::this_thread::get_id();
+  });
+  for (const auto& id : ran_on) EXPECT_EQ(id, caller);
+}
+
+TEST(WorkerPool, GangRunsWithDistinctParticipants) {
+  ThreadPool pool(4);
+  const unsigned granted = pool.run_gang(4, [&](idx_t w, unsigned width) {
+    EXPECT_LT(static_cast<unsigned>(w), width);
+  });
+  EXPECT_GE(granted, 1u);
+  EXPECT_LE(granted, 4u);
+}
+
+TEST(WorkerPool, GangParticipantsCanBlockOnEachOther) {
+  // The gang guarantee: every granted participant is backed by a distinct
+  // thread, so SPMD bodies may rendezvous. Each participant spins until all
+  // of them arrive — with any two participants sharing a thread this hangs
+  // (and the suite's ctest timeout would flag it).
+  ThreadPool pool(4);
+  std::atomic<unsigned> arrived{0};
+  pool.run_gang(4, [&](idx_t, unsigned width) {
+    arrived.fetch_add(1, std::memory_order_acq_rel);
+    while (arrived.load(std::memory_order_acquire) < width) {
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_GT(arrived.load(), 0u);
+}
+
+TEST(WorkerPool, GangInsideWorkerRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<unsigned> inner_width{0};
+  pool.run_gang(2, [&](idx_t w, unsigned) {
+    if (w != 0) return;
+    // Nested gang from inside a worker must not wait for helpers that
+    // could never be granted.
+    pool.run_gang(4, [&](idx_t, unsigned width) {
+      inner_width.store(width, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_width.load(), 1u);
+}
+
+TEST(SchedulerStats, CountsWorkAndArenas) {
+  ThreadPool pool(3);
+  const SchedulerStats before = pool.scheduler_stats();
+  EXPECT_EQ(before.total_workers, 3);
+  EXPECT_EQ(before.registered_arenas, 1);  // the facade's default arena
+  {
+    TaskArena arena(pool.workers());
+    EXPECT_EQ(pool.scheduler_stats().registered_arenas, 2);
+    for (int i = 0; i < 20; ++i) {
+      arena.submit([] {});
+    }
+    arena.drain();
+    EXPECT_GE(pool.scheduler_stats().items_executed, before.items_executed + 20);
+  }
+  EXPECT_EQ(pool.scheduler_stats().registered_arenas, 1);
+  // Gang helpers are granted only from parked workers, so freshly woken
+  // pools may grant none on the first try — retry until one lands.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    pool.run_gang(3, [](idx_t, unsigned) {});
+    if (pool.scheduler_stats().gang_slots_executed > 0) break;
+    std::this_thread::yield();
+  }
+  EXPECT_GT(pool.scheduler_stats().gang_slots_executed, 0);
+  EXPECT_EQ(pool.scheduler_stats().queued_items, 0);
 }
 
 TEST(SpmdBarrier, ExactlyOneWinnerPerRound) {

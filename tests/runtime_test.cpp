@@ -8,7 +8,9 @@
 #include "graph/graph_builder.hpp"
 #include "graph/graph_metrics.hpp"
 #include "mesh/mesh_graphs.hpp"
+#include "runtime/health.hpp"
 #include "runtime/label_codec.hpp"
+#include "runtime/session_context.hpp"
 #include "runtime/virtual_cluster.hpp"
 #include "sim/impact_sim.hpp"
 #include "tree/tree_io.hpp"
@@ -164,6 +166,89 @@ TEST_F(EndToEndTraffic, FeHaloTrafficMatchesExperimentMetric) {
   const CsrGraph g = nodal_graph(snap_.mesh);
   const StepTraffic executed = fe_halo_traffic(g, p.node_partition(), kParts);
   EXPECT_EQ(executed.total_units(), total_comm_volume(g, p.node_partition()));
+}
+
+TEST(Health, MergeSumsEveryFieldIncludingTimings) {
+  PipelineHealth a;
+  a.deliveries = 3;
+  a.retries = 2;
+  a.degraded_steps = 1;
+  a.backoff_ms = 1.5;
+  a.readiness_stalls = 4;
+  a.readiness_stall_ns = 900;
+  a.channel(ChannelId::kHalo).corrupt_cells = 2;
+  PipelineHealth b;
+  b.deliveries = 5;
+  b.checkpoints_written = 2;
+  b.backoff_ms = 0.5;
+  b.readiness_stalls = 1;
+  b.channel(ChannelId::kHalo).corrupt_cells = 3;
+
+  PipelineHealth merged = a;
+  // merge() is the aggregation entry service rollups use; it must include
+  // the timing fields operator== deliberately excludes.
+  PipelineHealth& ret = merged.merge(b);
+  EXPECT_EQ(&ret, &merged);  // chains
+  EXPECT_EQ(merged.deliveries, 8);
+  EXPECT_EQ(merged.retries, 2);
+  EXPECT_EQ(merged.degraded_steps, 1);
+  EXPECT_EQ(merged.checkpoints_written, 2);
+  EXPECT_DOUBLE_EQ(merged.backoff_ms, 2.0);
+  EXPECT_EQ(merged.readiness_stalls, 5);
+  EXPECT_EQ(merged.readiness_stall_ns, 900);
+  EXPECT_EQ(merged.channel(ChannelId::kHalo).corrupt_cells, 5);
+
+  // merge and operator+= are the same aggregation.
+  PipelineHealth plus = a;
+  plus += b;
+  EXPECT_EQ(plus.deliveries, merged.deliveries);
+  EXPECT_DOUBLE_EQ(plus.backoff_ms, merged.backoff_ms);
+
+  // Merging a default record is the identity on the counted fields.
+  PipelineHealth before = merged;
+  merged.merge(PipelineHealth{});
+  EXPECT_EQ(merged.deliveries, before.deliveries);
+  EXPECT_DOUBLE_EQ(merged.backoff_ms, before.backoff_ms);
+}
+
+TEST(SessionContextTest, DerivedSeedsAreStableAndDisjoint) {
+  SessionContextConfig a;
+  a.name = "a";
+  a.service_seed = 42;
+  a.session_key = 0;
+  SessionContextConfig b = a;
+  b.name = "b";
+  b.session_key = 1;
+  SessionContext ca(a), cb(b);
+  // Pure function of (service seed, key): rebuilding reproduces the seeds.
+  SessionContext ca2(a);
+  EXPECT_EQ(ca.seeds().seed(), ca2.seeds().seed());
+  EXPECT_EQ(ca.fault_seed(), ca2.fault_seed());
+  // Distinct keys give uncorrelated domains.
+  EXPECT_NE(ca.seeds().seed(), cb.seeds().seed());
+  EXPECT_NE(ca.fault_seed(), cb.fault_seed());
+  // The fault domain never aliases the session stream itself.
+  EXPECT_NE(ca.fault_seed(), ca.seeds().seed());
+}
+
+TEST(SessionContextTest, CheckpointDirAndHealthAccumulation) {
+  SessionContextConfig cc;
+  cc.name = "tenant";
+  cc.checkpoint_root = "/tmp/root";
+  SessionContext ctx(cc);
+  EXPECT_EQ(ctx.checkpoint_dir(), "/tmp/root/tenant");
+  EXPECT_EQ(ctx.injector(), nullptr);
+
+  PipelineHealth step;
+  step.deliveries = 4;
+  ctx.record_step(step);
+  ctx.record_step(step);
+  EXPECT_EQ(ctx.steps_recorded(), 2);
+  EXPECT_EQ(ctx.health().deliveries, 8);
+
+  SessionContextConfig bare;
+  bare.name = "x";
+  EXPECT_TRUE(SessionContext(bare).checkpoint_dir().empty());
 }
 
 TEST(LabelCodec, RoundTripsBatches) {
